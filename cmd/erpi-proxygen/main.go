@@ -1,0 +1,81 @@
+// Command erpi-proxygen rewrites Go source so RDL call sites route through
+// ER-π's interception hooks (the paper's §5.1.1 go/ast proxy generation):
+//
+//	erpi-proxygen -receivers replicaState app.go            # to stdout
+//	erpi-proxygen -packages crdt -w app.go helpers.go       # in place
+//	erpi-proxygen -receivers store -helpers -w app.go       # emit hook decls too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/er-pi/erpi/internal/astproxy"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		receivers = flag.String("receivers", "", "comma-separated receiver identifiers to proxy")
+		packages  = flag.String("packages", "", "comma-separated package qualifiers to proxy")
+		write     = flag.Bool("w", false, "rewrite files in place instead of printing")
+		helpers   = flag.Bool("helpers", false, "emit the hook declarations into the first rewritten file")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "erpi-proxygen: no input files")
+		flag.Usage()
+		return 2
+	}
+	cfg := astproxy.Config{
+		Receivers: splitList(*receivers),
+		Packages:  splitList(*packages),
+	}
+	if len(cfg.Receivers) == 0 && len(cfg.Packages) == 0 {
+		fmt.Fprintln(os.Stderr, "erpi-proxygen: nothing to proxy (set -receivers and/or -packages)")
+		return 2
+	}
+	for i, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erpi-proxygen:", err)
+			return 1
+		}
+		fileCfg := cfg
+		fileCfg.EmitHelpers = *helpers && i == 0
+		out, report, err := astproxy.RewriteFile(path, src, fileCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erpi-proxygen:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s\n", path, report.Summary())
+		if *write {
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "erpi-proxygen:", err)
+				return 1
+			}
+			continue
+		}
+		os.Stdout.Write(out)
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Command erpi explores one benchmark workload with a chosen strategy:
+//
+//	erpi -list                            # list bug benchmarks and misconception scenarios
+//	erpi -bug Roshi-1                     # reproduce a Table-1 bug with ER-π pruning
+//	erpi -bug OrbitDB-5 -mode dfs         # the DFS baseline
+//	erpi -bug Yorkie-2 -mode rand -seed 7 # the Rand baseline
+//	erpi -miscon "CRDTs#4"                # detect a misconception scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/checkpoint"
+	"github.com/er-pi/erpi/internal/miscon"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list       = flag.Bool("list", false, "list available benchmarks")
+		bugName    = flag.String("bug", "", "Table-1 bug benchmark to reproduce")
+		misconName = flag.String("miscon", "", "misconception scenario to detect (e.g. CRDTs#4)")
+		mode       = flag.String("mode", "erpi", "exploration mode: erpi, dfs, rand")
+		seed       = flag.Int64("seed", 1, "seed for rand mode")
+		capN       = flag.Int("cap", runner.DefaultMaxInterleavings, "max interleavings to explore")
+		verbose    = flag.Bool("v", false, "print every violation, not just the first")
+		session    = flag.String("session", "", "journal directory: persist progress and resume interrupted runs")
+	)
+	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "erpi:", err)
+		return 1
+	}
+
+	if *list {
+		fmt.Println("Bug benchmarks (Table 1):")
+		for _, b := range bugs.All() {
+			fmt.Printf("  %-12s issue #%-5d %2d events  %s (%s)\n", b.Name, b.Issue, b.Events, b.Status, b.Reason)
+		}
+		fmt.Println("Misconception scenarios (Table 2):")
+		for _, sc := range miscon.All() {
+			fmt.Printf("  %-12s %s\n", sc.Name(), sc.Seeding)
+		}
+		return 0
+	}
+
+	var (
+		scenario runner.Scenario
+		asserts  []runner.Assertion
+		err      error
+		label    string
+	)
+	switch {
+	case *bugName != "":
+		b, ok := bugs.ByName(*bugName)
+		if !ok {
+			return fail(fmt.Errorf("unknown bug %q (try -list)", *bugName))
+		}
+		label = b.Name
+		scenario, err = b.Build()
+		if err != nil {
+			return fail(err)
+		}
+		asserts, err = b.NewAssertions()
+		if err != nil {
+			return fail(err)
+		}
+	case *misconName != "":
+		var found *miscon.Scenario
+		for _, sc := range miscon.All() {
+			if sc.Name() == *misconName {
+				found = sc
+				break
+			}
+		}
+		if found == nil {
+			return fail(fmt.Errorf("unknown misconception scenario %q (try -list)", *misconName))
+		}
+		label = found.Name()
+		scenario, err = found.Build()
+		if err != nil {
+			return fail(err)
+		}
+		asserts = found.NewAssertions()
+	default:
+		flag.Usage()
+		return 2
+	}
+
+	cfg := runner.Config{
+		Mode:             runner.Mode(*mode),
+		Seed:             *seed,
+		MaxInterleavings: *capN,
+		StopOnViolation:  !*verbose,
+		Assertions:       asserts,
+	}
+	if *session != "" {
+		dir, err := checkpoint.Open(*session)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Journal = dir
+	}
+	res, err := runner.Run(scenario, cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	fmt.Printf("%s: %d events, mode=%s, explored %d interleavings in %v\n",
+		label, scenario.Log.Len(), res.Mode, res.Explored, res.Duration.Round(1000))
+	if res.Resumed > 0 {
+		fmt.Printf("resumed past %d journaled interleavings\n", res.Resumed)
+	}
+	if res.FirstViolation > 0 {
+		fmt.Printf("REPRODUCED at interleaving #%d\n", res.FirstViolation)
+		if *verbose {
+			for _, v := range res.Violations {
+				fmt.Println(" ", v)
+			}
+		} else {
+			fmt.Println(" ", res.Violations[0])
+		}
+		return 0
+	}
+	fmt.Printf("not reproduced within %d interleavings (exhausted=%v)\n", *capN, res.Exhausted)
+	return 3
+}

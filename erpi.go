@@ -1,0 +1,294 @@
+// Package erpi is the public API of ER-π, a middleware framework for
+// integration testing of replicated data systems by exhaustive interleaving
+// replay (Mondal & Tilevich, MIDDLEWARE 2025).
+//
+// Applications integrate a replicated data library (RDL) through the
+// replica.State contract, mark the workload segment with Session.Start and
+// Session.End — the paper's higher-order functions — and ER-π:
+//
+//  1. records the RDL calls in the segment as distributed events,
+//  2. generates the exhaustive set of their interleavings,
+//  3. prunes the space with four algorithms (event grouping,
+//     replica-specific, event independence, failed ops),
+//  4. replays every surviving interleaving against checkpointed replica
+//     states, and
+//  5. checks built-in and custom test assertions after each one.
+//
+// Quick start:
+//
+//	sess, _ := erpi.NewSession(newCluster,
+//	    erpi.WithGroups([][]erpi.EventID{{0, 1}}),
+//	    erpi.WithTestedReplicas("M"))
+//	rec := sess.Start()
+//	rec.Update("A", "set.add", "otb")
+//	rec.Sync("A", "B")
+//	// ... the workload under test ...
+//	result, _ := sess.End(erpi.Convergence{})
+//	for _, v := range result.Violations { fmt.Println(v) }
+package erpi
+
+import (
+	"fmt"
+
+	"github.com/er-pi/erpi/internal/check"
+	"github.com/er-pi/erpi/internal/checkpoint"
+	"github.com/er-pi/erpi/internal/constraints"
+	"github.com/er-pi/erpi/internal/datalog"
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/profile"
+	"github.com/er-pi/erpi/internal/prune"
+	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// Core type aliases: the public API surfaces the internal engine types
+// directly so downstream code composes with the same vocabulary as the
+// paper.
+type (
+	// ReplicaID names a replica.
+	ReplicaID = event.ReplicaID
+	// EventID identifies a recorded event.
+	EventID = event.ID
+	// Event is one distributed event.
+	Event = event.Event
+	// Op is an RDL operation.
+	Op = replica.Op
+	// State is the contract an application's replicated state implements.
+	State = replica.State
+	// Cluster is a set of replicas under test.
+	Cluster = replica.Cluster
+	// Recorder captures a workload as events (returned by Session.Start).
+	Recorder = runner.Recorder
+	// Scenario is a recorded workload plus pruning config.
+	Scenario = runner.Scenario
+	// RunConfig tunes one exploration run.
+	RunConfig = runner.Config
+	// Result summarizes an exploration.
+	Result = runner.Result
+	// Outcome is one interleaving's observable result.
+	Outcome = runner.Outcome
+	// Violation is one assertion failure.
+	Violation = runner.Violation
+	// Assertion checks a property after each interleaving.
+	Assertion = runner.Assertion
+	// Mode selects the exploration strategy.
+	Mode = runner.Mode
+	// PruneConfig aggregates pruning inputs.
+	PruneConfig = prune.Config
+	// IndependenceSpec declares mutually independent events (Algorithm 3).
+	IndependenceSpec = prune.IndependenceSpec
+	// FailedOpsSpec declares doomed-op constraints (Algorithm 4).
+	FailedOpsSpec = prune.FailedOpsSpec
+)
+
+// Exploration modes.
+const (
+	// ModeERPi replays the pruned interleaving space.
+	ModeERPi = runner.ModeERPi
+	// ModeDFS is the exhaustive depth-first baseline.
+	ModeDFS = runner.ModeDFS
+	// ModeRand is the random-shuffle baseline.
+	ModeRand = runner.ModeRand
+	// ModeFuzz is the coverage-guided greybox mode (the paper's §8 future
+	// work): order mutations over a corpus of interleavings that produced
+	// novel behaviour.
+	ModeFuzz = runner.ModeFuzz
+)
+
+// Built-in test library (paper §4.4 and the misconception detectors of
+// §6.2).
+type (
+	// Convergence requires all replicas to agree after each interleaving.
+	Convergence = check.Convergence
+	// StateStable requires one replica's state to be identical across
+	// interleavings (misconceptions #1 and #5).
+	StateStable = check.StateStable
+	// ObservationEquals pins an observed value.
+	ObservationEquals = check.ObservationEquals
+	// ObservationStable requires an observation to be order-independent
+	// (misconception #2).
+	ObservationStable = check.ObservationStable
+	// NoDuplicates detects duplicated collection items (misconception #3).
+	NoDuplicates = check.NoDuplicates
+	// NoClash detects colliding generated IDs (misconception #4).
+	NoClash = check.NoClash
+	// NoFailedOps forbids constraint-rejected operations.
+	NoFailedOps = check.NoFailedOps
+	// Custom wraps a user predicate (paper §4.5 custom assertions).
+	Custom = check.Custom
+)
+
+// ErrFailedOp marks an operation rejected by a data type's constraints.
+var ErrFailedOp = replica.ErrFailedOp
+
+// Profiler measures per-exploration resource use (ops, sync bytes,
+// checkpoint traffic) — the paper's §8 resource-profiling extension. Wrap
+// each replica state with Profiler.Wrap and pass the profiler to
+// WithProfiler.
+type Profiler = profile.Profiler
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return profile.New() }
+
+// WithProfiler hooks a profiler into the session's exploration.
+func WithProfiler(p *Profiler) Option {
+	return func(s *Session) { s.cfg.OnOutcome = p.OnOutcome }
+}
+
+// NewCluster builds a replica cluster from per-replica states.
+func NewCluster(states map[ReplicaID]State) *Cluster {
+	return replica.NewCluster(states)
+}
+
+// Run explores a scenario under a config (the scenario-level API; Session
+// provides the Start/End sugar on top).
+func Run(s Scenario, cfg RunConfig) (*Result, error) {
+	return runner.Run(s, cfg)
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithMode selects the exploration strategy (default ModeERPi).
+func WithMode(m Mode) Option { return func(s *Session) { s.cfg.Mode = m } }
+
+// WithMaxInterleavings caps exploration (default 10000, the paper's
+// threshold).
+func WithMaxInterleavings(n int) Option {
+	return func(s *Session) { s.cfg.MaxInterleavings = n }
+}
+
+// WithSeed seeds ModeRand.
+func WithSeed(seed int64) Option { return func(s *Session) { s.cfg.Seed = seed } }
+
+// WithStopOnViolation ends exploration at the first violation.
+func WithStopOnViolation() Option {
+	return func(s *Session) { s.cfg.StopOnViolation = true }
+}
+
+// WithTestedReplicas enables replica-specific pruning for the given
+// replicas — the paper's "ER-π allows specifying the replicas' id as a
+// parameter of higher-order functions".
+func WithTestedReplicas(ids ...ReplicaID) Option {
+	return func(s *Session) {
+		s.pruning.TestedReplicas = append(s.pruning.TestedReplicas, ids...)
+	}
+}
+
+// WithGroups declares developer-specified event groups (Algorithm 1).
+func WithGroups(groups [][]EventID) Option {
+	return func(s *Session) {
+		s.pruning.Grouping.Extra = append(s.pruning.Grouping.Extra, groups...)
+	}
+}
+
+// WithIndependentEvents declares a mutually independent event set
+// (Algorithm 3).
+func WithIndependentEvents(spec IndependenceSpec) Option {
+	return func(s *Session) {
+		s.pruning.IndependentSets = append(s.pruning.IndependentSets, spec)
+	}
+}
+
+// WithFailedOps declares a failed-ops constraint (Algorithm 4).
+func WithFailedOps(spec FailedOpsSpec) Option {
+	return func(s *Session) {
+		s.pruning.FailedOps = append(s.pruning.FailedOps, spec)
+	}
+}
+
+// WithStore persists explored interleavings in a deductive store.
+func WithStore(store *datalog.Store) Option {
+	return func(s *Session) { s.cfg.Store = store }
+}
+
+// WithConstraintsDir polls a directory for JSON constraint files during
+// the run, re-pruning when new constraints appear (paper §5.2).
+func WithConstraintsDir(dir string) Option {
+	return func(s *Session) {
+		poller := constraints.NewPoller(dir)
+		s.cfg.ConstraintPoll = poller.Poll
+	}
+}
+
+// WithJournal persists the recorded log and every explored interleaving
+// under dir, so an interrupted End resumes where it left off (paper §4.2).
+// The directory is created on first use; errors surface from End.
+func WithJournal(dir string) Option {
+	return func(s *Session) { s.journalDir = dir }
+}
+
+// ReplayLive re-executes one interleaving of a scenario with one goroutine
+// per replica, ordered through the given turn-gate factory — the
+// deployment-shaped replay path of §4.3 (see the proxy and lockserver
+// packages for in-process and distributed gates). Most callers want Run or
+// Session.End instead; ReplayLive exists for debugging a single violating
+// interleaving under real concurrency.
+var ReplayLive = runner.ExecuteLive
+
+// Session is the Start/End workflow of the paper's §4.1: a recorded
+// segment boundary plus the replay configuration.
+type Session struct {
+	name       string
+	newCluster func() (*Cluster, error)
+	pruning    PruneConfig
+	cfg        RunConfig
+	journalDir string
+	rec        *Recorder
+}
+
+// NewSession prepares a session over a cluster factory. The factory is
+// called once for recording and once more for replay, so it must produce
+// pristine states each time.
+func NewSession(newCluster func() (*Cluster, error), opts ...Option) (*Session, error) {
+	if newCluster == nil {
+		return nil, fmt.Errorf("erpi: nil cluster factory")
+	}
+	s := &Session{name: "session", newCluster: newCluster}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Start begins recording and returns the recorder the workload drives —
+// the paper's ER-π.Start().
+func (s *Session) Start() (*Recorder, error) {
+	if s.rec != nil {
+		return nil, fmt.Errorf("erpi: session already started")
+	}
+	cluster, err := s.newCluster()
+	if err != nil {
+		return nil, fmt.Errorf("erpi: recording cluster: %w", err)
+	}
+	s.rec = runner.NewRecorder(cluster)
+	return s.rec, nil
+}
+
+// End stops recording, generates and prunes the interleavings, replays
+// them, and checks the assertions — the paper's ER-π.End([tests...]).
+func (s *Session) End(assertions ...Assertion) (*Result, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("erpi: session not started")
+	}
+	log, err := s.rec.Log()
+	s.rec = nil
+	if err != nil {
+		return nil, fmt.Errorf("erpi: recording failed: %w", err)
+	}
+	cfg := s.cfg
+	cfg.Assertions = append(cfg.Assertions, assertions...)
+	if s.journalDir != "" {
+		dir, err := checkpoint.Open(s.journalDir)
+		if err != nil {
+			return nil, fmt.Errorf("erpi: journal: %w", err)
+		}
+		cfg.Journal = dir
+	}
+	return runner.Run(Scenario{
+		Name:       s.name,
+		Log:        log,
+		NewCluster: s.newCluster,
+		Pruning:    s.pruning,
+	}, cfg)
+}

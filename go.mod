@@ -1,0 +1,3 @@
+module github.com/er-pi/erpi
+
+go 1.22

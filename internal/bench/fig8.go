@@ -1,0 +1,221 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6): Table 1 (bug benchmarks), Table 2 (misconception
+// detection), Figure 8a/8b (interleavings and time to reproduce each bug
+// under ER-π, DFS, and Rand), Figure 9 (per-algorithm pruning
+// contributions), and Figure 10 (the succeed-or-crash micro-benchmark).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// Cap is the paper's exploration threshold (§6.3: "we terminated the
+// experiment after exploring 10K interleavings").
+const Cap = 10000
+
+// Fig8Row is one bug × mode measurement.
+type Fig8Row struct {
+	Bug  string
+	Mode runner.Mode
+	// Interleavings is the count explored until the first violation; when
+	// Reproduced is false it is the cap.
+	Interleavings int
+	// Reproduced reports whether the bug was found under the cap.
+	Reproduced bool
+	// Duration is the wall-clock exploration time.
+	Duration time.Duration
+}
+
+// Fig8Result holds the full Figure 8 data set.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// RunFig8 reproduces each Table-1 bug in the three modes of §6.3.
+// maxInterleavings <= 0 uses the paper's 10K cap; seed drives Rand.
+func RunFig8(maxInterleavings int, seed int64, names ...string) (*Fig8Result, error) {
+	if maxInterleavings <= 0 {
+		maxInterleavings = Cap
+	}
+	var selected []*bugs.Benchmark
+	if len(names) == 0 {
+		selected = bugs.All()
+	} else {
+		for _, name := range names {
+			b, ok := bugs.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown bug %q", name)
+			}
+			selected = append(selected, b)
+		}
+	}
+	out := &Fig8Result{}
+	for _, b := range selected {
+		for _, mode := range []runner.Mode{runner.ModeERPi, runner.ModeDFS, runner.ModeRand} {
+			scenario, err := b.Build()
+			if err != nil {
+				return nil, err
+			}
+			asserts, err := b.NewAssertions()
+			if err != nil {
+				return nil, err
+			}
+			res, err := runner.Run(scenario, runner.Config{
+				Mode:             mode,
+				Seed:             seed,
+				MaxInterleavings: maxInterleavings,
+				StopOnViolation:  true,
+				Assertions:       asserts,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", b.Name, mode, err)
+			}
+			row := Fig8Row{
+				Bug:      b.Name,
+				Mode:     mode,
+				Duration: res.Duration,
+			}
+			if res.FirstViolation > 0 {
+				row.Reproduced = true
+				row.Interleavings = res.FirstViolation
+			} else {
+				row.Interleavings = res.Explored
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Aggregates computes the paper's §6.3 summary numbers: the average factor
+// by which ER-π reduces interleavings and time versus DFS and Rand
+// (computed over the bugs every compared mode reproduced).
+type Aggregates struct {
+	InterleavingsVsDFS  float64
+	InterleavingsVsRand float64
+	TimeVsDFS           float64
+	TimeVsRand          float64
+}
+
+// Aggregates derives the §6.3 ratios from the Figure 8 data.
+func (r *Fig8Result) Aggregates() Aggregates {
+	byBug := make(map[string]map[runner.Mode]Fig8Row)
+	for _, row := range r.Rows {
+		if byBug[row.Bug] == nil {
+			byBug[row.Bug] = make(map[runner.Mode]Fig8Row)
+		}
+		byBug[row.Bug][row.Mode] = row
+	}
+	ratio := func(other runner.Mode, time bool) float64 {
+		var sum float64
+		var n int
+		for _, modes := range byBug {
+			erpi, okE := modes[runner.ModeERPi]
+			cmp, okC := modes[other]
+			if !okE || !okC || !erpi.Reproduced {
+				continue
+			}
+			// A mode that failed contributes its cap (a lower bound), as
+			// in the paper's figures.
+			var num, den float64
+			if time {
+				num, den = float64(cmp.Duration), float64(erpi.Duration)
+			} else {
+				num, den = float64(cmp.Interleavings), float64(erpi.Interleavings)
+			}
+			if den <= 0 {
+				continue
+			}
+			sum += num / den
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	return Aggregates{
+		InterleavingsVsDFS:  ratio(runner.ModeDFS, false),
+		InterleavingsVsRand: ratio(runner.ModeRand, false),
+		TimeVsDFS:           ratio(runner.ModeDFS, true),
+		TimeVsRand:          ratio(runner.ModeRand, true),
+	}
+}
+
+// WriteFig8a renders the interleavings-to-reproduce table (log10 noted, as
+// in the paper's figure).
+func (r *Fig8Result) WriteFig8a(w io.Writer) error {
+	return r.write(w, "Figure 8a: interleavings to reproduce each bug (cap 10K, ↑ = not reproduced)",
+		func(row Fig8Row) string {
+			mark := ""
+			if !row.Reproduced {
+				mark = "↑"
+			}
+			return fmt.Sprintf("%d%s (log10=%.2f)", row.Interleavings, mark, log10(row.Interleavings))
+		})
+}
+
+// WriteFig8b renders the time-to-reproduce table.
+func (r *Fig8Result) WriteFig8b(w io.Writer) error {
+	return r.write(w, "Figure 8b: time to reproduce each bug (↑ = not reproduced)",
+		func(row Fig8Row) string {
+			mark := ""
+			if !row.Reproduced {
+				mark = "↑"
+			}
+			return fmt.Sprintf("%v%s", row.Duration.Round(time.Microsecond), mark)
+		})
+}
+
+func (r *Fig8Result) write(w io.Writer, title string, cell func(Fig8Row) string) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Bug\tER-π\tDFS\tRand")
+	byBug := make(map[string]map[runner.Mode]Fig8Row)
+	var order []string
+	for _, row := range r.Rows {
+		if byBug[row.Bug] == nil {
+			byBug[row.Bug] = make(map[runner.Mode]Fig8Row)
+			order = append(order, row.Bug)
+		}
+		byBug[row.Bug][row.Mode] = row
+	}
+	for _, bug := range order {
+		modes := byBug[bug]
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", bug,
+			cell(modes[runner.ModeERPi]), cell(modes[runner.ModeDFS]), cell(modes[runner.ModeRand]))
+	}
+	return tw.Flush()
+}
+
+func log10(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Log10(float64(n))
+}
+
+// Render returns the full Figure 8 report as a string.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	_ = r.WriteFig8a(&b)
+	b.WriteString("\n")
+	_ = r.WriteFig8b(&b)
+	agg := r.Aggregates()
+	fmt.Fprintf(&b, "\nAggregates (paper §6.3: ≈5.6× / ≈7.4× interleavings, ≈2.78× / ≈4.38× time):\n")
+	fmt.Fprintf(&b, "  interleavings vs DFS  %.2fx\n", agg.InterleavingsVsDFS)
+	fmt.Fprintf(&b, "  interleavings vs Rand %.2fx\n", agg.InterleavingsVsRand)
+	fmt.Fprintf(&b, "  time vs DFS           %.2fx\n", agg.TimeVsDFS)
+	fmt.Fprintf(&b, "  time vs Rand          %.2fx\n", agg.TimeVsRand)
+	return b.String()
+}

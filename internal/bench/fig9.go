@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/prune"
+)
+
+// Fig9Row reports one pruning algorithm's individual contribution to the
+// reduction of the interleaving count for one bug benchmark (paper
+// Figure 9). Reduction is (raw n!)/(surviving interleavings); Exact
+// reports whether the surviving count was enumerated or sampled.
+type Fig9Row struct {
+	Bug       string
+	Stage     prune.AblationStage
+	Reduction float64
+	Exact     bool
+}
+
+// RunFig9 measures per-algorithm contributions for every bug benchmark.
+// sampleSize tunes the sampling estimator used for spaces too large to
+// enumerate (default 20000 when <= 0).
+func RunFig9(sampleSize int, seed int64) ([]Fig9Row, error) {
+	if sampleSize <= 0 {
+		sampleSize = 20000
+	}
+	var out []Fig9Row
+	for _, b := range bugs.All() {
+		scenario, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		results, err := prune.Ablate(scenario.Log, scenario.Pruning, sampleSize, seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig9 %s: %w", b.Name, err)
+		}
+		for _, r := range results {
+			out = append(out, Fig9Row{
+				Bug:       b.Name,
+				Stage:     r.Stage,
+				Reduction: r.Reduction,
+				Exact:     r.Count.Exact,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFig9 renders the contribution table (one row per bug, one column
+// per algorithm; blank = the benchmark does not use that algorithm).
+func WriteFig9(w io.Writer, rows []Fig9Row) error {
+	if _, err := fmt.Fprintln(w, "Figure 9: individual algorithm contribution to interleaving reduction (n!/surviving; ~ = sampled)"); err != nil {
+		return err
+	}
+	stages := []prune.AblationStage{
+		prune.StageGrouping, prune.StageReplica, prune.StageIndependence, prune.StageFailedOps,
+	}
+	byBug := make(map[string]map[prune.AblationStage]Fig9Row)
+	var order []string
+	for _, r := range rows {
+		if byBug[r.Bug] == nil {
+			byBug[r.Bug] = make(map[prune.AblationStage]Fig9Row)
+			order = append(order, r.Bug)
+		}
+		// Several filters of the same stage fold into the strongest.
+		if cur, ok := byBug[r.Bug][r.Stage]; !ok || r.Reduction > cur.Reduction {
+			byBug[r.Bug][r.Stage] = r
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Bug\tgrouping\treplica-specific\tindependence\tfailed-ops")
+	for _, bug := range order {
+		line := bug
+		for _, stage := range stages {
+			r, ok := byBug[bug][stage]
+			if !ok {
+				line += "\t—"
+				continue
+			}
+			approx := ""
+			if !r.Exact {
+				approx = "~"
+			}
+			line += fmt.Sprintf("\t%s%.3gx", approx, r.Reduction)
+		}
+		fmt.Fprintln(tw, line)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// FuzzExtRow compares the greybox fuzzing extension against the Rand
+// baseline on one bug and seed.
+type FuzzExtRow struct {
+	Bug  string
+	Seed int64
+	// FuzzAt / RandAt are interleavings-to-reproduce (cap when not
+	// reproduced).
+	FuzzAt, RandAt       int
+	FuzzFound, RandFound bool
+}
+
+// RandHardBugs are the benchmarks the uniform Rand baseline cannot crack
+// within the paper's 10K cap (Figure 8a).
+var RandHardBugs = []string{"Roshi-3", "OrbitDB-4", "OrbitDB-5", "Yorkie-2"}
+
+// RunFuzzExt measures the §8 fuzzing extension on the Rand-hard bugs over
+// `seeds` seeds per bug.
+func RunFuzzExt(seeds int, cap int) ([]FuzzExtRow, error) {
+	if seeds <= 0 {
+		seeds = 3
+	}
+	if cap <= 0 {
+		cap = Cap
+	}
+	var out []FuzzExtRow
+	for _, name := range RandHardBugs {
+		b, ok := bugs.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown bug %q", name)
+		}
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			row := FuzzExtRow{Bug: name, Seed: seed}
+			for _, mode := range []runner.Mode{runner.ModeFuzz, runner.ModeRand} {
+				scenario, err := b.Build()
+				if err != nil {
+					return nil, err
+				}
+				asserts, err := b.NewAssertions()
+				if err != nil {
+					return nil, err
+				}
+				res, err := runner.Run(scenario, runner.Config{
+					Mode:             mode,
+					Seed:             seed,
+					MaxInterleavings: cap,
+					StopOnViolation:  true,
+					Assertions:       asserts,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: fuzzext %s/%s: %w", name, mode, err)
+				}
+				at, found := res.Explored, res.FirstViolation > 0
+				if found {
+					at = res.FirstViolation
+				}
+				if mode == runner.ModeFuzz {
+					row.FuzzAt, row.FuzzFound = at, found
+				} else {
+					row.RandAt, row.RandFound = at, found
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// WriteFuzzExt renders the comparison.
+func WriteFuzzExt(w io.Writer, rows []FuzzExtRow) error {
+	if _, err := fmt.Fprintln(w, "Extension: coverage-guided fuzzing vs Rand on the Rand-hard bugs (↑ = not reproduced)"); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Bug\tSeed\tFuzz\tRand")
+	cell := func(at int, found bool) string {
+		if found {
+			return fmt.Sprintf("%d", at)
+		}
+		return fmt.Sprintf("%d↑", at)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", r.Bug, r.Seed,
+			cell(r.FuzzAt, r.FuzzFound), cell(r.RandAt, r.RandFound))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/miscon"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// Table1Row is one bug-benchmark inventory row plus its reproduction
+// result under ER-π.
+type Table1Row struct {
+	Name       string
+	Issue      int
+	Events     int
+	Status     string
+	Reason     string
+	Reproduced bool
+	// At is the 1-based interleaving index of the reproduction.
+	At int
+}
+
+// RunTable1 regenerates the paper's Table 1, reproducing each bug under
+// ER-π's pruned exploration.
+func RunTable1() ([]Table1Row, error) {
+	var out []Table1Row
+	for _, b := range bugs.All() {
+		scenario, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		asserts, err := b.NewAssertions()
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner.Run(scenario, runner.Config{
+			Mode:            runner.ModeERPi,
+			StopOnViolation: true,
+			Assertions:      asserts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table1 %s: %w", b.Name, err)
+		}
+		out = append(out, Table1Row{
+			Name:       b.Name,
+			Issue:      b.Issue,
+			Events:     b.Events,
+			Status:     b.Status,
+			Reason:     b.Reason,
+			Reproduced: res.FirstViolation > 0,
+			At:         res.FirstViolation,
+		})
+	}
+	return out, nil
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintln(w, "Table 1: bug benchmarks"); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "BugName\tIssue#\t#Events\tStatus\tReason\tReproduced(at)")
+	for _, r := range rows {
+		repro := "no"
+		if r.Reproduced {
+			repro = fmt.Sprintf("yes (#%d)", r.At)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\n",
+			r.Name, r.Issue, r.Events, r.Status, r.Reason, repro)
+	}
+	return tw.Flush()
+}
+
+// Table2Cell is one (subject, misconception) detection result.
+type Table2Cell struct {
+	Subject       string
+	Misconception int
+	Detected      bool
+	At            int
+}
+
+// RunTable2 regenerates the paper's Table 2 by running every covered
+// misconception scenario to first detection.
+func RunTable2() ([]Table2Cell, error) {
+	var out []Table2Cell
+	for _, sc := range miscon.All() {
+		s, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner.Run(s, runner.Config{
+			Mode:             runner.ModeERPi,
+			MaxInterleavings: 2000,
+			StopOnViolation:  true,
+			Assertions:       sc.NewAssertions(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: table2 %s: %w", sc.Name(), err)
+		}
+		out = append(out, Table2Cell{
+			Subject:       sc.Subject,
+			Misconception: sc.Misconception,
+			Detected:      res.FirstViolation > 0,
+			At:            res.FirstViolation,
+		})
+	}
+	return out, nil
+}
+
+// WriteTable2 renders the detection matrix.
+func WriteTable2(w io.Writer, cells []Table2Cell) error {
+	if _, err := fmt.Fprintln(w, "Table 2: recognizing misconceptions with ER-π (✓ = detected)"); err != nil {
+		return err
+	}
+	detected := make(map[string]map[int]bool)
+	for _, c := range cells {
+		if detected[c.Subject] == nil {
+			detected[c.Subject] = make(map[int]bool)
+		}
+		detected[c.Subject][c.Misconception] = c.Detected
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Subject\t#1\t#2\t#3\t#4\t#5")
+	for _, subject := range miscon.Subjects() {
+		row := subject
+		for m := 1; m <= 5; m++ {
+			mark := ""
+			if detected[subject][m] {
+				mark = "✓"
+			}
+			row += "\t" + mark
+		}
+		fmt.Fprintln(tw, row)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,186 @@
+package bugs
+
+import (
+	"testing"
+
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// expectedTable1 pins the paper's Table 1 rows.
+var expectedTable1 = []struct {
+	name   string
+	issue  int
+	events int
+	status string
+	reason string
+}{
+	{"Roshi-1", 18, 9, "closed", "misconception"},
+	{"Roshi-2", 11, 10, "closed", "RDL issue"},
+	{"Roshi-3", 40, 21, "closed", "misconception"},
+	{"OrbitDB-1", 513, 12, "open", "—"},
+	{"OrbitDB-2", 512, 8, "open", "—"},
+	{"OrbitDB-3", 1153, 15, "closed", "misuse"},
+	{"OrbitDB-4", 583, 18, "closed", "misconception"},
+	{"OrbitDB-5", 557, 24, "closed", "misconception"},
+	{"ReplicaDB-1", 79, 10, "closed", "misuse"},
+	{"ReplicaDB-2", 23, 14, "closed", "misconception"},
+	{"Yorkie-1", 676, 17, "open", "—"},
+	{"Yorkie-2", 663, 22, "closed", "misconception"},
+}
+
+func TestTable1Inventory(t *testing.T) {
+	all := All()
+	if len(all) != len(expectedTable1) {
+		t.Fatalf("benchmarks = %d, want %d", len(all), len(expectedTable1))
+	}
+	for i, want := range expectedTable1 {
+		b := all[i]
+		if b.Name != want.name || b.Issue != want.issue || b.Events != want.events ||
+			b.Status != want.status || b.Reason != want.reason {
+			t.Errorf("row %d = %s/#%d/%d/%s/%s, want %s/#%d/%d/%s/%s",
+				i, b.Name, b.Issue, b.Events, b.Status, b.Reason,
+				want.name, want.issue, want.events, want.status, want.reason)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("roshi-2"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByName("NotABug"); ok {
+		t.Fatal("unknown name must miss")
+	}
+}
+
+// TestEventCountsMatchTable1 verifies every workload records exactly the
+// paper's event count and the trigger is a complete permutation.
+func TestEventCountsMatchTable1(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			s, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Log.Len() != b.Events {
+				t.Fatalf("recorded %d events, Table 1 says %d", s.Log.Len(), b.Events)
+			}
+			if len(b.Trigger) != b.Events {
+				t.Fatalf("trigger has %d events, want %d", len(b.Trigger), b.Events)
+			}
+			seen := make(map[int]bool, len(b.Trigger))
+			for _, id := range b.Trigger {
+				if seen[int(id)] || int(id) >= b.Events {
+					t.Fatalf("trigger is not a permutation: %v", b.Trigger)
+				}
+				seen[int(id)] = true
+			}
+		})
+	}
+}
+
+// TestRecordedOrderIsClean verifies the recorded interleaving does NOT
+// match the reported manifestation, so reproduction genuinely requires
+// exploring reorderings.
+func TestRecordedOrderIsClean(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			s, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			reported, err := b.ReportedSignature()
+			if err != nil {
+				t.Fatal(err)
+			}
+			recorded := make(interleave.Interleaving, s.Log.Len())
+			for i := range recorded {
+				recorded[i] = s.Log.IDs()[i]
+			}
+			outcome, err := runner.ExecuteOnce(s, recorded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.Sig(outcome); got == reported {
+				t.Fatalf("recorded order already produces the reported manifestation: %s", got)
+			}
+		})
+	}
+}
+
+// TestERPiReproducesEveryBug is the paper's RQ1 in miniature: ER-π's
+// pruned exploration reproduces all twelve manifestations within the 10K
+// cap.
+func TestERPiReproducesEveryBug(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			s, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			asserts, err := b.NewAssertions()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := runner.Run(s, runner.Config{
+				Mode:            runner.ModeERPi,
+				StopOnViolation: true,
+				Assertions:      asserts,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FirstViolation == 0 {
+				t.Fatalf("bug not reproduced in %d interleavings (exhausted=%v)", res.Explored, res.Exhausted)
+			}
+			t.Logf("reproduced at interleaving %d", res.FirstViolation)
+		})
+	}
+}
+
+// TestFixedSubjectsNeverMatch replays each workload against the corrected
+// subject: the reported manifestation must be unreachable, so reproducing
+// it really requires the defect.
+func TestFixedSubjectsNeverMatch(t *testing.T) {
+	const sample = 400
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			asserts, err := b.NewAssertions()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := b.BuildFixed()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The trigger order itself must not manifest on the fix.
+			outcome, err := runner.ExecuteOnce(s, interleave.Interleaving(b.Trigger))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reported, _ := b.ReportedSignature()
+			if b.Sig(outcome) == reported {
+				t.Fatal("trigger order manifests on the corrected subject")
+			}
+			for _, mode := range []runner.Mode{runner.ModeERPi, runner.ModeRand} {
+				res, err := runner.Run(s, runner.Config{
+					Mode:             mode,
+					Seed:             99,
+					MaxInterleavings: sample,
+					Assertions:       asserts,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Violations) != 0 {
+					t.Fatalf("%s: manifestation reproduced on corrected subject: %v", mode, res.Violations[0])
+				}
+			}
+		})
+	}
+}

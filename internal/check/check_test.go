@@ -1,0 +1,167 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+func outcome(fps map[event.ReplicaID]string, obs map[event.ID]string) *runner.Outcome {
+	converged := true
+	var first string
+	started := false
+	for _, fp := range fps {
+		if !started {
+			first, started = fp, true
+			continue
+		}
+		if fp != first {
+			converged = false
+		}
+	}
+	return &runner.Outcome{
+		Index:        1,
+		Interleaving: interleave.Interleaving{0, 1},
+		Fingerprints: fps,
+		Observations: obs,
+		Converged:    converged,
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	a := Convergence{}
+	if err := a.Check(outcome(map[event.ReplicaID]string{"A": "x", "B": "x"}, nil)); err != nil {
+		t.Fatalf("converged outcome flagged: %v", err)
+	}
+	err := a.Check(outcome(map[event.ReplicaID]string{"A": "x", "B": "y"}, nil))
+	if err == nil {
+		t.Fatal("diverged outcome must be flagged")
+	}
+	if !strings.Contains(err.Error(), `A="x"`) || !strings.Contains(err.Error(), `B="y"`) {
+		t.Fatalf("error must render fingerprints: %v", err)
+	}
+}
+
+func TestStateStableAcrossInterleavings(t *testing.T) {
+	a := &StateStable{Replica: "A"}
+	if err := a.Check(outcome(map[event.ReplicaID]string{"A": "s1"}, nil)); err != nil {
+		t.Fatalf("first outcome must pass: %v", err)
+	}
+	if err := a.Check(outcome(map[event.ReplicaID]string{"A": "s1"}, nil)); err != nil {
+		t.Fatalf("same state must pass: %v", err)
+	}
+	if err := a.Check(outcome(map[event.ReplicaID]string{"A": "s2"}, nil)); err == nil {
+		t.Fatal("changed state across interleavings must be flagged (misconception #1/#5)")
+	}
+	if err := a.Check(outcome(map[event.ReplicaID]string{"B": "s1"}, nil)); err == nil {
+		t.Fatal("missing replica must be flagged")
+	}
+}
+
+func TestObservationEquals(t *testing.T) {
+	a := ObservationEquals{Event: 3, Want: "ph"}
+	if err := a.Check(outcome(nil, map[event.ID]string{3: "ph"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(outcome(nil, map[event.ID]string{3: "otb,ph"})); err == nil {
+		t.Fatal("wrong observation must be flagged")
+	}
+	if err := a.Check(outcome(nil, nil)); err == nil {
+		t.Fatal("missing observation must be flagged")
+	}
+}
+
+func TestObservationStable(t *testing.T) {
+	a := &ObservationStable{Event: 1}
+	if err := a.Check(outcome(nil, map[event.ID]string{1: "v"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(outcome(nil, map[event.ID]string{1: "v"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(outcome(nil, map[event.ID]string{1: "w"})); err == nil {
+		t.Fatal("unstable observation must be flagged (misconception #2)")
+	}
+}
+
+func TestNoDuplicates(t *testing.T) {
+	a := NoDuplicates{Event: 2}
+	if err := a.Check(outcome(nil, map[event.ID]string{2: "a,b,c"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(outcome(nil, map[event.ID]string{2: "a,b,a"})); err == nil {
+		t.Fatal("duplicate must be flagged (misconception #3)")
+	}
+	if err := a.Check(outcome(nil, map[event.ID]string{2: ""})); err != nil {
+		t.Fatalf("empty list has no duplicates: %v", err)
+	}
+	if err := a.Check(outcome(nil, nil)); err != nil {
+		t.Fatalf("missing observation has nothing to duplicate: %v", err)
+	}
+	b := NoDuplicates{Event: 2, Sep: "|"}
+	if err := b.Check(outcome(nil, map[event.ID]string{2: "x|x"})); err == nil {
+		t.Fatal("custom separator duplicates must be flagged")
+	}
+}
+
+func TestNoClash(t *testing.T) {
+	a := NoClash{EventA: 1, EventB: 2}
+	if err := a.Check(outcome(nil, map[event.ID]string{1: "id5", 2: "id6"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(outcome(nil, map[event.ID]string{1: "id5", 2: "id5"})); err == nil {
+		t.Fatal("ID clash must be flagged (misconception #4)")
+	}
+	if err := a.Check(outcome(nil, map[event.ID]string{1: "id5"})); err == nil {
+		t.Fatal("missing observation must be flagged")
+	}
+}
+
+func TestNoFailedOps(t *testing.T) {
+	a := NoFailedOps{}
+	o := outcome(nil, nil)
+	if err := a.Check(o); err != nil {
+		t.Fatal(err)
+	}
+	o.FailedOps = []event.ID{4}
+	if err := a.Check(o); err == nil {
+		t.Fatal("failed op must be flagged")
+	}
+}
+
+func TestCustom(t *testing.T) {
+	called := false
+	a := Custom{Label: "mine", Fn: func(o *runner.Outcome) error {
+		called = true
+		return nil
+	}}
+	if a.Name() != "mine" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if err := a.Check(outcome(nil, nil)); err != nil || !called {
+		t.Fatal("custom fn must run")
+	}
+	if (Custom{}).Name() != "custom" {
+		t.Fatal("default label")
+	}
+}
+
+func TestAssertionNames(t *testing.T) {
+	names := map[string]runner.Assertion{
+		"convergence":             Convergence{},
+		"state-stable(A)":         &StateStable{Replica: "A"},
+		`observation(ev1)=="x"`:   ObservationEquals{Event: 1, Want: "x"},
+		"observation-stable(ev2)": &ObservationStable{Event: 2},
+		"no-duplicates(ev3)":      NoDuplicates{Event: 3},
+		"no-clash(ev1,ev2)":       NoClash{EventA: 1, EventB: 2},
+		"no-failed-ops":           NoFailedOps{},
+	}
+	for want, a := range names {
+		if got := a.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package checkpoint persists recorded event logs, generated interleavings,
+// and exploration progress to disk (paper §4.2: "having generated all
+// possible interleavings, ER-π persists them in a database"), so that an
+// interrupted session resumes without regenerating or re-exploring.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// Dir is an on-disk session directory.
+type Dir struct {
+	path string
+}
+
+// Open creates (if needed) and opens a session directory.
+func Open(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create %s: %w", path, err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// SaveLog persists the recorded event log.
+func (d *Dir) SaveLog(log *event.Log) error {
+	data, err := json.MarshalIndent(log.Events(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal log: %w", err)
+	}
+	return d.writeFile("events.json", data)
+}
+
+// LoadLog restores a recorded event log.
+func (d *Dir) LoadLog() (*event.Log, error) {
+	data, err := os.ReadFile(filepath.Join(d.path, "events.json"))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read log: %w", err)
+	}
+	var events []event.Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("checkpoint: parse log: %w", err)
+	}
+	log, err := event.NewLog(events)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: rebuild log: %w", err)
+	}
+	return log, nil
+}
+
+// AppendExplored records an explored interleaving key in the progress
+// journal (append-only, one key per line).
+func (d *Dir) AppendExplored(il interleave.Interleaving) error {
+	f, err := os.OpenFile(filepath.Join(d.path, "explored.log"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open journal: %w", err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, il.Key()); err != nil {
+		return fmt.Errorf("checkpoint: append journal: %w", err)
+	}
+	return f.Sync()
+}
+
+// LoadExplored returns the set of explored interleaving keys.
+func (d *Dir) LoadExplored() (map[string]bool, error) {
+	out := make(map[string]bool)
+	f, err := os.Open(filepath.Join(d.path, "explored.log"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, fmt.Errorf("checkpoint: open journal: %w", err)
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		if line := scanner.Text(); line != "" {
+			out[line] = true
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: scan journal: %w", err)
+	}
+	return out, nil
+}
+
+// SaveSnapshot persists a replica state snapshot under a name.
+func (d *Dir) SaveSnapshot(name string, snapshot []byte) error {
+	return d.writeFile("state-"+name+".snap", snapshot)
+}
+
+// LoadSnapshot restores a named replica snapshot.
+func (d *Dir) LoadSnapshot(name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(d.path, "state-"+name+".snap"))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read snapshot %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// writeFile writes atomically via a temp file + rename.
+func (d *Dir) writeFile(name string, data []byte) error {
+	tmp, err := os.CreateTemp(d.path, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(d.path, name)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename %s: %w", name, err)
+	}
+	return nil
+}

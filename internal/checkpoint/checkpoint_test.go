@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+func openDir(t *testing.T) *Dir {
+	t.Helper()
+	d, err := Open(filepath.Join(t.TempDir(), "session"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSaveLoadLog(t *testing.T) {
+	d := openDir(t)
+	log, err := event.NewLog([]event.Event{
+		{Kind: event.Update, Replica: "A", Op: "add", Args: []string{"x"}},
+		{Kind: event.SyncExec, Replica: "B", From: "A", To: "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveLog(log); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := d.LoadLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d events", loaded.Len())
+	}
+	ev := loaded.Event(0)
+	if ev.Op != "add" || ev.Args[0] != "x" || ev.Replica != "A" {
+		t.Fatalf("event mangled: %+v", ev)
+	}
+}
+
+func TestLoadLogMissing(t *testing.T) {
+	d := openDir(t)
+	if _, err := d.LoadLog(); err == nil {
+		t.Fatal("missing log must error")
+	}
+}
+
+func TestExploredJournal(t *testing.T) {
+	d := openDir(t)
+	seen, err := d.LoadExplored()
+	if err != nil || len(seen) != 0 {
+		t.Fatalf("fresh journal: %v %v", seen, err)
+	}
+	ils := []interleave.Interleaving{{0, 1, 2}, {2, 1, 0}}
+	for _, il := range ils {
+		if err := d.AppendExplored(il); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen, err = d.LoadExplored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || !seen["0,1,2"] || !seen["2,1,0"] {
+		t.Fatalf("journal = %v", seen)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := openDir(t)
+	if err := d.SaveSnapshot("A", []byte("state-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.LoadSnapshot("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state-bytes" {
+		t.Fatalf("snapshot = %q", got)
+	}
+	if _, err := d.LoadSnapshot("missing"); err == nil {
+		t.Fatal("missing snapshot must error")
+	}
+}
+
+func TestOpenCreatesNestedDir(t *testing.T) {
+	base := t.TempDir()
+	d, err := Open(filepath.Join(base, "a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Path() == "" {
+		t.Fatal("empty path")
+	}
+	if err := d.SaveSnapshot("x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package constraints loads developer-provided pruning constraints from a
+// directory of JSON files, the runtime channel of the paper's §5.2: "ER-π
+// periodically checks for the presence of JSON files in the constraints
+// directory. If found, ER-π then consults the files for the new constraints
+// to apply, thus further reducing the problem space."
+package constraints
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/prune"
+)
+
+// File is the JSON schema of one constraints file.
+type File struct {
+	// Groups lists extra event groups (Algorithm 1 spec_group).
+	Groups [][]event.ID `json:"groups,omitempty"`
+	// TestedReplicas enables replica-specific pruning (Algorithm 2).
+	TestedReplicas []event.ReplicaID `json:"tested_replicas,omitempty"`
+	// IndependentSets enables event-independence pruning (Algorithm 3).
+	IndependentSets []prune.IndependenceSpec `json:"independent_sets,omitempty"`
+	// FailedOps enables failed-ops pruning (Algorithm 4).
+	FailedOps []prune.FailedOpsSpec `json:"failed_ops,omitempty"`
+}
+
+// ToConfig converts the file into a pruning config fragment.
+func (f File) ToConfig() prune.Config {
+	return prune.Config{
+		Grouping:        prune.GroupSpec{Extra: f.Groups},
+		TestedReplicas:  f.TestedReplicas,
+		IndependentSets: f.IndependentSets,
+		FailedOps:       f.FailedOps,
+	}
+}
+
+// Poller watches a directory for constraint files.
+type Poller struct {
+	dir  string
+	seen map[string]bool
+}
+
+// NewPoller builds a poller over dir (which need not exist yet).
+func NewPoller(dir string) *Poller {
+	return &Poller{dir: dir, seen: make(map[string]bool)}
+}
+
+// Poll returns the pruning config merged from any *.json files that
+// appeared since the last poll, and whether anything new was found.
+func (p *Poller) Poll() (prune.Config, bool, error) {
+	var merged prune.Config
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return merged, false, nil
+		}
+		return merged, false, fmt.Errorf("constraints: read dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	found := false
+	for _, name := range names {
+		if p.seen[name] {
+			continue
+		}
+		path := filepath.Join(p.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return merged, found, fmt.Errorf("constraints: read %s: %w", name, err)
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			return merged, found, fmt.Errorf("constraints: parse %s: %w", name, err)
+		}
+		merged.Merge(f.ToConfig())
+		p.seen[name] = true
+		found = true
+	}
+	return merged, found, nil
+}
+
+// Write serializes a constraints file into dir (creating it), for tools
+// and tests that produce constraints programmatically.
+func Write(dir, name string, f File) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("constraints: mkdir: %w", err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("constraints: marshal: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("constraints: write %s: %w", path, err)
+	}
+	return nil
+}

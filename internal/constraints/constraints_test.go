@@ -1,0 +1,107 @@
+package constraints
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/prune"
+)
+
+func TestPollMissingDir(t *testing.T) {
+	p := NewPoller(filepath.Join(t.TempDir(), "nope"))
+	_, found, err := p.Poll()
+	if err != nil || found {
+		t.Fatalf("missing dir must be quiet: %v %v", found, err)
+	}
+}
+
+func TestWriteAndPoll(t *testing.T) {
+	dir := t.TempDir()
+	file := File{
+		Groups:         [][]event.ID{{0, 1}},
+		TestedReplicas: []event.ReplicaID{"B"},
+		IndependentSets: []prune.IndependenceSpec{
+			{Events: []event.ID{2, 3}, NonInterfering: []event.ID{4}},
+		},
+		FailedOps: []prune.FailedOpsSpec{
+			{Predecessors: []event.ID{0}, Successors: []event.ID{5}},
+		},
+	}
+	if err := Write(dir, "c1.json", file); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(dir)
+	cfg, found, err := p.Poll()
+	if err != nil || !found {
+		t.Fatalf("poll: %v %v", found, err)
+	}
+	if len(cfg.Grouping.Extra) != 1 || len(cfg.TestedReplicas) != 1 ||
+		len(cfg.IndependentSets) != 1 || len(cfg.FailedOps) != 1 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if cfg.IndependentSets[0].NonInterfering[0] != 4 {
+		t.Fatal("non-interfering lost")
+	}
+	// Second poll sees nothing new.
+	_, found, err = p.Poll()
+	if err != nil || found {
+		t.Fatalf("re-poll must be quiet: %v %v", found, err)
+	}
+	// A new file is picked up.
+	if err := Write(dir, "c2.json", File{TestedReplicas: []event.ReplicaID{"C"}}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, found, err = p.Poll()
+	if err != nil || !found {
+		t.Fatalf("poll after new file: %v %v", found, err)
+	}
+	if len(cfg.TestedReplicas) != 1 || cfg.TestedReplicas[0] != "C" {
+		t.Fatalf("second config = %+v", cfg)
+	}
+}
+
+func TestPollIgnoresNonJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(dir)
+	_, found, err := p.Poll()
+	if err != nil || found {
+		t.Fatalf("non-json content must be ignored: %v %v", found, err)
+	}
+}
+
+func TestPollMalformedJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(dir)
+	if _, _, err := p.Poll(); err == nil {
+		t.Fatal("malformed json must error")
+	}
+}
+
+func TestFilesMergeInNameOrder(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, "b.json", File{TestedReplicas: []event.ReplicaID{"B"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(dir, "a.json", File{TestedReplicas: []event.ReplicaID{"A"}}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPoller(dir)
+	cfg, _, err := p.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.TestedReplicas) != 2 || cfg.TestedReplicas[0] != "A" || cfg.TestedReplicas[1] != "B" {
+		t.Fatalf("merge order = %v", cfg.TestedReplicas)
+	}
+}

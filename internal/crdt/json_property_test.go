@@ -1,0 +1,141 @@
+package crdt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// jsonOp is one randomized document operation with a fixed stamp, so the
+// same multiset of ops can be applied in different orders.
+type jsonOp struct {
+	kind  int // 0 set, 1 setObject, 2 delete
+	path  []string
+	value string
+	stamp Time
+}
+
+func randomJSONOps(rng *rand.Rand, n int) []jsonOp {
+	ops := make([]jsonOp, n)
+	for i := range ops {
+		var path []string
+		for d := 0; d <= rng.Intn(3); d++ {
+			path = append(path, string(rune('a'+rng.Intn(3))))
+		}
+		ops[i] = jsonOp{
+			kind:  rng.Intn(3),
+			path:  path,
+			value: string(rune('x' + rng.Intn(3))),
+			stamp: Time{Counter: uint64(i + 1), Replica: string(rune('A' + rng.Intn(3)))},
+		}
+	}
+	return ops
+}
+
+func applyJSONOp(d *JSONDoc, op jsonOp) {
+	switch op.kind {
+	case 0:
+		_ = d.Set(op.path, op.value, op.stamp)
+	case 1:
+		_ = d.SetObject(op.path, op.stamp)
+	default:
+		_ = d.Delete(op.path, op.stamp)
+	}
+}
+
+// TestJSONDocOpOrderIndependence is the property the op-based Yorkie
+// subject needs: applying the same set of stamped operations in ANY order
+// yields the same document state. (LWW-with-subtree-replacement designs
+// fail this; the stamp-component design must not.)
+func TestJSONDocOpOrderIndependence(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomJSONOps(rng, 12)
+
+		a := NewJSONDoc()
+		for _, op := range ops {
+			applyJSONOp(a, op)
+		}
+
+		shuffled := make([]jsonOp, len(ops))
+		copy(shuffled, ops)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := NewJSONDoc()
+		for _, op := range shuffled {
+			applyJSONOp(b, op)
+		}
+
+		if !a.Equal(b) {
+			t.Fatalf("seed %d: op order changed the state:\n%s\nvs\n%s",
+				seed, a.Snapshot(), b.Snapshot())
+		}
+	}
+}
+
+// TestJSONDocOpsCommuteWithMerge: applying half the ops at each of two
+// replicas and merging both ways equals applying everything at one
+// replica — op-based and state-based propagation agree.
+func TestJSONDocOpsCommuteWithMerge(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		ops := randomJSONOps(rng, 10)
+
+		all := NewJSONDoc()
+		for _, op := range ops {
+			applyJSONOp(all, op)
+		}
+
+		left, right := NewJSONDoc(), NewJSONDoc()
+		for i, op := range ops {
+			if i%2 == 0 {
+				applyJSONOp(left, op)
+			} else {
+				applyJSONOp(right, op)
+			}
+		}
+		left.Merge(right)
+		right.Merge(left)
+
+		if !left.Equal(right) {
+			t.Fatalf("seed %d: merge not symmetric", seed)
+		}
+		if !left.Equal(all) {
+			t.Fatalf("seed %d: merged state differs from sequential application:\n%s\nvs\n%s",
+				seed, left.Snapshot(), all.Snapshot())
+		}
+	}
+}
+
+// TestJSONDocDeleteResurrection: a delete hides an entry, and a newer
+// write beneath it resurrects the path, in either application order.
+func TestJSONDocDeleteResurrection(t *testing.T) {
+	del := jsonOp{kind: 2, path: []string{"a"}, stamp: ts(5, "B")}
+	child := jsonOp{kind: 0, path: []string{"a", "c"}, value: "v", stamp: ts(7, "A")}
+
+	x := NewJSONDoc()
+	applyJSONOp(x, del)
+	applyJSONOp(x, child)
+	y := NewJSONDoc()
+	applyJSONOp(y, child)
+	applyJSONOp(y, del)
+
+	if !x.Equal(y) {
+		t.Fatalf("delete/write order changed state: %s vs %s", x.Snapshot(), y.Snapshot())
+	}
+	if v, ok := x.Get([]string{"a", "c"}); !ok || v != "v" {
+		t.Fatalf("newer child write must resurrect the path, got %q %v (%s)", v, ok, x.Snapshot())
+	}
+	// An older child write stays hidden under the delete.
+	oldChild := jsonOp{kind: 0, path: []string{"b", "c"}, value: "v", stamp: ts(3, "A")}
+	oldDel := jsonOp{kind: 2, path: []string{"b"}, stamp: ts(9, "B")}
+	z := NewJSONDoc()
+	applyJSONOp(z, oldChild)
+	applyJSONOp(z, oldDel)
+	if _, ok := z.Get([]string{"b", "c"}); ok {
+		t.Fatal("entry under a newer delete must be hidden")
+	}
+	if keys := z.Keys([]string{"b"}); keys != nil {
+		t.Fatalf("deleted object must not render keys, got %v", keys)
+	}
+}

@@ -1,0 +1,270 @@
+package crdt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ts(c uint64, r string) Time { return Time{Counter: c, Replica: r} }
+
+func TestLWWSetBasic(t *testing.T) {
+	s := NewLWWSet(BiasAdd)
+	if !s.Add("x", ts(1, "A")) {
+		t.Fatal("fresh add must take effect")
+	}
+	if s.Add("x", ts(1, "A")) {
+		t.Fatal("same-stamp add is stale")
+	}
+	if !s.Contains("x") {
+		t.Fatal("x must be live")
+	}
+	if !s.Remove("x", ts(2, "A")) {
+		t.Fatal("newer remove must take effect")
+	}
+	if s.Contains("x") {
+		t.Fatal("x must be dead after newer remove")
+	}
+	if !s.Deleted("x") {
+		t.Fatal("x must report deleted (Roshi #18 field)")
+	}
+	if s.Deleted("never-seen") {
+		t.Fatal("unknown element is not deleted")
+	}
+}
+
+func TestLWWSetStaleOpsIgnored(t *testing.T) {
+	s := NewLWWSet(BiasAdd)
+	s.Add("x", ts(5, "A"))
+	if s.Add("x", ts(3, "B")) {
+		t.Fatal("older add must be ignored")
+	}
+	s.Remove("x", ts(4, "B"))
+	if !s.Contains("x") {
+		t.Fatal("older remove must not kill a newer add")
+	}
+}
+
+func TestLWWSetTieBias(t *testing.T) {
+	addWins := NewLWWSet(BiasAdd)
+	addWins.Add("x", ts(7, "A"))
+	addWins.Remove("x", ts(7, "A"))
+	if !addWins.Contains("x") {
+		t.Fatal("BiasAdd: element must survive an exact tie")
+	}
+	remWins := NewLWWSet(BiasRemove)
+	remWins.Add("x", ts(7, "A"))
+	remWins.Remove("x", ts(7, "A"))
+	if remWins.Contains("x") {
+		t.Fatal("BiasRemove: element must die on an exact tie")
+	}
+}
+
+func TestLWWSetTimes(t *testing.T) {
+	s := NewLWWSet(BiasAdd)
+	s.Add("x", ts(3, "A"))
+	s.Remove("x", ts(9, "B"))
+	at, ok := s.AddTime("x")
+	if !ok || at != ts(3, "A") {
+		t.Fatalf("AddTime = %v %v", at, ok)
+	}
+	rt, ok := s.RemoveTime("x")
+	if !ok || rt != ts(9, "B") {
+		t.Fatalf("RemoveTime = %v %v", rt, ok)
+	}
+	if _, ok := s.AddTime("ghost"); ok {
+		t.Fatal("AddTime of unknown element")
+	}
+}
+
+func TestLWWSetMergeCommutes(t *testing.T) {
+	mk := func() (*LWWSet, *LWWSet) {
+		a := NewLWWSet(BiasAdd)
+		b := NewLWWSet(BiasAdd)
+		a.Add("x", ts(1, "A"))
+		a.Remove("y", ts(4, "A"))
+		b.Add("y", ts(3, "B"))
+		b.Add("x", ts(2, "B"))
+		b.Remove("x", ts(5, "B"))
+		return a, b
+	}
+	a1, b1 := mk()
+	a1.Merge(b1)
+	a2, b2 := mk()
+	b2.Merge(a2)
+	if !a1.Equal(b2) {
+		t.Fatal("LWW merge must be commutative")
+	}
+	if a1.Contains("x") {
+		t.Fatal("newest op for x is a remove at t=5")
+	}
+	if a1.Contains("y") {
+		t.Fatal("newest op for y is a remove at t=4")
+	}
+}
+
+// TestLWWSetConvergenceProperty: random op histories distributed over two
+// replicas converge regardless of merge order — the eventual-consistency
+// guarantee the paper's RDLs provide.
+func TestLWWSetConvergenceProperty(t *testing.T) {
+	f := func(ops []struct {
+		Replica byte
+		Add     bool
+		Elem    uint8
+		Stamp   uint8
+	}) bool {
+		a, b := NewLWWSet(BiasAdd), NewLWWSet(BiasAdd)
+		for _, o := range ops {
+			r, target := "A", a
+			if o.Replica%2 == 1 {
+				r, target = "B", b
+			}
+			elem := string(rune('a' + o.Elem%4))
+			stamp := ts(uint64(o.Stamp), r)
+			if o.Add {
+				target.Add(elem, stamp)
+			} else {
+				target.Remove(elem, stamp)
+			}
+		}
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		again := ab.Clone()
+		again.Merge(b)
+		return again.Equal(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLWWRegister(t *testing.T) {
+	r := NewLWWRegister()
+	if _, set := r.Get(); set {
+		t.Fatal("fresh register must be unset")
+	}
+	if !r.Set("v1", ts(1, "A")) {
+		t.Fatal("first set must win")
+	}
+	if r.Set("v0", ts(1, "A")) {
+		t.Fatal("equal-stamp set is stale")
+	}
+	if !r.Set("v2", ts(2, "B")) {
+		t.Fatal("newer set must win")
+	}
+	v, _ := r.Get()
+	if v != "v2" || r.Stamp() != ts(2, "B") {
+		t.Fatalf("Get = %q stamp %v", v, r.Stamp())
+	}
+	other := NewLWWRegister()
+	other.Set("v3", ts(9, "A"))
+	r.Merge(other)
+	if v, _ := r.Get(); v != "v3" {
+		t.Fatal("merge must adopt newer write")
+	}
+	if !r.Equal(r.Clone()) {
+		t.Fatal("Equal(clone) must hold")
+	}
+}
+
+func TestMVRegisterConcurrentWritesSurvive(t *testing.T) {
+	r := NewMVRegister()
+	r.Set("a", map[string]uint64{"A": 1})
+	r.Set("b", map[string]uint64{"B": 1}) // concurrent with "a"
+	vals := r.Values()
+	if len(vals) != 2 {
+		t.Fatalf("Values = %v, want both concurrent writes", vals)
+	}
+	// A dominating write replaces both.
+	r.Set("c", map[string]uint64{"A": 2, "B": 2})
+	vals = r.Values()
+	if len(vals) != 1 || vals[0] != "c" {
+		t.Fatalf("Values = %v, want [c]", vals)
+	}
+}
+
+func TestMVRegisterMergeCommutes(t *testing.T) {
+	mk := func() (*MVRegister, *MVRegister) {
+		a, b := NewMVRegister(), NewMVRegister()
+		a.Set("x", map[string]uint64{"A": 1})
+		b.Set("y", map[string]uint64{"B": 1})
+		return a, b
+	}
+	a1, b1 := mk()
+	a1.Merge(b1)
+	a2, b2 := mk()
+	b2.Merge(a2)
+	if !a1.Equal(b2) {
+		t.Fatalf("MV merge not commutative: %v vs %v", a1.Values(), b2.Values())
+	}
+	if len(a1.Values()) != 2 {
+		t.Fatalf("concurrent values = %v, want 2", a1.Values())
+	}
+}
+
+func TestMVRegisterMergeDominated(t *testing.T) {
+	a, b := NewMVRegister(), NewMVRegister()
+	a.Set("old", map[string]uint64{"A": 1})
+	b.Set("new", map[string]uint64{"A": 2})
+	a.Merge(b)
+	vals := a.Values()
+	if len(vals) != 1 || vals[0] != "new" {
+		t.Fatalf("dominated value must vanish, got %v", vals)
+	}
+}
+
+func TestORMapBasics(t *testing.T) {
+	m := NewORMap()
+	if !m.Put("k", "v1", ts(1, "A")) {
+		t.Fatal("fresh put must win")
+	}
+	if m.Put("k", "v0", ts(1, "A")) {
+		t.Fatal("stale put must lose")
+	}
+	v, ok := m.Get("k")
+	if !ok || v != "v1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if !m.Remove("k", ts(2, "A")) {
+		t.Fatal("remove of live key must succeed")
+	}
+	if m.Remove("k", ts(3, "A")) {
+		t.Fatal("remove of dead key is a failed op")
+	}
+	if m.Contains("k") {
+		t.Fatal("removed key still live")
+	}
+	// A newer put resurrects the key.
+	m.Put("k", "v2", ts(5, "B"))
+	if !m.Contains("k") {
+		t.Fatal("newer put must beat older remove")
+	}
+	if m.Len() != 1 || m.Keys()[0] != "k" {
+		t.Fatalf("Keys = %v", m.Keys())
+	}
+}
+
+func TestORMapMergeCommutes(t *testing.T) {
+	mk := func() (*ORMap, *ORMap) {
+		a, b := NewORMap(), NewORMap()
+		a.Put("x", "ax", ts(1, "A"))
+		a.Remove("x", ts(2, "A"))
+		b.Put("x", "bx", ts(3, "B"))
+		b.Put("y", "by", ts(1, "B"))
+		return a, b
+	}
+	a1, b1 := mk()
+	a1.Merge(b1)
+	a2, b2 := mk()
+	b2.Merge(a2)
+	if !a1.Equal(b2) {
+		t.Fatal("ORMap merge must be commutative")
+	}
+	if v, _ := a1.Get("x"); v != "bx" {
+		t.Fatalf("x = %q, want bx (newest put)", v)
+	}
+}

@@ -1,0 +1,317 @@
+package crdt
+
+import "sort"
+
+// Bias selects the winner when an add and a remove of the same element
+// carry exactly equal timestamps.
+type Bias int
+
+// Tie-break biases.
+const (
+	// BiasAdd keeps the element on a timestamp tie (the documented Roshi
+	// resolution after issue #11).
+	BiasAdd Bias = iota + 1
+	// BiasRemove drops the element on a tie.
+	BiasRemove
+)
+
+// LWWSet is a last-write-wins element set (Roshi's CRDT): every element
+// carries the timestamps of its latest add and latest remove; the element
+// is present iff the add is newer (subject to Bias on exact ties).
+type LWWSet struct {
+	bias Bias
+	adds map[string]Time
+	rems map[string]Time
+}
+
+// NewLWWSet returns an empty LWW set with the given tie bias.
+func NewLWWSet(bias Bias) *LWWSet {
+	return &LWWSet{
+		bias: bias,
+		adds: make(map[string]Time),
+		rems: make(map[string]Time),
+	}
+}
+
+// Add records an add of elem at time t. Stale adds (older than the current
+// add time) are ignored, which keeps the op idempotent and commutative.
+// Returns whether the add took effect.
+func (s *LWWSet) Add(elem string, t Time) bool {
+	if cur, ok := s.adds[elem]; ok && !cur.Less(t) {
+		return false
+	}
+	s.adds[elem] = t
+	return true
+}
+
+// Remove records a remove of elem at time t. Returns whether it took
+// effect.
+func (s *LWWSet) Remove(elem string, t Time) bool {
+	if cur, ok := s.rems[elem]; ok && !cur.Less(t) {
+		return false
+	}
+	s.rems[elem] = t
+	return true
+}
+
+// Contains reports live membership under LWW resolution.
+func (s *LWWSet) Contains(elem string) bool {
+	add, hasAdd := s.adds[elem]
+	if !hasAdd {
+		return false
+	}
+	rem, hasRem := s.rems[elem]
+	if !hasRem {
+		return true
+	}
+	if add.Equal(rem) {
+		return s.bias == BiasAdd
+	}
+	return rem.Less(add)
+}
+
+// Deleted reports whether elem is currently tombstoned (known but not
+// live). This is the "deleted" response field of Roshi issue #18.
+func (s *LWWSet) Deleted(elem string) bool {
+	_, known := s.adds[elem]
+	if !known {
+		_, known = s.rems[elem]
+	}
+	return known && !s.Contains(elem)
+}
+
+// AddTime returns the latest add timestamp for elem.
+func (s *LWWSet) AddTime(elem string) (Time, bool) {
+	t, ok := s.adds[elem]
+	return t, ok
+}
+
+// RemoveTime returns the latest remove timestamp for elem.
+func (s *LWWSet) RemoveTime(elem string) (Time, bool) {
+	t, ok := s.rems[elem]
+	return t, ok
+}
+
+// Elements returns the live members in sorted order.
+func (s *LWWSet) Elements() []string {
+	out := make([]string, 0, len(s.adds))
+	for e := range s.adds {
+		if s.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump exports the full element-timestamp tables (live and tombstoned),
+// for serialization. The returned maps are copies.
+func (s *LWWSet) Dump() (adds, rems map[string]Time) {
+	adds = make(map[string]Time, len(s.adds))
+	rems = make(map[string]Time, len(s.rems))
+	for e, t := range s.adds {
+		adds[e] = t
+	}
+	for e, t := range s.rems {
+		rems[e] = t
+	}
+	return adds, rems
+}
+
+// Load folds exported tables back in (equivalent to merging a set holding
+// exactly those records).
+func (s *LWWSet) Load(adds, rems map[string]Time) {
+	for e, t := range adds {
+		s.Add(e, t)
+	}
+	for e, t := range rems {
+		s.Remove(e, t)
+	}
+}
+
+// Merge joins another LWW set into this one (per-element timestamp max).
+func (s *LWWSet) Merge(other *LWWSet) {
+	for e, t := range other.adds {
+		s.Add(e, t)
+	}
+	for e, t := range other.rems {
+		s.Remove(e, t)
+	}
+}
+
+// Clone returns an independent copy.
+func (s *LWWSet) Clone() *LWWSet {
+	out := NewLWWSet(s.bias)
+	for e, t := range s.adds {
+		out.adds[e] = t
+	}
+	for e, t := range s.rems {
+		out.rems[e] = t
+	}
+	return out
+}
+
+// Equal reports state identity.
+func (s *LWWSet) Equal(other *LWWSet) bool {
+	if s.bias != other.bias || len(s.adds) != len(other.adds) || len(s.rems) != len(other.rems) {
+		return false
+	}
+	for e, t := range s.adds {
+		if other.adds[e] != t {
+			return false
+		}
+	}
+	for e, t := range s.rems {
+		if other.rems[e] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// LWWRegister holds a single value with last-write-wins assignment.
+type LWWRegister struct {
+	value string
+	stamp Time
+	set   bool
+}
+
+// NewLWWRegister returns an empty register.
+func NewLWWRegister() *LWWRegister { return &LWWRegister{} }
+
+// Set assigns value at time t; stale writes are ignored. Returns whether
+// the write won.
+func (r *LWWRegister) Set(value string, t Time) bool {
+	if r.set && !r.stamp.Less(t) {
+		return false
+	}
+	r.value, r.stamp, r.set = value, t, true
+	return true
+}
+
+// Get returns the current value and whether the register was ever set.
+func (r *LWWRegister) Get() (string, bool) { return r.value, r.set }
+
+// Stamp returns the timestamp of the winning write.
+func (r *LWWRegister) Stamp() Time { return r.stamp }
+
+// Merge joins another register into this one.
+func (r *LWWRegister) Merge(other *LWWRegister) {
+	if other.set {
+		r.Set(other.value, other.stamp)
+	}
+}
+
+// Clone returns an independent copy.
+func (r *LWWRegister) Clone() *LWWRegister {
+	cp := *r
+	return &cp
+}
+
+// Equal reports state identity.
+func (r *LWWRegister) Equal(other *LWWRegister) bool {
+	return r.set == other.set && r.value == other.value && r.stamp == other.stamp
+}
+
+// MVRegister is a multi-value register: concurrent writes are all kept and
+// surfaced to the reader for application-level resolution.
+type MVRegister struct {
+	// versions maps value -> the vector clock of its write.
+	versions map[string]map[string]uint64
+}
+
+// NewMVRegister returns an empty multi-value register.
+func NewMVRegister() *MVRegister {
+	return &MVRegister{versions: make(map[string]map[string]uint64)}
+}
+
+// Set writes value with the given vector clock, discarding every version
+// the clock dominates.
+func (r *MVRegister) Set(value string, clock map[string]uint64) {
+	for v, vc := range r.versions {
+		if dominates(clock, vc) {
+			delete(r.versions, v)
+		}
+	}
+	r.versions[value] = cloneVC(clock)
+}
+
+// Values returns the surviving concurrent values in sorted order.
+func (r *MVRegister) Values() []string {
+	out := make([]string, 0, len(r.versions))
+	for v := range r.versions {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge joins another register: keep every version not dominated by some
+// version on the other side.
+func (r *MVRegister) Merge(other *MVRegister) {
+	for v, vc := range other.versions {
+		dominated := false
+		for _, mine := range r.versions {
+			if dominates(mine, vc) && !vcEqual(mine, vc) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			r.versions[v] = cloneVC(vc)
+		}
+	}
+	for v, vc := range r.versions {
+		for _, theirs := range other.versions {
+			if dominates(theirs, vc) && !vcEqual(theirs, vc) {
+				delete(r.versions, v)
+				break
+			}
+		}
+		_ = vc
+	}
+}
+
+// Clone returns an independent copy.
+func (r *MVRegister) Clone() *MVRegister {
+	out := NewMVRegister()
+	for v, vc := range r.versions {
+		out.versions[v] = cloneVC(vc)
+	}
+	return out
+}
+
+// Equal reports state identity.
+func (r *MVRegister) Equal(other *MVRegister) bool {
+	if len(r.versions) != len(other.versions) {
+		return false
+	}
+	for v, vc := range r.versions {
+		ovc, ok := other.versions[v]
+		if !ok || !vcEqual(vc, ovc) {
+			return false
+		}
+	}
+	return true
+}
+
+func dominates(a, b map[string]uint64) bool {
+	for k, n := range b {
+		if a[k] < n {
+			return false
+		}
+	}
+	return true
+}
+
+func vcEqual(a, b map[string]uint64) bool {
+	return dominates(a, b) && dominates(b, a)
+}
+
+func cloneVC(vc map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(vc))
+	for k, n := range vc {
+		out[k] = n
+	}
+	return out
+}

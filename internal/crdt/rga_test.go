@@ -1,0 +1,355 @@
+package crdt
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRGAInsertAndOrder(t *testing.T) {
+	c := NewClock("A")
+	r := NewRGA()
+	id1, err := r.InsertAfter(c, HeadID, "one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.InsertAfter(c, id1, "two"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.InsertAfter(c, HeadID, "zero"); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Values()
+	want := []string{"zero", "one", "two"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRGAInsertAt(t *testing.T) {
+	c := NewClock("A")
+	r := NewRGA()
+	for i, v := range []string{"a", "b", "c"} {
+		if _, err := r.InsertAt(c, i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.InsertAt(c, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "x", "b", "c"}
+	if got := r.Values(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	if _, err := r.InsertAt(c, 99, "y"); err == nil {
+		t.Fatal("out-of-range insert must fail")
+	}
+	if _, err := r.InsertAfter(c, Time{Counter: 999, Replica: "Z"}, "y"); err == nil {
+		t.Fatal("insert after unknown origin must fail")
+	}
+}
+
+func TestRGADelete(t *testing.T) {
+	c := NewClock("A")
+	r := NewRGA()
+	id, _ := r.InsertAfter(c, HeadID, "x")
+	if !r.Delete(id) {
+		t.Fatal("delete of live element must succeed")
+	}
+	if r.Delete(id) {
+		t.Fatal("double delete is a failed op")
+	}
+	if r.Len() != 0 {
+		t.Fatal("tombstoned element still visible")
+	}
+	if _, err := r.IDAt(0); err == nil {
+		t.Fatal("IDAt past end must fail")
+	}
+}
+
+func TestRGAConcurrentInsertConverges(t *testing.T) {
+	// Both replicas insert at the head concurrently; after mutual merge the
+	// order must be identical on both sides.
+	ca, cb := NewClock("A"), NewClock("B")
+	a, b := NewRGA(), NewRGA()
+	if _, err := a.InsertAfter(ca, HeadID, "fromA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.InsertAfter(cb, HeadID, "fromB"); err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	b.Merge(a)
+	if !reflect.DeepEqual(a.Values(), b.Values()) {
+		t.Fatalf("divergence: %v vs %v", a.Values(), b.Values())
+	}
+	if len(a.Values()) != 2 {
+		t.Fatalf("Values = %v", a.Values())
+	}
+}
+
+func TestRGANaiveMoveDuplicates(t *testing.T) {
+	// The misconception-#3 hazard: concurrent naive moves of the same
+	// element produce duplicates after merge.
+	ca, cb := NewClock("A"), NewClock("B")
+	a := NewRGA()
+	for i, v := range []string{"x", "y", "z"} {
+		if _, err := a.InsertAt(ca, i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := a.Clone()
+	idA, _ := a.IDAt(0)
+	lastA, _ := a.IDAt(2)
+	if _, err := a.Move(ca, idA, lastA); err != nil { // A moves x to the end
+		t.Fatal(err)
+	}
+	idB, _ := b.IDAt(0)
+	midB, _ := b.IDAt(1)
+	if _, err := b.Move(cb, idB, midB); err != nil { // B moves x after y
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	b.Merge(a)
+	if !reflect.DeepEqual(a.Values(), b.Values()) {
+		t.Fatalf("states diverged: %v vs %v", a.Values(), b.Values())
+	}
+	count := 0
+	for _, v := range a.Values() {
+		if v == "x" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("naive move should duplicate x (got %d copies): %v", count, a.Values())
+	}
+}
+
+func TestRGAMoveWinsNoDuplicate(t *testing.T) {
+	ca, cb := NewClock("A"), NewClock("B")
+	a := NewRGA()
+	for i, v := range []string{"x", "y", "z"} {
+		if _, err := a.InsertAt(ca, i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cb.Witness(Time{Counter: ca.Counter()}) // clocks roughly aligned
+	b := a.Clone()
+	idA, _ := a.IDAt(0)
+	lastA, _ := a.IDAt(2)
+	if _, err := a.MoveWins(ca, idA, lastA); err != nil {
+		t.Fatal(err)
+	}
+	idB, _ := b.IDAt(0)
+	midB, _ := b.IDAt(1)
+	if _, err := b.MoveWins(cb, idB, midB); err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	b.Merge(a)
+	if !reflect.DeepEqual(a.Values(), b.Values()) {
+		t.Fatalf("states diverged: %v vs %v", a.Values(), b.Values())
+	}
+	count := 0
+	for _, v := range a.Values() {
+		if v == "x" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("MoveWins must keep exactly one x, got %d: %v", count, a.Values())
+	}
+}
+
+func TestRGAMoveErrors(t *testing.T) {
+	c := NewClock("A")
+	r := NewRGA()
+	ghost := Time{Counter: 1, Replica: "Z"}
+	if _, err := r.Move(c, ghost, HeadID); err == nil {
+		t.Fatal("moving a missing element must fail")
+	}
+	if _, err := r.MoveWins(c, ghost, HeadID); err == nil {
+		t.Fatal("MoveWins of missing element must fail")
+	}
+}
+
+// TestRGAMergeProperty: merge is commutative and idempotent for randomized
+// insert/delete histories on two replicas.
+func TestRGAMergeProperty(t *testing.T) {
+	f := func(ops []struct {
+		Replica byte
+		Insert  bool
+		Pos     uint8
+	}) bool {
+		clocks := map[string]*Clock{"A": NewClock("A"), "B": NewClock("B")}
+		states := map[string]*RGA{"A": NewRGA(), "B": NewRGA()}
+		for i, o := range ops {
+			r := "A"
+			if o.Replica%2 == 1 {
+				r = "B"
+			}
+			s := states[r]
+			if o.Insert || s.Len() == 0 {
+				idx := 0
+				if s.Len() > 0 {
+					idx = int(o.Pos) % (s.Len() + 1)
+				}
+				if _, err := s.InsertAt(clocks[r], idx, string(rune('a'+i%26))); err != nil {
+					return false
+				}
+			} else {
+				id, err := s.IDAt(int(o.Pos) % s.Len())
+				if err != nil {
+					return false
+				}
+				s.Delete(id)
+			}
+		}
+		ab := states["A"].Clone()
+		ab.Merge(states["B"])
+		ba := states["B"].Clone()
+		ba.Merge(states["A"])
+		if !reflect.DeepEqual(ab.Values(), ba.Values()) {
+			return false
+		}
+		again := ab.Clone()
+		again.Merge(states["B"])
+		return again.Equal(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONDocSetGet(t *testing.T) {
+	d := NewJSONDoc()
+	if err := d.Set([]string{"a", "b"}, "v", ts(1, "A")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := d.Get([]string{"a", "b"})
+	if !ok || v != "v" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if _, ok := d.Get([]string{"a"}); ok {
+		t.Fatal("Get of an object node must report absent primitive")
+	}
+	if _, ok := d.Get([]string{"missing"}); ok {
+		t.Fatal("Get of missing path")
+	}
+	if err := d.Set(nil, "v", ts(2, "A")); err == nil {
+		t.Fatal("empty path must fail")
+	}
+	keys := d.Keys([]string{"a"})
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestJSONDocLWW(t *testing.T) {
+	d := NewJSONDoc()
+	d.Set([]string{"k"}, "new", ts(5, "A"))
+	d.Set([]string{"k"}, "old", ts(3, "B"))
+	if v, _ := d.Get([]string{"k"}); v != "new" {
+		t.Fatalf("stale write must lose, got %q", v)
+	}
+	if err := d.Delete([]string{"k"}, ts(4, "B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get([]string{"k"}); !ok {
+		t.Fatal("older delete must not remove newer write")
+	}
+	if err := d.Delete([]string{"k"}, ts(9, "B")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get([]string{"k"}); ok {
+		t.Fatal("newer delete must remove the entry")
+	}
+}
+
+func TestJSONDocMergeRecursive(t *testing.T) {
+	a, b := NewJSONDoc(), NewJSONDoc()
+	a.Set([]string{"obj", "x"}, "ax", ts(1, "A"))
+	b.Set([]string{"obj", "y"}, "by", ts(2, "B"))
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if !ab.Equal(ba) {
+		t.Fatalf("merge not commutative: %s vs %s", ab.Snapshot(), ba.Snapshot())
+	}
+	if v, _ := ab.Get([]string{"obj", "x"}); v != "ax" {
+		t.Fatal("recursive merge lost x")
+	}
+	if v, _ := ab.Get([]string{"obj", "y"}); v != "by" {
+		t.Fatal("recursive merge lost y")
+	}
+}
+
+func TestJSONDocObjectBeatsPrimitiveOnTie(t *testing.T) {
+	a, b := NewJSONDoc(), NewJSONDoc()
+	a.Set([]string{"k"}, "prim", ts(3, "A"))
+	b.SetObject([]string{"k"}, ts(3, "A"))
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if !ab.Equal(ba) {
+		t.Fatalf("tie resolution not commutative: %s vs %s", ab.Snapshot(), ba.Snapshot())
+	}
+	if keys := ab.Keys([]string{"k"}); keys == nil {
+		t.Fatal("object must win the tie")
+	}
+}
+
+func TestJSONDocSnapshotCanonical(t *testing.T) {
+	d := NewJSONDoc()
+	d.Set([]string{"b"}, "2", ts(1, "A"))
+	d.Set([]string{"a"}, "1", ts(2, "A"))
+	want := `{"a":"1","b":"2"}`
+	if got := d.Snapshot(); got != want {
+		t.Fatalf("Snapshot = %s, want %s", got, want)
+	}
+}
+
+func TestJSONDocMergeProperty(t *testing.T) {
+	f := func(ops []struct {
+		Replica byte
+		Key     uint8
+		Nested  bool
+		Stamp   uint8
+	}) bool {
+		a, b := NewJSONDoc(), NewJSONDoc()
+		for i, o := range ops {
+			doc, r := a, "A"
+			if o.Replica%2 == 1 {
+				doc, r = b, "B"
+			}
+			key := string(rune('a' + o.Key%3))
+			stamp := Time{Counter: uint64(o.Stamp), Replica: r}
+			var err error
+			if o.Nested {
+				err = doc.Set([]string{key, "child"}, "v", stamp)
+			} else {
+				err = doc.Set([]string{key}, "v", stamp)
+			}
+			_ = err // path conflicts with newer primitives are legal no-ops
+			_ = i
+		}
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		again := ab.Clone()
+		again.Merge(b)
+		return again.Equal(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

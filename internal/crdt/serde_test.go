@@ -1,0 +1,158 @@
+package crdt
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func roundTrip[T any](t *testing.T, in T, out T) {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCounterJSONRoundTrip(t *testing.T) {
+	g := NewGCounter()
+	g.Inc("A", 3)
+	g.Inc("B", 7)
+	var out GCounter
+	roundTrip(t, g, &out)
+	if !g.Equal(&out) {
+		t.Fatal("gcounter round trip lost state")
+	}
+}
+
+func TestPNCounterJSONRoundTrip(t *testing.T) {
+	p := NewPNCounter()
+	p.Inc("A", 5)
+	p.Dec("B", 2)
+	var out PNCounter
+	roundTrip(t, p, &out)
+	if !p.Equal(&out) || out.Value() != 3 {
+		t.Fatal("pncounter round trip lost state")
+	}
+}
+
+func TestGSetJSONRoundTrip(t *testing.T) {
+	g := NewGSet()
+	g.Add("x")
+	g.Add("y")
+	var out GSet
+	roundTrip(t, g, &out)
+	if !g.Equal(&out) {
+		t.Fatal("gset round trip lost state")
+	}
+}
+
+func TestTwoPhaseSetJSONRoundTrip(t *testing.T) {
+	s := NewTwoPhaseSet()
+	s.Add("x")
+	s.Add("y")
+	s.Remove("x")
+	var out TwoPhaseSet
+	roundTrip(t, s, &out)
+	if !s.Equal(&out) {
+		t.Fatal("2pset round trip lost state")
+	}
+	if out.Contains("x") || !out.Contains("y") {
+		t.Fatal("2pset membership wrong after round trip")
+	}
+}
+
+func TestORSetJSONRoundTrip(t *testing.T) {
+	c := NewClock("A")
+	s := NewORSet()
+	s.Add(c, "x")
+	s.Add(c, "y")
+	s.Remove("x")
+	var out ORSet
+	roundTrip(t, s, &out)
+	if !s.Equal(&out) {
+		t.Fatal("orset round trip lost state")
+	}
+	// Tombstones must survive: merging the original re-add of x must not
+	// resurrect it.
+	if out.Contains("x") {
+		t.Fatal("tombstoned element resurrected")
+	}
+}
+
+func TestLWWSetJSONRoundTrip(t *testing.T) {
+	s := NewLWWSet(BiasRemove)
+	s.Add("x", ts(1, "A"))
+	s.Remove("x", ts(2, "B"))
+	s.Add("y", ts(3, "A"))
+	var out LWWSet
+	roundTrip(t, s, &out)
+	if !s.Equal(&out) {
+		t.Fatal("lwwset round trip lost state (bias or stamps)")
+	}
+}
+
+func TestLWWRegisterJSONRoundTrip(t *testing.T) {
+	r := NewLWWRegister()
+	r.Set("v", ts(9, "A"))
+	var out LWWRegister
+	roundTrip(t, r, &out)
+	if !r.Equal(&out) {
+		t.Fatal("register round trip lost state")
+	}
+}
+
+func TestORMapJSONRoundTrip(t *testing.T) {
+	m := NewORMap()
+	m.Put("k", "v", ts(1, "A"))
+	m.Put("dead", "x", ts(2, "A"))
+	m.Remove("dead", ts(3, "A"))
+	var out ORMap
+	roundTrip(t, m, &out)
+	if !m.Equal(&out) {
+		t.Fatal("ormap round trip lost state")
+	}
+	if out.Contains("dead") {
+		t.Fatal("removed key resurrected")
+	}
+}
+
+func TestRGAJSONRoundTrip(t *testing.T) {
+	c := NewClock("A")
+	r := NewRGA()
+	id1, _ := r.InsertAfter(c, HeadID, "a")
+	r.InsertAfter(c, id1, "b")
+	id3, _ := r.InsertAfter(c, HeadID, "front")
+	r.Delete(id3)
+	var out RGA
+	roundTrip(t, r, &out)
+	if !r.Equal(&out) {
+		t.Fatal("rga round trip lost state")
+	}
+	if !reflect.DeepEqual(r.Values(), out.Values()) {
+		t.Fatalf("rga order changed: %v vs %v", r.Values(), out.Values())
+	}
+}
+
+// TestSerdeJoinEquivalence: decode(encode(x)) merged into an empty state
+// equals x merged into an empty state, for the OR-set (the trickiest
+// tombstone case).
+func TestSerdeJoinEquivalence(t *testing.T) {
+	c := NewClock("A")
+	s := NewORSet()
+	s.Add(c, "x")
+	s.Remove("x")
+	s.Add(c, "x") // re-add with a fresh tag
+	var decoded ORSet
+	roundTrip(t, s, &decoded)
+	a := NewORSet()
+	a.Merge(s)
+	b := NewORSet()
+	b.Merge(&decoded)
+	if !a.Equal(b) {
+		t.Fatal("decode(encode(x)) not join-equivalent to x")
+	}
+}

@@ -1,0 +1,327 @@
+package datalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+func TestAssertAndHolds(t *testing.T) {
+	db := NewDB()
+	if !db.Assert(Fact{Pred: "edge", Args: []string{"a", "b"}}) {
+		t.Fatal("fresh fact must be new")
+	}
+	if db.Assert(Fact{Pred: "edge", Args: []string{"a", "b"}}) {
+		t.Fatal("duplicate fact must not be new")
+	}
+	if !db.Holds("edge", "a", "b") || db.Holds("edge", "b", "a") {
+		t.Fatal("Holds broken")
+	}
+	if db.Count("edge") != 1 || db.Size() != 1 {
+		t.Fatal("counts broken")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	db := NewDB()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		db.Assert(Fact{Pred: "edge", Args: []string{e[0], e[1]}})
+	}
+	prog, err := NewProgram(
+		Rule{Head: Atom{Pred: "path", Terms: []Term{Var("X"), Var("Y")}},
+			Body: []Literal{{Atom: Atom{Pred: "edge", Terms: []Term{Var("X"), Var("Y")}}}}},
+		Rule{Head: Atom{Pred: "path", Terms: []Term{Var("X"), Var("Z")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "edge", Terms: []Term{Var("X"), Var("Y")}}},
+				{Atom: Atom{Pred: "path", Terms: []Term{Var("Y"), Var("Z")}}},
+			}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("path") != 6 {
+		t.Fatalf("path count = %d, want 6", db.Count("path"))
+	}
+	if !db.Holds("path", "a", "d") {
+		t.Fatal("transitive path a->d missing")
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	db := NewDB()
+	db.Assert(Fact{Pred: "node", Args: []string{"a"}})
+	db.Assert(Fact{Pred: "node", Args: []string{"b"}})
+	db.Assert(Fact{Pred: "marked", Args: []string{"a"}})
+	prog, err := NewProgram(
+		Rule{Head: Atom{Pred: "unmarked", Terms: []Term{Var("X")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "node", Terms: []Term{Var("X")}}},
+				{Atom: Atom{Pred: "marked", Terms: []Term{Var("X")}}, Negated: true},
+			}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Holds("unmarked", "b") || db.Holds("unmarked", "a") {
+		t.Fatalf("negation broken: %v", db.Facts("unmarked"))
+	}
+}
+
+func TestNegationCycleRejected(t *testing.T) {
+	prog, err := NewProgram(
+		Rule{Head: Atom{Pred: "p", Terms: []Term{Var("X")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "base", Terms: []Term{Var("X")}}},
+				{Atom: Atom{Pred: "q", Terms: []Term{Var("X")}}, Negated: true},
+			}},
+		Rule{Head: Atom{Pred: "q", Terms: []Term{Var("X")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "base", Terms: []Term{Var("X")}}},
+				{Atom: Atom{Pred: "p", Terms: []Term{Var("X")}}, Negated: true},
+			}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	db.Assert(Fact{Pred: "base", Args: []string{"a"}})
+	if err := prog.Eval(db); err == nil {
+		t.Fatal("negation cycle must be rejected")
+	}
+}
+
+func TestUnsafeRuleRejected(t *testing.T) {
+	_, err := NewProgram(
+		Rule{Head: Atom{Pred: "bad", Terms: []Term{Var("X")}}},
+	)
+	if err == nil {
+		t.Fatal("head variable without body must be unsafe")
+	}
+	_, err = NewProgram(
+		Rule{Head: Atom{Pred: "bad", Terms: []Term{Const("c")}},
+			Body: []Literal{{Atom: Atom{Pred: "p", Terms: []Term{Var("Y")}}, Negated: true}}},
+	)
+	if err == nil {
+		t.Fatal("negated-only variable must be unsafe")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	db := NewDB()
+	db.Assert(Fact{Pred: "n", Args: []string{"1"}})
+	db.Assert(Fact{Pred: "n", Args: []string{"2"}})
+	db.Assert(Fact{Pred: "n", Args: []string{"3"}})
+	prog, err := NewProgram(
+		Rule{Head: Atom{Pred: "lt", Terms: []Term{Var("X"), Var("Y")}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "n", Terms: []Term{Var("X")}}},
+				{Atom: Atom{Pred: "n", Terms: []Term{Var("Y")}}},
+				{Compare: OpLT, Left: Var("X"), Right: Var("Y")},
+			}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("lt") != 3 {
+		t.Fatalf("lt pairs = %d, want 3", db.Count("lt"))
+	}
+	if !db.Holds("lt", "1", "3") || db.Holds("lt", "3", "1") {
+		t.Fatal("comparison results wrong")
+	}
+}
+
+func TestParseFactsAndRules(t *testing.T) {
+	src := `
+// the interleaving store schema
+.decl pos(il: symbol, idx: number, ev: symbol)
+edge("a", "b").
+edge("b", "c").
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+apart(X, Y) :- edge(X, Y), X != Y.
+`
+	facts, rules, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 2 {
+		t.Fatalf("facts = %v", facts)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rules))
+	}
+	db := NewDB()
+	for _, f := range facts {
+		db.Assert(f)
+	}
+	prog, err := NewProgram(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Holds("path", "a", "c") {
+		t.Fatal("parsed program did not derive path(a,c)")
+	}
+	if !db.Holds("apart", "a", "b") {
+		t.Fatal("parsed != comparison broken")
+	}
+}
+
+func TestParseNegationAndComparison(t *testing.T) {
+	src := `
+p("x", 1).
+p("y", 2).
+q(A) :- p(A, N), N >= 2.
+r(A) :- p(A, _), !q(A).
+`
+	facts, rules, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB()
+	for _, f := range facts {
+		db.Assert(f)
+	}
+	prog, err := NewProgram(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Eval(db); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Holds("q", "y") || db.Holds("q", "x") {
+		t.Fatalf("q = %v", db.Facts("q"))
+	}
+	if !db.Holds("r", "x") || db.Holds("r", "y") {
+		t.Fatalf("r = %v", db.Facts("r"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`fact(X).`,              // variable in fact
+		`p(a) :- q(.`,           // malformed atom
+		`p(X) :- !q(X).`,        // unsafe
+		`p("unterminated) :- .`, // bad string
+	}
+	for _, src := range cases {
+		if _, _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Head: Atom{Pred: "drop", Terms: []Term{Var("I")}},
+		Body: []Literal{
+			{Atom: Atom{Pred: "pos", Terms: []Term{Var("I"), Const("0"), Const("e6")}}},
+			{Compare: OpLT, Left: Var("X"), Right: Var("Y")},
+			{Atom: Atom{Pred: "keep", Terms: []Term{Var("I")}}, Negated: true},
+		},
+	}
+	s := r.String()
+	for _, want := range []string{"drop(I)", ":-", `pos(I, 0, "e6")`, "X < Y", "!keep(I)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Rule.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestStoreRecordAndQuery(t *testing.T) {
+	s := NewStore()
+	il := interleave.Interleaving{2, 0, 1}
+	if err := s.Record(il); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(il); err != nil { // duplicate: no-op
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if !s.Recorded(il) {
+		t.Fatal("Recorded lost the interleaving")
+	}
+	if s.FactCount() != 4 { // il/1 + three pos/3
+		t.Fatalf("FactCount = %d, want 4", s.FactCount())
+	}
+	if !s.DB().Holds("pos", il.Key(), "0", "e2") {
+		t.Fatal("pos fact missing")
+	}
+}
+
+func TestStoreBudgetExhaustion(t *testing.T) {
+	s := NewStore()
+	s.MaxFacts = 7 // one 3-event interleaving costs 4 facts; a second doesn't fit
+	if err := s.Record(interleave.Interleaving{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Record(interleave.Interleaving{2, 1, 0})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+}
+
+// TestStorePruneMatchesNativeFilter cross-checks the Datalog pruning
+// backend against the native Go filter on the same space: the rule
+// drop(I) :- pos(I,X,"e0"), pos(I,Y,"e1"), X < Y  keeps exactly the
+// interleavings where event 1 precedes event 0 — the same selection as the
+// toy filter in the interleave tests.
+func TestStorePruneMatchesNativeFilter(t *testing.T) {
+	evs := make([]event.Event, 4)
+	for i := range evs {
+		evs[i] = event.Event{Kind: event.Update, Replica: "A"}
+	}
+	log, err := event.NewLog(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore()
+	dfs := interleave.NewDFS(interleave.NewSpace(log))
+	for {
+		il, ok := dfs.Next()
+		if !ok {
+			break
+		}
+		if err := s.Record(il); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Count() != 24 {
+		t.Fatalf("recorded %d, want 24", s.Count())
+	}
+	_, rules, err := Parse(`drop(I) :- pos(I, X, "e0"), pos(I, Y, "e1"), X < Y.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := s.Prune(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 12 {
+		t.Fatalf("kept %d, want 12 (half of 24)", len(kept))
+	}
+	for _, key := range kept {
+		// In every kept interleaving "1" must appear before "0".
+		i0 := strings.Index(key, "0")
+		i1 := strings.Index(key, "1")
+		if i1 > i0 {
+			t.Fatalf("kept interleaving %s has e0 before e1", key)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a Soufflé-flavoured Datalog source: facts
+// (`edge("a", "b").`), rules (`path(X, Y) :- edge(X, Z), path(Z, Y).`)
+// with negation (`!reached(X)`) and integer comparisons (`X < Y`).
+// `.decl` and `.output` directives and `//` comments are tolerated and
+// ignored. Returns the ground facts and the rules separately.
+func Parse(src string) ([]Fact, []Rule, error) {
+	var facts []Fact
+	var rules []Rule
+	for lineNo, raw := range splitStatements(src) {
+		stmt := strings.TrimSpace(raw)
+		if stmt == "" || strings.HasPrefix(stmt, ".decl") || strings.HasPrefix(stmt, ".output") || strings.HasPrefix(stmt, ".input") {
+			continue
+		}
+		rule, err := parseStatement(stmt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("datalog: statement %d: %w", lineNo+1, err)
+		}
+		if len(rule.Body) == 0 {
+			args := make([]string, len(rule.Head.Terms))
+			for i, t := range rule.Head.Terms {
+				if t.Var {
+					return nil, nil, fmt.Errorf("datalog: statement %d: fact with variable %s", lineNo+1, t.Value)
+				}
+				args[i] = t.Value
+			}
+			facts = append(facts, Fact{Pred: rule.Head.Pred, Args: args})
+			continue
+		}
+		if err := rule.validate(); err != nil {
+			return nil, nil, fmt.Errorf("datalog: statement %d: %w", lineNo+1, err)
+		}
+		rules = append(rules, rule)
+	}
+	return facts, rules, nil
+}
+
+// splitStatements splits the source on statement-terminating periods,
+// respecting quoted strings, and strips // comments.
+func splitStatements(src string) []string {
+	var lines []string
+	for _, line := range strings.Split(src, "\n") {
+		if i := indexComment(line); i >= 0 {
+			line = line[:i]
+		}
+		// Directives are line-based and unterminated; drop them here so
+		// they cannot swallow the following statement.
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, ".decl") || strings.HasPrefix(trimmed, ".output") || strings.HasPrefix(trimmed, ".input") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	joined := strings.Join(lines, "\n")
+	var stmts []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(joined); i++ {
+		ch := joined[i]
+		switch {
+		case ch == '"' && (i == 0 || joined[i-1] != '\\'):
+			inStr = !inStr
+			cur.WriteByte(ch)
+		case ch == '.' && !inStr && isStatementEnd(joined, i):
+			stmts = append(stmts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		stmts = append(stmts, s)
+	}
+	return stmts
+}
+
+// isStatementEnd distinguishes a terminating '.' from the '.' of a
+// directive like ".decl" (directive dots start a token).
+func isStatementEnd(s string, i int) bool {
+	if i+1 < len(s) {
+		next := rune(s[i+1])
+		if unicode.IsLetter(next) {
+			return false // ".decl" etc.
+		}
+	}
+	return true
+}
+
+func indexComment(line string) int {
+	inStr := false
+	for i := 0; i+1 < len(line); i++ {
+		if line[i] == '"' && (i == 0 || line[i-1] != '\\') {
+			inStr = !inStr
+		}
+		if !inStr && line[i] == '/' && line[i+1] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseStatement(stmt string) (Rule, error) {
+	headSrc, bodySrc, hasBody := strings.Cut(stmt, ":-")
+	head, err := parseAtom(strings.TrimSpace(headSrc))
+	if err != nil {
+		return Rule{}, err
+	}
+	rule := Rule{Head: head}
+	if !hasBody {
+		return rule, nil
+	}
+	for _, litSrc := range splitTopLevel(bodySrc, ',') {
+		lit, err := parseLiteral(strings.TrimSpace(litSrc))
+		if err != nil {
+			return Rule{}, err
+		}
+		rule.Body = append(rule.Body, lit)
+	}
+	return rule, nil
+}
+
+func parseLiteral(src string) (Literal, error) {
+	if src == "" {
+		return Literal{}, fmt.Errorf("empty literal")
+	}
+	if strings.HasPrefix(src, "!") {
+		atom, err := parseAtom(strings.TrimSpace(src[1:]))
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Atom: atom, Negated: true}, nil
+	}
+	// Builtin comparison? Only when the operator appears outside parens.
+	for _, op := range []CompareOp{OpLE, OpGE, OpNE, OpLT, OpGT, OpEQ} {
+		if idx := indexTopLevel(src, string(op)); idx >= 0 {
+			left, err := parseTerm(strings.TrimSpace(src[:idx]))
+			if err != nil {
+				return Literal{}, err
+			}
+			right, err := parseTerm(strings.TrimSpace(src[idx+len(op):]))
+			if err != nil {
+				return Literal{}, err
+			}
+			return Literal{Compare: op, Left: left, Right: right}, nil
+		}
+	}
+	atom, err := parseAtom(src)
+	if err != nil {
+		return Literal{}, err
+	}
+	return Literal{Atom: atom}, nil
+}
+
+func parseAtom(src string) (Atom, error) {
+	open := strings.IndexByte(src, '(')
+	if open < 0 || !strings.HasSuffix(src, ")") {
+		return Atom{}, fmt.Errorf("malformed atom %q", src)
+	}
+	pred := strings.TrimSpace(src[:open])
+	if pred == "" {
+		return Atom{}, fmt.Errorf("atom without predicate: %q", src)
+	}
+	inner := src[open+1 : len(src)-1]
+	var terms []Term
+	if strings.TrimSpace(inner) != "" {
+		for _, termSrc := range splitTopLevel(inner, ',') {
+			t, err := parseTerm(strings.TrimSpace(termSrc))
+			if err != nil {
+				return Atom{}, err
+			}
+			terms = append(terms, t)
+		}
+	}
+	return Atom{Pred: pred, Terms: terms}, nil
+}
+
+func parseTerm(src string) (Term, error) {
+	if src == "" {
+		return Term{}, fmt.Errorf("empty term")
+	}
+	if src[0] == '"' {
+		if len(src) < 2 || src[len(src)-1] != '"' {
+			return Term{}, fmt.Errorf("unterminated string %q", src)
+		}
+		return Const(strings.ReplaceAll(src[1:len(src)-1], `\"`, `"`)), nil
+	}
+	first := rune(src[0])
+	if unicode.IsUpper(first) || first == '_' {
+		return Var(src), nil
+	}
+	return Const(src), nil
+}
+
+// splitTopLevel splits on sep outside quotes and parentheses.
+func splitTopLevel(src string, sep byte) []string {
+	var parts []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(src); i++ {
+		switch {
+		case src[i] == '"' && (i == 0 || src[i-1] != '\\'):
+			inStr = !inStr
+		case inStr:
+		case src[i] == '(':
+			depth++
+		case src[i] == ')':
+			depth--
+		case src[i] == sep && depth == 0:
+			parts = append(parts, src[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, src[start:])
+	return parts
+}
+
+// indexTopLevel finds op outside quotes/parens, or -1. Guards against
+// matching "<" inside "<=" by requiring the following byte not to extend
+// the operator.
+func indexTopLevel(src, op string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i+len(op) <= len(src); i++ {
+		switch {
+		case src[i] == '"' && (i == 0 || src[i-1] != '\\'):
+			inStr = !inStr
+		case inStr:
+		case src[i] == '(':
+			depth++
+		case src[i] == ')':
+			depth--
+		case depth == 0 && src[i:i+len(op)] == op:
+			if len(op) == 1 && i+1 < len(src) && src[i+1] == '=' {
+				continue // "<" inside "<="
+			}
+			// "!" of "!=" must not be parsed as negation prefix elsewhere;
+			// the caller tries two-char ops first, so this is safe.
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,141 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LamportClock is a thread-safe Lamport logical clock. ER-π assigns a
+// Lamport timestamp to every event of every interleaving; the timestamp
+// defines the event execution order during replay (paper §4.2).
+type LamportClock struct {
+	mu  sync.Mutex
+	now uint64
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (c *LamportClock) Tick() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now++
+	return c.now
+}
+
+// Witness merges an observed remote timestamp and returns the new local
+// time, which is strictly greater than both the previous local time and the
+// observed time.
+func (c *LamportClock) Witness(remote uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if remote > c.now {
+		c.now = remote
+	}
+	c.now++
+	return c.now
+}
+
+// Now returns the current time without advancing it.
+func (c *LamportClock) Now() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// VectorClock maps replicas to their known event counts. It provides the
+// happens-before relation used by causal-delivery checks in the test
+// library (misconception #1).
+type VectorClock map[ReplicaID]uint64
+
+// NewVectorClock returns an empty vector clock.
+func NewVectorClock() VectorClock { return make(VectorClock) }
+
+// Clone returns an independent copy.
+func (v VectorClock) Clone() VectorClock {
+	out := make(VectorClock, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Tick increments the component of replica r and returns the new value.
+func (v VectorClock) Tick(r ReplicaID) uint64 {
+	v[r]++
+	return v[r]
+}
+
+// Merge folds another clock into this one component-wise (max).
+func (v VectorClock) Merge(other VectorClock) {
+	for k, n := range other {
+		if n > v[k] {
+			v[k] = n
+		}
+	}
+}
+
+// Compare returns -1 if v happens-before other, +1 if other happens-before
+// v, 0 if they are equal or concurrent. Use Concurrent to distinguish the
+// latter two.
+func (v VectorClock) Compare(other VectorClock) int {
+	less, greater := false, false
+	keys := make(map[ReplicaID]struct{}, len(v)+len(other))
+	for k := range v {
+		keys[k] = struct{}{}
+	}
+	for k := range other {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		a, b := v[k], other[k]
+		switch {
+		case a < b:
+			less = true
+		case a > b:
+			greater = true
+		}
+	}
+	switch {
+	case less && !greater:
+		return -1
+	case greater && !less:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Concurrent reports whether the two clocks are incomparable.
+func (v VectorClock) Concurrent(other VectorClock) bool {
+	return v.Compare(other) == 0 && !v.Equal(other)
+}
+
+// Equal reports whether both clocks have identical components.
+func (v VectorClock) Equal(other VectorClock) bool {
+	for k, n := range v {
+		if other[k] != n {
+			return false
+		}
+	}
+	for k, n := range other {
+		if v[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock deterministically, e.g. "{A:2 B:1}".
+func (v VectorClock) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, v[ReplicaID(k)])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

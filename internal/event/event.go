@@ -1,0 +1,275 @@
+// Package event defines the distributed-event model that ER-π extracts from
+// a recorded application segment and later permutes into interleavings.
+//
+// An Event is one interaction between application logic and the replicated
+// data library (RDL): a local update, the sending of a synchronization
+// request to a peer replica, the execution of a received synchronization
+// request, or an externally observable read ("observe"). Events carry the
+// replica they execute at, the replicas they travel between (for sync
+// events), and the logical time assigned during recording and replay.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a distributed event.
+type Kind int
+
+// Event kinds. Enum starts at one so the zero value is invalid and
+// accidental zero-initialized events are caught by Validate.
+const (
+	// Update is a local mutation of the replicated state through the RDL
+	// (e.g. set add/remove, list insert, counter increment).
+	Update Kind = iota + 1
+	// SyncSend is the emission of a synchronization request carrying one or
+	// more updates from one replica to another.
+	SyncSend
+	// SyncExec is the application of a previously sent synchronization
+	// request at the receiving replica.
+	SyncExec
+	// Observe is an externally visible read of replicated state (e.g.
+	// transmitting the current value to a third party). Observes anchor
+	// test invariants.
+	Observe
+)
+
+var kindNames = map[Kind]string{
+	Update:   "update",
+	SyncSend: "sync_req",
+	SyncExec: "exec_sync",
+	Observe:  "observe",
+}
+
+// String returns the wire name of the kind, matching the vocabulary used in
+// the paper's Algorithm 1 (sync_req / exec_sync).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { _, ok := kindNames[k]; return ok }
+
+// ParseKind converts a wire name back into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("event: unknown kind %q", s)
+}
+
+// ID identifies an event within one recorded segment. IDs are dense indexes
+// assigned in recording order, which makes them usable as slice indexes in
+// the interleaving machinery.
+type ID int
+
+// ReplicaID names a replica. The empty string is reserved for "no replica"
+// (e.g. the To field of a local update).
+type ReplicaID string
+
+// Event is one distributed event extracted from a recorded segment.
+type Event struct {
+	// ID is the dense recording-order index of the event.
+	ID ID `json:"id"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+	// Replica is the replica at which the event executes. For SyncSend this
+	// is the sender; for SyncExec the receiver.
+	Replica ReplicaID `json:"replica"`
+	// From and To are set for SyncSend and SyncExec events and name the
+	// (sender, receiver) pair of the synchronization.
+	From ReplicaID `json:"from,omitempty"`
+	To   ReplicaID `json:"to,omitempty"`
+	// Op is the RDL operation name (e.g. "set.add", "list.move").
+	Op string `json:"op,omitempty"`
+	// Args is the encoded operation payload, opaque to the interleaving
+	// machinery but replayed verbatim.
+	Args []string `json:"args,omitempty"`
+	// Carries lists the update events whose effects a sync event transports.
+	Carries []ID `json:"carries,omitempty"`
+	// Lamport is the logical timestamp assigned at recording time and
+	// reassigned per interleaving during replay.
+	Lamport uint64 `json:"lamport,omitempty"`
+}
+
+// Validate reports the first structural problem with the event, or nil.
+func (e Event) Validate() error {
+	switch {
+	case !e.Kind.Valid():
+		return fmt.Errorf("event %d: invalid kind %d", e.ID, int(e.Kind))
+	case e.Replica == "":
+		return fmt.Errorf("event %d: missing replica", e.ID)
+	case e.ID < 0:
+		return fmt.Errorf("event: negative id %d", e.ID)
+	}
+	switch e.Kind {
+	case SyncSend, SyncExec:
+		if e.From == "" || e.To == "" {
+			return fmt.Errorf("event %d: %s requires from and to replicas", e.ID, e.Kind)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("event %d: sync from a replica to itself (%s)", e.ID, e.From)
+		}
+		if e.Kind == SyncSend && e.Replica != e.From {
+			return fmt.Errorf("event %d: sync_req must execute at sender %s, not %s", e.ID, e.From, e.Replica)
+		}
+		if e.Kind == SyncExec && e.Replica != e.To {
+			return fmt.Errorf("event %d: exec_sync must execute at receiver %s, not %s", e.ID, e.To, e.Replica)
+		}
+	case Update, Observe:
+		if e.From != "" || e.To != "" {
+			return fmt.Errorf("event %d: %s must not carry from/to", e.ID, e.Kind)
+		}
+	}
+	return nil
+}
+
+// IsSync reports whether the event is part of a synchronization exchange.
+func (e Event) IsSync() bool { return e.Kind == SyncSend || e.Kind == SyncExec }
+
+// Touches reports whether the event executes at or delivers into replica r.
+// A SyncSend touches only its sender; the matching SyncExec touches the
+// receiver. This is the impact notion used by replica-specific pruning.
+func (e Event) Touches(r ReplicaID) bool {
+	if e.Replica == r {
+		return true
+	}
+	return e.Kind == SyncExec && e.To == r
+}
+
+// String renders a compact, human-readable description.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ev%d[%s@%s", int(e.ID), e.Kind, e.Replica)
+	if e.IsSync() {
+		fmt.Fprintf(&b, " %s->%s", e.From, e.To)
+	}
+	if e.Op != "" {
+		fmt.Fprintf(&b, " %s", e.Op)
+		if len(e.Args) > 0 {
+			fmt.Fprintf(&b, "(%s)", strings.Join(e.Args, ","))
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Log is an ordered sequence of events as recorded between ER-π.Start and
+// ER-π.End. Event IDs are the indexes into the log.
+type Log struct {
+	events []Event
+}
+
+// NewLog builds a log from recorded events, assigning dense IDs in order.
+// The input slice is copied; the caller keeps ownership of its slice.
+func NewLog(events []Event) (*Log, error) {
+	l := &Log{events: make([]Event, len(events))}
+	copy(l.events, events)
+	for i := range l.events {
+		l.events[i].ID = ID(i)
+		if l.events[i].Lamport == 0 {
+			l.events[i].Lamport = uint64(i + 1)
+		}
+		if err := l.events[i].Validate(); err != nil {
+			return nil, fmt.Errorf("event: invalid log: %w", err)
+		}
+	}
+	return l, nil
+}
+
+// Len returns the number of events in the log.
+func (l *Log) Len() int { return len(l.events) }
+
+// Event returns the event with the given ID.
+func (l *Log) Event(id ID) Event {
+	return l.events[int(id)]
+}
+
+// Events returns a copy of all events in recording order.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// IDs returns all event IDs in recording order.
+func (l *Log) IDs() []ID {
+	out := make([]ID, len(l.events))
+	for i := range l.events {
+		out[i] = ID(i)
+	}
+	return out
+}
+
+// Replicas returns the sorted set of replicas appearing in the log.
+func (l *Log) Replicas() []ReplicaID {
+	set := make(map[ReplicaID]struct{})
+	for _, e := range l.events {
+		set[e.Replica] = struct{}{}
+		if e.IsSync() {
+			set[e.From] = struct{}{}
+			set[e.To] = struct{}{}
+		}
+	}
+	out := make([]ReplicaID, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ByReplica returns the IDs of events executing at replica r, in order.
+func (l *Log) ByReplica(r ReplicaID) []ID {
+	var out []ID
+	for _, e := range l.events {
+		if e.Replica == r {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// SyncPairs returns the (SyncSend, SyncExec) ID pairs with matching
+// (from, to) replicas and payloads, in recording order. Each event is used
+// in at most one pair; sends match the earliest unmatched exec that follows
+// them with the same endpoints and the same carried updates.
+func (l *Log) SyncPairs() [][2]ID {
+	used := make(map[ID]bool)
+	var pairs [][2]ID
+	for _, send := range l.events {
+		if send.Kind != SyncSend || used[send.ID] {
+			continue
+		}
+		for _, exec := range l.events[int(send.ID)+1:] {
+			if exec.Kind != SyncExec || used[exec.ID] {
+				continue
+			}
+			if exec.From == send.From && exec.To == send.To && sameIDs(exec.Carries, send.Carries) {
+				pairs = append(pairs, [2]ID{send.ID, exec.ID})
+				used[send.ID], used[exec.ID] = true, true
+				break
+			}
+		}
+	}
+	return pairs
+}
+
+func sameIDs(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+// Package fuzz implements the greybox fuzzing exploration mode the paper
+// names as future work (§8: "we plan to extend the applicability and
+// usefulness of ER-π for tasks such as resource profiling and fuzzing").
+//
+// The fuzzer is a coverage-guided mutator over interleavings, in the style
+// of greybox fuzzers for distributed systems (Mallory/Meng et al., cited
+// by the paper): it keeps a corpus of interesting interleavings, derives
+// new candidates by order mutations (adjacent swaps, block moves, segment
+// reversals), and considers a candidate interesting when its execution
+// produces an outcome signature never seen before. Unlike the Rand
+// baseline — which samples the n! space uniformly and mostly revisits
+// behaviourally equivalent orders — the fuzzer spends its budget on orders
+// that change observable behaviour.
+package fuzz
+
+import (
+	"math/rand"
+
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// Explorer is a coverage-guided interleaving generator. It implements
+// interleave.Explorer; feedback arrives through Report, which the caller
+// invokes with a behaviour signature after executing each interleaving.
+type Explorer struct {
+	space *interleave.Space
+	rng   *rand.Rand
+
+	// corpus holds the unit permutations that produced novel behaviour.
+	corpus [][]int
+	// seen dedups emitted interleavings; coverage dedups signatures.
+	seen     map[string]bool
+	coverage map[string]bool
+
+	// pendingPerm is the permutation whose outcome Report classifies.
+	pendingPerm []int
+	explored    int
+	maxRetries  int
+}
+
+var _ interleave.Explorer = (*Explorer)(nil)
+
+// DefaultRetries bounds consecutive duplicate mutations before giving up.
+const DefaultRetries = 100000
+
+// New returns a fuzzing explorer seeded with the recording order.
+func New(space *interleave.Space, seed int64) *Explorer {
+	identity := make([]int, space.NumUnits())
+	for i := range identity {
+		identity[i] = i
+	}
+	return &Explorer{
+		space:      space,
+		rng:        rand.New(rand.NewSource(seed)),
+		corpus:     [][]int{identity},
+		seen:       make(map[string]bool),
+		coverage:   make(map[string]bool),
+		maxRetries: DefaultRetries,
+	}
+}
+
+// Mode implements interleave.Explorer.
+func (f *Explorer) Mode() string { return "fuzz" }
+
+// Explored implements interleave.Explorer.
+func (f *Explorer) Explored() int { return f.explored }
+
+// CorpusSize returns the number of behaviour-novel interleavings kept.
+func (f *Explorer) CorpusSize() int { return len(f.corpus) }
+
+// Coverage returns the number of distinct behaviour signatures observed.
+func (f *Explorer) Coverage() int { return len(f.coverage) }
+
+// SetMaxRetries tunes the consecutive-duplicate bound after which Next
+// declares the reachable space exhausted.
+func (f *Explorer) SetMaxRetries(n int) {
+	if n > 0 {
+		f.maxRetries = n
+	}
+}
+
+// Next implements interleave.Explorer: pick a corpus entry, mutate it
+// until an unseen permutation appears, and emit it. The mutation depth
+// escalates with consecutive duplicates so the fuzzer escapes saturated
+// neighbourhoods of the corpus.
+func (f *Explorer) Next() (interleave.Interleaving, bool) {
+	for attempt := 0; attempt < f.maxRetries; attempt++ {
+		parent := f.corpus[f.rng.Intn(len(f.corpus))]
+		depth := 1 + f.rng.Intn(2) + attempt/50
+		candidate := f.mutate(parent, depth)
+		il := f.space.Flatten(candidate)
+		key := il.Key()
+		if f.seen[key] {
+			continue
+		}
+		f.seen[key] = true
+		f.pendingPerm = candidate
+		f.explored++
+		return il, true
+	}
+	return nil, false
+}
+
+// Report feeds back the behaviour signature of the most recently emitted
+// interleaving. A novel signature admits the permutation into the corpus.
+// Any stable digest works as a signature: outcome fingerprints, failed-op
+// sets, observation values, or a hash of all three.
+func (f *Explorer) Report(signature string) {
+	if f.pendingPerm == nil {
+		return
+	}
+	if !f.coverage[signature] {
+		f.coverage[signature] = true
+		f.corpus = append(f.corpus, f.pendingPerm)
+	}
+	f.pendingPerm = nil
+}
+
+// mutate derives a child permutation by stacking `depth` order mutations.
+func (f *Explorer) mutate(parent []int, depth int) []int {
+	child := make([]int, len(parent))
+	copy(child, parent)
+	for d := 0; d < depth; d++ {
+		f.mutateOnce(child)
+	}
+	return child
+}
+
+func (f *Explorer) mutateOnce(child []int) {
+	n := len(child)
+	if n < 2 {
+		return
+	}
+	switch f.rng.Intn(3) {
+	case 0: // adjacent swap: the minimal reordering
+		i := f.rng.Intn(n - 1)
+		child[i], child[i+1] = child[i+1], child[i]
+	case 1: // block move: lift one unit to another position (in place)
+		from := f.rng.Intn(n)
+		to := f.rng.Intn(n)
+		u := child[from]
+		if from < to {
+			copy(child[from:to], child[from+1:to+1])
+		} else {
+			copy(child[to+1:from+1], child[to:from])
+		}
+		child[to] = u
+	default: // segment reversal
+		i := f.rng.Intn(n)
+		j := f.rng.Intn(n)
+		if i > j {
+			i, j = j, i
+		}
+		for a, b := i, j; a < b; a, b = a+1, b-1 {
+			child[a], child[b] = child[b], child[a]
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package interleave
+
+import (
+	"math/big"
+	"math/rand"
+)
+
+// CountResult reports how many interleavings of a space survive a set of
+// pruning filters.
+type CountResult struct {
+	// Total is the unpruned size of the space, (#units)!.
+	Total *big.Int
+	// Surviving is the number of canonical interleavings. Exact when Exact
+	// is true, otherwise a sampling estimate.
+	Surviving *big.Int
+	// Exact reports whether Surviving was obtained by full enumeration.
+	Exact bool
+	// SampleSize is the number of random permutations drawn when estimating.
+	SampleSize int
+}
+
+// ReductionFactor returns Total/Surviving as a float, the "problem-space
+// reduction" metric of the paper's §2.3 and Figure 9. Returns +Inf-like
+// large value guard of 0 when Surviving is zero.
+func (c CountResult) ReductionFactor() float64 {
+	if c.Surviving.Sign() == 0 {
+		return 0
+	}
+	t := new(big.Float).SetInt(c.Total)
+	s := new(big.Float).SetInt(c.Surviving)
+	f, _ := new(big.Float).Quo(t, s).Float64()
+	return f
+}
+
+// exactEnumerationLimit is the largest unit count for which Count fully
+// enumerates the permutation space (10! = 3,628,800).
+const exactEnumerationLimit = 10
+
+// Count computes how many interleavings survive the filters. Spaces of at
+// most exactEnumerationLimit units are enumerated exactly; larger spaces
+// are estimated from sampleSize uniformly random permutations (the paper's
+// Figure 9 reports reduction factors, for which sampling suffices).
+func Count(space *Space, filters []Filter, sampleSize int, seed int64) CountResult {
+	total := space.Size()
+	n := space.NumUnits()
+	if n <= exactEnumerationLimit {
+		return CountResult{Total: total, Surviving: countExact(n, filters), Exact: true}
+	}
+	return CountResult{
+		Total:      total,
+		Surviving:  countSampled(n, filters, sampleSize, seed, total),
+		SampleSize: sampleSize,
+	}
+}
+
+func countExact(n int, filters []Filter) *big.Int {
+	perm := identityPerm(n)
+	count := int64(0)
+	for {
+		if canonicalAll(perm, filters) {
+			count++
+		}
+		if !nextPermutation(perm) {
+			return big.NewInt(count)
+		}
+	}
+}
+
+func countSampled(n int, filters []Filter, sampleSize int, seed int64, total *big.Int) *big.Int {
+	if sampleSize <= 0 {
+		sampleSize = 100000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := identityPerm(n)
+	accepted := 0
+	for i := 0; i < sampleSize; i++ {
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		if canonicalAll(perm, filters) {
+			accepted++
+		}
+	}
+	est := new(big.Int).Mul(total, big.NewInt(int64(accepted)))
+	return est.Div(est, big.NewInt(int64(sampleSize)))
+}
+
+func canonicalAll(perm []int, filters []Filter) bool {
+	for _, f := range filters {
+		if ok, _ := f.Canonical(perm); !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,204 @@
+package interleave
+
+import (
+	"math/rand"
+)
+
+// Filter decides which unit permutations survive pruning. ER-π's pruning
+// rules merge equivalence classes of interleavings; a Filter implements the
+// merge by accepting exactly one canonical representative per class.
+type Filter interface {
+	// Name identifies the rule (used in ablation reports).
+	Name() string
+	// Canonical reports whether perm is the canonical representative of its
+	// equivalence class. When it is not, prefixLen may name the length of
+	// the shortest prefix that already rules out canonicity, letting the
+	// explorer skip the whole subtree of permutations sharing that prefix;
+	// prefixLen == 0 means "unknown, skip only this permutation".
+	Canonical(perm []int) (ok bool, prefixLen int)
+}
+
+// Explorer yields interleavings one at a time.
+type Explorer interface {
+	// Next returns the next interleaving, or ok=false when the space is
+	// exhausted.
+	Next() (Interleaving, bool)
+	// Explored returns how many interleavings have been yielded so far.
+	Explored() int
+	// Mode names the exploration strategy ("erpi", "dfs", "rand").
+	Mode() string
+}
+
+// DFSExplorer enumerates unit permutations in lexicographic depth-first
+// order, optionally skipping permutations rejected by pruning filters.
+// This implements both the paper's plain-DFS baseline (no filters, one
+// event per unit) and ER-π's pruned exploration (grouped units + filters).
+type DFSExplorer struct {
+	space    *Space
+	filters  []Filter
+	perm     []int
+	done     bool
+	started  bool
+	explored int
+	mode     string
+}
+
+var _ Explorer = (*DFSExplorer)(nil)
+
+// NewDFS returns the plain exhaustive DFS baseline over the space.
+func NewDFS(space *Space) *DFSExplorer {
+	return &DFSExplorer{space: space, perm: identityPerm(space.NumUnits()), mode: "dfs"}
+}
+
+// NewPruned returns ER-π's pruned explorer: DFS over units yielding only
+// permutations accepted as canonical by every filter.
+func NewPruned(space *Space, filters ...Filter) *DFSExplorer {
+	return &DFSExplorer{
+		space:   space,
+		filters: filters,
+		perm:    identityPerm(space.NumUnits()),
+		mode:    "erpi",
+	}
+}
+
+// Mode implements Explorer.
+func (d *DFSExplorer) Mode() string { return d.mode }
+
+// Explored implements Explorer.
+func (d *DFSExplorer) Explored() int { return d.explored }
+
+// Next implements Explorer.
+func (d *DFSExplorer) Next() (Interleaving, bool) {
+	for {
+		if d.done {
+			return nil, false
+		}
+		if d.started {
+			if !nextPermutation(d.perm) {
+				d.done = true
+				return nil, false
+			}
+		}
+		d.started = true
+		if skip, prefix := d.rejected(); skip {
+			if prefix > 0 && prefix < len(d.perm) {
+				if !skipPrefix(d.perm, prefix) {
+					d.done = true
+					return nil, false
+				}
+				// skipPrefix already advanced to a fresh permutation;
+				// re-evaluate it without another nextPermutation step.
+				d.started = false
+			}
+			continue
+		}
+		d.explored++
+		return d.space.Flatten(d.perm), true
+	}
+}
+
+// Perm returns a copy of the current unit permutation (the one most
+// recently yielded). Only meaningful after a successful Next.
+func (d *DFSExplorer) Perm() []int {
+	out := make([]int, len(d.perm))
+	copy(out, d.perm)
+	return out
+}
+
+func (d *DFSExplorer) rejected() (skip bool, prefixLen int) {
+	for _, f := range d.filters {
+		if ok, prefix := f.Canonical(d.perm); !ok {
+			return true, prefix
+		}
+	}
+	return false, 0
+}
+
+// RandExplorer yields uniformly random interleavings without repetition,
+// the paper's Rand baseline. It keeps a cache of already-produced
+// permutation keys; the repeated shuffling needed to escape the cache is
+// what makes Rand the slowest mode in the paper's Figure 8b.
+type RandExplorer struct {
+	space    *Space
+	rng      *rand.Rand
+	seen     map[string]struct{}
+	perm     []int
+	explored int
+	shuffles int
+	// maxRetries bounds consecutive duplicate shuffles before the explorer
+	// declares the space (effectively) exhausted.
+	maxRetries int
+}
+
+var _ Explorer = (*RandExplorer)(nil)
+
+// DefaultRandRetries is the consecutive-duplicate bound after which the
+// random explorer gives up.
+const DefaultRandRetries = 100000
+
+// NewRand returns the Rand baseline explorer with a deterministic seed.
+func NewRand(space *Space, seed int64) *RandExplorer {
+	return &RandExplorer{
+		space:      space,
+		rng:        rand.New(rand.NewSource(seed)),
+		seen:       make(map[string]struct{}),
+		perm:       identityPerm(space.NumUnits()),
+		maxRetries: DefaultRandRetries,
+	}
+}
+
+// Mode implements Explorer.
+func (r *RandExplorer) Mode() string { return "rand" }
+
+// Explored implements Explorer.
+func (r *RandExplorer) Explored() int { return r.explored }
+
+// Shuffles returns the total number of shuffle attempts, including the
+// duplicates discarded by the cache. The excess over Explored measures the
+// wasted work the paper attributes to Rand.
+func (r *RandExplorer) Shuffles() int { return r.shuffles }
+
+// CacheSize returns the number of cached interleaving keys; the resource
+// that the succeed-or-crash micro-benchmark (paper Fig. 10) exhausts.
+func (r *RandExplorer) CacheSize() int { return len(r.seen) }
+
+// Next implements Explorer.
+func (r *RandExplorer) Next() (Interleaving, bool) {
+	// A space of n units has n! permutations; once all are seen, only
+	// duplicates remain. size guards exact exhaustion for small spaces.
+	size := r.space.Size()
+	for attempt := 0; attempt < r.maxRetries; attempt++ {
+		if size.IsInt64() && int64(len(r.seen)) >= size.Int64() {
+			return nil, false
+		}
+		r.shuffles++
+		r.rng.Shuffle(len(r.perm), func(i, j int) {
+			r.perm[i], r.perm[j] = r.perm[j], r.perm[i]
+		})
+		il := r.space.Flatten(r.perm)
+		key := il.Key()
+		if _, dup := r.seen[key]; dup {
+			continue
+		}
+		r.seen[key] = struct{}{}
+		r.explored++
+		return il, true
+	}
+	return nil, false
+}
+
+// Collect drains up to limit interleavings from an explorer. A limit of 0
+// drains the explorer completely (use only on small spaces).
+func Collect(e Explorer, limit int) []Interleaving {
+	var out []Interleaving
+	for {
+		il, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, il)
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package lockserver
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a minimal RESP client for the lock server. Safe for concurrent
+// use: requests are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a lock server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lockserver: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// reply is the decoded RESP response.
+type reply struct {
+	kind  byte // '+', '-', ':', '$'
+	str   string
+	n     int64
+	isNil bool
+}
+
+func (c *Client) do(args ...string) (reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(a), a)
+	}
+	if _, err := c.w.WriteString(b.String()); err != nil {
+		return reply{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return reply{}, err
+	}
+	return c.readReply()
+}
+
+func (c *Client) readReply() (reply, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return reply{}, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return reply{}, errors.New("lockserver: empty reply")
+	}
+	switch line[0] {
+	case '+':
+		return reply{kind: '+', str: line[1:]}, nil
+	case '-':
+		return reply{kind: '-', str: line[1:]}, nil
+	case ':':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return reply{}, err
+		}
+		return reply{kind: ':', n: n}, nil
+	case '$':
+		n, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return reply{}, err
+		}
+		if n < 0 {
+			return reply{kind: '$', isNil: true}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return reply{}, err
+		}
+		return reply{kind: '$', str: string(buf[:n])}, nil
+	default:
+		return reply{}, fmt.Errorf("lockserver: unexpected reply %q", line)
+	}
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	rep, err := c.do("PING")
+	if err != nil {
+		return err
+	}
+	if rep.kind != '+' || rep.str != "PONG" {
+		return fmt.Errorf("lockserver: unexpected ping reply %+v", rep)
+	}
+	return nil
+}
+
+// SetNX sets key=value with a TTL only if absent; reports acquisition.
+func (c *Client) SetNX(key, value string, ttl time.Duration) (bool, error) {
+	rep, err := c.do("SET", key, value, "NX", "PX", strconv.FormatInt(ttl.Milliseconds(), 10))
+	if err != nil {
+		return false, err
+	}
+	if rep.kind == '-' {
+		return false, errors.New(rep.str)
+	}
+	return !rep.isNil && rep.kind == '+', nil
+}
+
+// Set writes key=value unconditionally (no TTL).
+func (c *Client) Set(key, value string) error {
+	rep, err := c.do("SET", key, value)
+	if err != nil {
+		return err
+	}
+	if rep.kind == '-' {
+		return errors.New(rep.str)
+	}
+	return nil
+}
+
+// Get reads key.
+func (c *Client) Get(key string) (string, bool, error) {
+	rep, err := c.do("GET", key)
+	if err != nil {
+		return "", false, err
+	}
+	if rep.kind == '-' {
+		return "", false, errors.New(rep.str)
+	}
+	if rep.isNil {
+		return "", false, nil
+	}
+	return rep.str, true, nil
+}
+
+// Del removes key.
+func (c *Client) Del(key string) (bool, error) {
+	rep, err := c.do("DEL", key)
+	if err != nil {
+		return false, err
+	}
+	return rep.n == 1, nil
+}
+
+// Incr increments the counter at key.
+func (c *Client) Incr(key string) (int64, error) {
+	rep, err := c.do("INCR", key)
+	if err != nil {
+		return 0, err
+	}
+	if rep.kind == '-' {
+		return 0, errors.New(rep.str)
+	}
+	return rep.n, nil
+}
+
+// CompareAndDelete removes key iff its value equals expect.
+func (c *Client) CompareAndDelete(key, expect string) (bool, error) {
+	rep, err := c.do("CAD", key, expect)
+	if err != nil {
+		return false, err
+	}
+	return rep.n == 1, nil
+}
+
+// DMutex is a distributed mutex over a shared key, in the style of the
+// Redis Redlock pattern the paper uses: acquisition is SET key token NX PX,
+// release is an atomic compare-and-delete of the holder's token.
+type DMutex struct {
+	client *Client
+	key    string
+	token  string
+	ttl    time.Duration
+	retry  time.Duration
+}
+
+// NewDMutex builds a mutex on key with the given token (must be unique per
+// holder), lock TTL, and retry interval.
+func NewDMutex(client *Client, key, token string, ttl, retry time.Duration) *DMutex {
+	return &DMutex{client: client, key: key, token: token, ttl: ttl, retry: retry}
+}
+
+// Lock blocks until the mutex is acquired or the context is done.
+func (m *DMutex) Lock(ctx context.Context) error {
+	for {
+		ok, err := m.client.SetNX(m.key, m.token, m.ttl)
+		if err != nil {
+			return fmt.Errorf("lockserver: acquire %s: %w", m.key, err)
+		}
+		if ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(m.retry):
+		}
+	}
+}
+
+// Unlock releases the mutex if this holder still owns it.
+func (m *DMutex) Unlock() error {
+	ok, err := m.client.CompareAndDelete(m.key, m.token)
+	if err != nil {
+		return fmt.Errorf("lockserver: release %s: %w", m.key, err)
+	}
+	if !ok {
+		return fmt.Errorf("lockserver: release %s: not the holder (token %s)", m.key, m.token)
+	}
+	return nil
+}
+
+// Sequencer enforces a global turn order across replicas: each event of an
+// interleaving executes only when the shared counter reaches its position.
+type Sequencer struct {
+	client *Client
+	key    string
+	retry  time.Duration
+}
+
+// NewSequencer builds a sequencer on the given counter key.
+func NewSequencer(client *Client, key string, retry time.Duration) *Sequencer {
+	return &Sequencer{client: client, key: key, retry: retry}
+}
+
+// Reset sets the counter to zero.
+func (s *Sequencer) Reset() error {
+	return s.client.Set(s.key, "0")
+}
+
+// WaitTurn blocks until the shared counter equals turn.
+func (s *Sequencer) WaitTurn(ctx context.Context, turn int64) error {
+	for {
+		v, ok, err := s.client.Get(s.key)
+		if err != nil {
+			return err
+		}
+		cur := int64(0)
+		if ok {
+			cur, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("lockserver: sequencer key corrupt: %w", err)
+			}
+		}
+		if cur == turn {
+			return nil
+		}
+		if cur > turn {
+			return fmt.Errorf("lockserver: turn %d already passed (at %d)", turn, cur)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(s.retry):
+		}
+	}
+}
+
+// Advance increments the shared counter, handing the turn to the next
+// event.
+func (s *Sequencer) Advance() (int64, error) {
+	return s.client.Incr(s.key)
+}

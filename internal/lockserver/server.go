@@ -1,0 +1,251 @@
+package lockserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server serves the Store over TCP using a RESP subset: requests arrive as
+// RESP arrays of bulk strings; replies are simple strings, bulk strings,
+// integers, errors, or nil bulks — wire-compatible with the corresponding
+// Redis commands.
+type Server struct {
+	store *Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server over the given store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" picks a free
+// port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("lockserver: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and all connections, waiting for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return
+		}
+		reply := s.dispatch(args)
+		if _, err := w.WriteString(reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(args []string) string {
+	if len(args) == 0 {
+		return respError("empty command")
+	}
+	switch strings.ToUpper(args[0]) {
+	case "PING":
+		return respSimple("PONG")
+	case "SET":
+		return s.cmdSet(args[1:])
+	case "GET":
+		if len(args) != 2 {
+			return respError("GET requires 1 argument")
+		}
+		v, ok := s.store.Get(args[1])
+		if !ok {
+			return respNil()
+		}
+		return respBulk(v)
+	case "DEL":
+		if len(args) != 2 {
+			return respError("DEL requires 1 argument")
+		}
+		if s.store.Del(args[1]) {
+			return respInt(1)
+		}
+		return respInt(0)
+	case "INCR":
+		if len(args) != 2 {
+			return respError("INCR requires 1 argument")
+		}
+		n, err := s.store.Incr(args[1])
+		if err != nil {
+			return respError("value is not an integer")
+		}
+		return respInt(n)
+	case "CAD":
+		if len(args) != 3 {
+			return respError("CAD requires 2 arguments")
+		}
+		if s.store.CompareAndDelete(args[1], args[2]) {
+			return respInt(1)
+		}
+		return respInt(0)
+	default:
+		return respError("unknown command " + args[0])
+	}
+}
+
+func (s *Server) cmdSet(args []string) string {
+	if len(args) < 2 {
+		return respError("SET requires key and value")
+	}
+	key, value := args[0], args[1]
+	nx := false
+	var px time.Duration
+	for i := 2; i < len(args); i++ {
+		switch strings.ToUpper(args[i]) {
+		case "NX":
+			nx = true
+		case "PX":
+			if i+1 >= len(args) {
+				return respError("PX requires milliseconds")
+			}
+			ms, err := strconv.ParseInt(args[i+1], 10, 64)
+			if err != nil || ms <= 0 {
+				return respError("invalid PX value")
+			}
+			px = time.Duration(ms) * time.Millisecond
+			i++
+		default:
+			return respError("unknown SET option " + args[i])
+		}
+	}
+	if s.store.Set(key, value, nx, px) {
+		return respSimple("OK")
+	}
+	return respNil()
+}
+
+// readCommand parses one RESP array-of-bulk-strings request.
+func readCommand(r *bufio.Reader) ([]string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '*' {
+		return nil, fmt.Errorf("lockserver: malformed request %q", line)
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > 64 {
+		return nil, fmt.Errorf("lockserver: bad array length %q", line)
+	}
+	args := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		bulk, err := readBulk(r)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, bulk)
+	}
+	return args, nil
+}
+
+func readBulk(r *bufio.Reader) (string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return "", err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return "", fmt.Errorf("lockserver: expected bulk string, got %q", line)
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > 1<<20 {
+		return "", fmt.Errorf("lockserver: bad bulk length %q", line)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return "", errors.New("lockserver: bulk string missing CRLF")
+	}
+	return string(buf[:n]), nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func respSimple(s string) string { return "+" + s + "\r\n" }
+func respError(s string) string  { return "-ERR " + s + "\r\n" }
+func respInt(n int64) string     { return ":" + strconv.FormatInt(n, 10) + "\r\n" }
+func respNil() string            { return "$-1\r\n" }
+func respBulk(s string) string {
+	return "$" + strconv.Itoa(len(s)) + "\r\n" + s + "\r\n"
+}

@@ -1,0 +1,136 @@
+// Package lockserver provides the distributed-locking substrate ER-π uses
+// to enforce event order during replay (paper §4.3). It contains a small
+// Redis-compatible key-value server speaking a RESP subset over TCP
+// (SET [NX] [PX], GET, DEL, INCR, CAD, PING), a client, a Redlock-style
+// distributed mutex, and a turn sequencer built on the mutex.
+//
+// The paper deploys "a mutex with a shared key managed by a Redis server";
+// this package is that server and mutex, built from the standard library.
+package lockserver
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Store is the in-memory key-value state with per-key expiry. The clock is
+// injectable so that TTL behaviour is testable without sleeping.
+type Store struct {
+	mu   sync.Mutex
+	data map[string]entry
+	now  func() time.Time
+}
+
+type entry struct {
+	value     string
+	expiresAt time.Time // zero = no expiry
+}
+
+// NewStore returns an empty store using the real clock.
+func NewStore() *Store {
+	return &Store{data: make(map[string]entry), now: time.Now}
+}
+
+// NewStoreWithClock returns a store with an injected clock (tests).
+func NewStoreWithClock(now func() time.Time) *Store {
+	return &Store{data: make(map[string]entry), now: now}
+}
+
+func (s *Store) expiredLocked(k string) bool {
+	e, ok := s.data[k]
+	if !ok {
+		return true
+	}
+	if !e.expiresAt.IsZero() && !s.now().Before(e.expiresAt) {
+		delete(s.data, k)
+		return true
+	}
+	return false
+}
+
+// Set writes key=value. When nx is true the write only happens if the key
+// is absent (or expired); px>0 sets a TTL. Returns whether the write
+// happened.
+func (s *Store) Set(key, value string, nx bool, px time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nx && !s.expiredLocked(key) {
+		return false
+	}
+	e := entry{value: value}
+	if px > 0 {
+		e.expiresAt = s.now().Add(px)
+	}
+	s.data[key] = e
+	return true
+}
+
+// Get returns the live value for key.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expiredLocked(key) {
+		return "", false
+	}
+	return s.data[key].value, true
+}
+
+// Del removes key, reporting whether it was present.
+func (s *Store) Del(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expiredLocked(key) {
+		return false
+	}
+	delete(s.data, key)
+	return true
+}
+
+// Incr atomically increments the integer value at key (missing = 0) and
+// returns the new value.
+func (s *Store) Incr(key string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	if !s.expiredLocked(key) {
+		parsed, err := strconv.ParseInt(s.data[key].value, 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		n = parsed
+	}
+	n++
+	s.data[key] = entry{value: strconv.FormatInt(n, 10)}
+	return n, nil
+}
+
+// CompareAndDelete removes key only if its current value equals expect:
+// the atomic unlock primitive (Redis does this with a Lua script; we
+// provide it as a first-class command). Returns whether the delete
+// happened.
+func (s *Store) CompareAndDelete(key, expect string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expiredLocked(key) {
+		return false
+	}
+	if s.data[key].value != expect {
+		return false
+	}
+	delete(s.data, key)
+	return true
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.data {
+		if !s.expiredLocked(k) {
+			n++
+		}
+	}
+	return n
+}

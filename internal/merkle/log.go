@@ -1,0 +1,289 @@
+// Package merkle implements a Merkle-CRDT operation log: a content-
+// addressed DAG of entries with Lamport clocks, joined by set union, as
+// used by the OrbitDB evaluation subject (Sanjuan et al., "Merkle-CRDTs:
+// Merkle-DAGs meet CRDTs").
+//
+// Each entry hashes its payload, Lamport clock, writer identity, and parent
+// hashes; the log's heads are the entries no other entry references. Joins
+// union the entry sets, so replicas that exchange heads converge to the
+// same DAG; a total-order comparator linearizes the DAG for readers.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is one immutable node of the Merkle DAG.
+type Entry struct {
+	// Hash is the content address (hex SHA-256 of the canonical encoding).
+	Hash string `json:"hash"`
+	// Payload is the opaque operation carried by the entry.
+	Payload string `json:"payload"`
+	// Clock is the entry's Lamport timestamp.
+	Clock uint64 `json:"clock"`
+	// Identity names the writer.
+	Identity string `json:"identity"`
+	// Parents are the hashes of the log heads at append time.
+	Parents []string `json:"parents,omitempty"`
+}
+
+// canonical returns the deterministic byte encoding that is hashed.
+func (e *Entry) canonical() string {
+	parents := make([]string, len(e.Parents))
+	copy(parents, e.Parents)
+	sort.Strings(parents)
+	return fmt.Sprintf("payload=%q clock=%d id=%q parents=%s",
+		e.Payload, e.Clock, e.Identity, strings.Join(parents, ","))
+}
+
+// ComputeHash returns the content address of the entry's current fields.
+func (e *Entry) ComputeHash() string {
+	sum := sha256.Sum256([]byte(e.canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Verify reports whether the stored hash matches the entry contents — the
+// integrity check that OrbitDB issue #583 ("head hash didn't match the
+// contents") violates.
+func (e *Entry) Verify() bool {
+	return e.Hash == e.ComputeHash()
+}
+
+// TieBreak selects the total-order comparator used to linearize entries
+// with equal clocks.
+type TieBreak int
+
+// Comparator modes.
+const (
+	// TieBreakIdentityHash orders equal-clock entries by identity, then by
+	// hash — a total order (the fix for OrbitDB issue #513).
+	TieBreakIdentityHash TieBreak = iota + 1
+	// TieBreakIdentityOnly orders equal-clock entries by identity only;
+	// entries with the same clock AND identity have no defined order and
+	// fall back to internal arrival order — the defect of OrbitDB issue
+	// #513 (arrival order is deterministic for a given history but varies
+	// with the interleaving, which is exactly the reported hazard).
+	TieBreakIdentityOnly
+)
+
+// Log is a replica's view of the Merkle-CRDT log.
+type Log struct {
+	identity string
+	clock    uint64
+	entries  map[string]*Entry
+	tie      TieBreak
+	// arrival records the order entries entered this replica's DAG; the
+	// TieBreakIdentityOnly comparator falls back to it.
+	arrival        map[string]int
+	arrivalCounter int
+	// MaxClockSkew, when non-zero, rejects joined entries whose clock runs
+	// further than this ahead of the local clock. A zero value accepts any
+	// clock — the behaviour that lets OrbitDB issue #512 ("Lamport clock
+	// set far into future making db progress halt") happen.
+	MaxClockSkew uint64
+}
+
+// NewLog returns an empty log for a writer identity.
+func NewLog(identity string, tie TieBreak) *Log {
+	return &Log{
+		identity: identity,
+		entries:  make(map[string]*Entry),
+		tie:      tie,
+		arrival:  make(map[string]int),
+	}
+}
+
+// Identity returns the writer identity.
+func (l *Log) Identity() string { return l.identity }
+
+// Clock returns the current Lamport clock.
+func (l *Log) Clock() uint64 { return l.clock }
+
+// Len returns the number of entries in the DAG.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Append adds a new entry with the given payload on top of the current
+// heads and returns it.
+func (l *Log) Append(payload string) *Entry {
+	l.clock++
+	e := &Entry{
+		Payload:  payload,
+		Clock:    l.clock,
+		Identity: l.identity,
+		Parents:  l.Heads(),
+	}
+	e.Hash = e.ComputeHash()
+	l.entries[e.Hash] = e
+	l.arrivalCounter++
+	l.arrival[e.Hash] = l.arrivalCounter
+	return e
+}
+
+// Heads returns the hashes of entries not referenced as anyone's parent,
+// sorted for determinism.
+func (l *Log) Heads() []string {
+	referenced := make(map[string]bool)
+	for _, e := range l.entries {
+		for _, p := range e.Parents {
+			referenced[p] = true
+		}
+	}
+	var heads []string
+	for h := range l.entries {
+		if !referenced[h] {
+			heads = append(heads, h)
+		}
+	}
+	sort.Strings(heads)
+	return heads
+}
+
+// ErrClockSkew reports a joined entry rejected by the MaxClockSkew guard.
+type ErrClockSkew struct {
+	EntryClock uint64
+	LocalClock uint64
+	Limit      uint64
+}
+
+func (e *ErrClockSkew) Error() string {
+	return fmt.Sprintf("merkle: entry clock %d exceeds local clock %d by more than %d",
+		e.EntryClock, e.LocalClock, e.Limit)
+}
+
+// Join merges entries from another replica. Entries failing hash
+// verification are rejected; when MaxClockSkew is set, far-future clocks
+// are rejected too. The local clock witnesses every accepted entry.
+func (l *Log) Join(entries []*Entry) error {
+	for _, e := range entries {
+		if !e.Verify() {
+			return fmt.Errorf("merkle: join rejected entry %s: hash mismatch", shortHash(e.Hash))
+		}
+		if l.MaxClockSkew > 0 && e.Clock > l.clock+l.MaxClockSkew {
+			return &ErrClockSkew{EntryClock: e.Clock, LocalClock: l.clock, Limit: l.MaxClockSkew}
+		}
+	}
+	for _, e := range entries {
+		if _, ok := l.entries[e.Hash]; ok {
+			continue
+		}
+		cp := *e
+		cp.Parents = append([]string(nil), e.Parents...)
+		l.entries[e.Hash] = &cp
+		l.arrivalCounter++
+		l.arrival[e.Hash] = l.arrivalCounter
+		if e.Clock > l.clock {
+			l.clock = e.Clock
+		}
+	}
+	return nil
+}
+
+// Entries returns every entry (copy) in local arrival order — the order a
+// peer streams its log to others, which keeps replay deterministic.
+func (l *Log) Entries() []*Entry {
+	out := make([]*Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		cp := *e
+		cp.Parents = append([]string(nil), e.Parents...)
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return l.arrival[out[i].Hash] < l.arrival[out[j].Hash]
+	})
+	return out
+}
+
+// Get returns the entry with the given hash.
+func (l *Log) Get(hash string) (*Entry, bool) {
+	e, ok := l.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	cp := *e
+	cp.Parents = append([]string(nil), e.Parents...)
+	return &cp, true
+}
+
+// Ordered returns the entries linearized by (clock, tie-break). With
+// TieBreakIdentityOnly, entries sharing clock and identity order by local
+// arrival — the OrbitDB #513 defect: replicas that received them in
+// different orders disagree.
+func (l *Log) Ordered() []*Entry {
+	out := l.Entries()
+	switch l.tie {
+	case TieBreakIdentityOnly:
+		// Deliberately NOT a total order over entry contents: equal
+		// (clock, identity) entries fall back to local arrival order, so
+		// two replicas that received them in different orders read the
+		// log differently.
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Clock != out[j].Clock {
+				return out[i].Clock < out[j].Clock
+			}
+			if out[i].Identity != out[j].Identity {
+				return out[i].Identity < out[j].Identity
+			}
+			return l.arrival[out[i].Hash] < l.arrival[out[j].Hash]
+		})
+	default:
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Clock != out[j].Clock {
+				return out[i].Clock < out[j].Clock
+			}
+			if out[i].Identity != out[j].Identity {
+				return out[i].Identity < out[j].Identity
+			}
+			return out[i].Hash < out[j].Hash
+		})
+	}
+	return out
+}
+
+// Payloads returns the linearized payloads.
+func (l *Log) Payloads() []string {
+	ordered := l.Ordered()
+	out := make([]string, len(ordered))
+	for i, e := range ordered {
+		out[i] = e.Payload
+	}
+	return out
+}
+
+// Clone returns an independent copy of the log.
+func (l *Log) Clone() *Log {
+	out := NewLog(l.identity, l.tie)
+	out.clock = l.clock
+	out.MaxClockSkew = l.MaxClockSkew
+	out.arrivalCounter = l.arrivalCounter
+	for h, e := range l.entries {
+		cp := *e
+		cp.Parents = append([]string(nil), e.Parents...)
+		out.entries[h] = &cp
+		out.arrival[h] = l.arrival[h]
+	}
+	return out
+}
+
+// Equal reports whether two logs hold the same entry set.
+func (l *Log) Equal(other *Log) bool {
+	if len(l.entries) != len(other.entries) {
+		return false
+	}
+	for h := range l.entries {
+		if _, ok := other.entries[h]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func shortHash(h string) string {
+	if len(h) > 8 {
+		return h[:8]
+	}
+	return h
+}

@@ -1,0 +1,214 @@
+package merkle
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndHeads(t *testing.T) {
+	l := NewLog("A", TieBreakIdentityHash)
+	e1 := l.Append("op1")
+	if !e1.Verify() {
+		t.Fatal("fresh entry must verify")
+	}
+	if heads := l.Heads(); len(heads) != 1 || heads[0] != e1.Hash {
+		t.Fatalf("Heads = %v", heads)
+	}
+	e2 := l.Append("op2")
+	if len(e2.Parents) != 1 || e2.Parents[0] != e1.Hash {
+		t.Fatalf("e2 parents = %v, want [e1]", e2.Parents)
+	}
+	if heads := l.Heads(); len(heads) != 1 || heads[0] != e2.Hash {
+		t.Fatalf("Heads after e2 = %v", heads)
+	}
+	if l.Clock() != 2 || l.Len() != 2 {
+		t.Fatalf("clock=%d len=%d", l.Clock(), l.Len())
+	}
+}
+
+func TestVerifyDetectsMutation(t *testing.T) {
+	l := NewLog("A", TieBreakIdentityHash)
+	e := l.Append("original")
+	e.Payload = "tampered"
+	if e.Verify() {
+		t.Fatal("mutated entry must fail verification (OrbitDB #583)")
+	}
+}
+
+func TestJoinConvergence(t *testing.T) {
+	a := NewLog("A", TieBreakIdentityHash)
+	b := NewLog("B", TieBreakIdentityHash)
+	a.Append("a1")
+	b.Append("b1")
+	if err := a.Join(b.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Join(a.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("logs must converge after mutual join")
+	}
+	if !reflect.DeepEqual(a.Payloads(), b.Payloads()) {
+		t.Fatalf("linearization differs: %v vs %v", a.Payloads(), b.Payloads())
+	}
+	// Two concurrent roots -> two heads until someone appends on top.
+	if heads := a.Heads(); len(heads) != 2 {
+		t.Fatalf("Heads = %v, want 2 concurrent heads", heads)
+	}
+	a.Append("a2")
+	if heads := a.Heads(); len(heads) != 1 {
+		t.Fatalf("append must subsume both heads, got %v", heads)
+	}
+}
+
+func TestJoinRejectsTamperedEntry(t *testing.T) {
+	a := NewLog("A", TieBreakIdentityHash)
+	b := NewLog("B", TieBreakIdentityHash)
+	a.Append("x")
+	entries := a.Entries()
+	entries[0].Payload = "evil"
+	if err := b.Join(entries); err == nil {
+		t.Fatal("join must reject entries failing verification")
+	}
+}
+
+func TestJoinWitnessesClock(t *testing.T) {
+	a := NewLog("A", TieBreakIdentityHash)
+	b := NewLog("B", TieBreakIdentityHash)
+	for i := 0; i < 5; i++ {
+		a.Append("x")
+	}
+	if err := b.Join(a.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	e := b.Append("mine")
+	if e.Clock != 6 {
+		t.Fatalf("clock after join = %d, want 6", e.Clock)
+	}
+}
+
+func TestMaxClockSkewGuard(t *testing.T) {
+	// Craft a far-future entry (the OrbitDB #512 scenario).
+	evil := NewLog("E", TieBreakIdentityHash)
+	evil.clock = 1 << 40
+	evil.Append("future")
+
+	open := NewLog("A", TieBreakIdentityHash) // no guard
+	if err := open.Join(evil.Entries()); err != nil {
+		t.Fatalf("unguarded log must accept any clock: %v", err)
+	}
+	if open.Clock() <= 1<<40 {
+		t.Fatal("clock must jump to the far future — the halt hazard")
+	}
+
+	guarded := NewLog("B", TieBreakIdentityHash)
+	guarded.MaxClockSkew = 1000
+	err := guarded.Join(evil.Entries())
+	var skew *ErrClockSkew
+	if !errors.As(err, &skew) {
+		t.Fatalf("guarded log must reject far-future clocks, got %v", err)
+	}
+	if skew.EntryClock <= skew.LocalClock {
+		t.Fatal("skew error fields inconsistent")
+	}
+}
+
+func TestOrderedTotalOrderConverges(t *testing.T) {
+	// Same entries joined in different orders linearize identically with
+	// the identity+hash tie break.
+	a := NewLog("A", TieBreakIdentityHash)
+	b := NewLog("B", TieBreakIdentityHash)
+	c := NewLog("C", TieBreakIdentityHash)
+	a.Append("pa")
+	b.Append("pb")
+	c.Append("pc") // all three have clock=1: tie-break territory
+	l1 := NewLog("X", TieBreakIdentityHash)
+	l2 := NewLog("Y", TieBreakIdentityHash)
+	for _, src := range []*Log{a, b, c} {
+		if err := l1.Join(src.Entries()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, src := range []*Log{c, a, b} {
+		if err := l2.Join(src.Entries()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(l1.Payloads(), l2.Payloads()) {
+		t.Fatalf("total order diverged: %v vs %v", l1.Payloads(), l2.Payloads())
+	}
+}
+
+func TestGetAndEntriesAreCopies(t *testing.T) {
+	l := NewLog("A", TieBreakIdentityHash)
+	e := l.Append("x")
+	got, ok := l.Get(e.Hash)
+	if !ok {
+		t.Fatal("Get missed an existing entry")
+	}
+	got.Payload = "mutated"
+	again, _ := l.Get(e.Hash)
+	if again.Payload != "x" {
+		t.Fatal("Get must return a copy")
+	}
+	if _, ok := l.Get("nope"); ok {
+		t.Fatal("Get of unknown hash")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := NewLog("A", TieBreakIdentityHash)
+	l.Append("x")
+	cp := l.Clone()
+	cp.Append("y")
+	if l.Len() != 1 || cp.Len() != 2 {
+		t.Fatalf("clone not independent: %d %d", l.Len(), cp.Len())
+	}
+	if !l.Clone().Equal(l) {
+		t.Fatal("clone must equal original")
+	}
+}
+
+// TestJoinProperty: joining any subsets in any order yields the same entry
+// set (join is a semilattice merge).
+func TestJoinProperty(t *testing.T) {
+	f := func(payloads []string, order uint8) bool {
+		if len(payloads) == 0 {
+			return true
+		}
+		if len(payloads) > 6 {
+			payloads = payloads[:6]
+		}
+		writers := []*Log{
+			NewLog("A", TieBreakIdentityHash),
+			NewLog("B", TieBreakIdentityHash),
+		}
+		for i, p := range payloads {
+			writers[i%2].Append(p)
+		}
+		x := NewLog("X", TieBreakIdentityHash)
+		y := NewLog("Y", TieBreakIdentityHash)
+		if err := x.Join(writers[0].Entries()); err != nil {
+			return false
+		}
+		if err := x.Join(writers[1].Entries()); err != nil {
+			return false
+		}
+		if err := y.Join(writers[1].Entries()); err != nil {
+			return false
+		}
+		if err := y.Join(writers[0].Entries()); err != nil {
+			return false
+		}
+		if err := y.Join(writers[0].Entries()); err != nil { // idempotent
+			return false
+		}
+		return x.Equal(y) && reflect.DeepEqual(x.Payloads(), y.Payloads())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

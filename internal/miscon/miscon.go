@@ -1,0 +1,422 @@
+// Package miscon implements the misconception study of the paper's §6.2
+// (RQ2): five commonly held wrong assumptions about replicated data
+// libraries are seeded into the evaluation subjects, and ER-π's exhaustive
+// replay detects each by violating a property assertion.
+//
+// The five misconceptions:
+//
+//	#1 The underlying network ensures causal delivery.
+//	#2 The order of List elements is always consistent.
+//	#3 Moving items in a List doesn't cause duplication.
+//	#4 Sequential IDs are always suitable for creating new items.
+//	#5 Multiple replicas in different regions mathematically resolve to
+//	   the same state without coordination.
+//
+// Each scenario pairs a seeding strategy (per §6.2) with the detector the
+// paper describes; the covered (subject, misconception) cells reproduce
+// Table 2.
+package miscon
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/er-pi/erpi/internal/check"
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/prune"
+	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/subjects/crdts"
+	"github.com/er-pi/erpi/internal/subjects/orbit"
+	"github.com/er-pi/erpi/internal/subjects/replicadb"
+	"github.com/er-pi/erpi/internal/subjects/roshi"
+	"github.com/er-pi/erpi/internal/subjects/yorkie"
+)
+
+// Scenario is one cell of Table 2.
+type Scenario struct {
+	// Misconception is the label number (1..5).
+	Misconception int
+	// Subject names the evaluation subject.
+	Subject string
+	// Seeding describes how the misconception was seeded (paper §6.2).
+	Seeding string
+	// Build records the workload.
+	Build func() (runner.Scenario, error)
+	// NewAssertions returns fresh detector instances.
+	NewAssertions func() []runner.Assertion
+}
+
+// Name renders "Roshi#1".
+func (s *Scenario) Name() string {
+	return fmt.Sprintf("%s#%d", s.Subject, s.Misconception)
+}
+
+// All returns every covered (subject, misconception) cell in Table-2
+// order (by misconception, then subject).
+func All() []*Scenario {
+	return []*Scenario{
+		m1Roshi(), m1Orbit(), m1ReplicaDB(), m1Yorkie(), m1CRDTs(),
+		m2Roshi(), m2CRDTs(),
+		m3Roshi(), m3CRDTs(),
+		m4CRDTs(),
+		m5Roshi(), m5Orbit(), m5Yorkie(), m5CRDTs(),
+	}
+}
+
+// Covered reports whether Table 2 has a checkmark for the cell.
+func Covered(subject string, misconception int) bool {
+	for _, s := range All() {
+		if s.Subject == subject && s.Misconception == misconception {
+			return true
+		}
+	}
+	return false
+}
+
+// Subjects lists the evaluation subjects in Table-2 row order.
+func Subjects() []string {
+	return []string{"Roshi", "OrbitDB", "ReplicaDB", "Yorkie", "CRDTs"}
+}
+
+func record(name string, newCluster func() (*replica.Cluster, error),
+	script func(rec *runner.Recorder), pruning prune.Config,
+	finalize func(*replica.Cluster) error) func() (runner.Scenario, error) {
+	return func() (runner.Scenario, error) {
+		cluster, err := newCluster()
+		if err != nil {
+			return runner.Scenario{}, err
+		}
+		rec := runner.NewRecorder(cluster)
+		script(rec)
+		log, err := rec.Log()
+		if err != nil {
+			return runner.Scenario{}, fmt.Errorf("miscon: %s: %w", name, err)
+		}
+		return runner.Scenario{
+			Name:       name,
+			Log:        log,
+			NewCluster: newCluster,
+			Pruning:    pruning,
+			Finalize:   finalize,
+		}, nil
+	}
+}
+
+func threeOf(mk func(rep string) replica.State) func() (*replica.Cluster, error) {
+	return func() (*replica.Cluster, error) {
+		return replica.NewCluster(map[event.ReplicaID]replica.State{
+			"A": mk("A"), "B": mk("B"), "C": mk("C"),
+		}), nil
+	}
+}
+
+// --- Misconception #1: "the underlying network ensures causal delivery" —
+// seeded by disabling the conflict-resolution step so arrival order wins;
+// detected by comparing a replica's post-anti-entropy state across
+// interleavings (paper: "the replica's state diverges from one
+// interleaving to another").
+
+const seed1 = "conflict-resolution step disabled; arrival order wins"
+
+func stateStableDetector(rep event.ReplicaID) func() []runner.Assertion {
+	return func() []runner.Assertion {
+		return []runner.Assertion{&check.StateStable{Replica: rep}}
+	}
+}
+
+func m1Roshi() *Scenario {
+	newCluster := threeOf(func(string) replica.State { return roshi.New(roshi.Flags{ArrivalWins: true}) })
+	return &Scenario{
+		Misconception: 1, Subject: "Roshi", Seeding: seed1,
+		Build: record("Roshi#1", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "insert", "k", "m", "5")
+			rec.Sync("A", "B")
+			rec.Update("B", "insert", "k", "m", "3")
+			rec.Sync("B", "A")
+			rec.Update("B", "delete", "k", "m", "4")
+			rec.Sync("B", "A")
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"A"}}, runner.AntiEntropy(2)),
+		NewAssertions: stateStableDetector("A"),
+	}
+}
+
+func m1Orbit() *Scenario {
+	// Both devices share one identity: without the causal total order the
+	// log linearization follows arrival.
+	newCluster := threeOf(func(rep string) replica.State {
+		id := rep
+		if rep == "A" || rep == "B" {
+			id = "W"
+		}
+		return orbit.New(id, orbit.Flags{BugTieBreaker: true})
+	})
+	return &Scenario{
+		Misconception: 1, Subject: "OrbitDB", Seeding: seed1,
+		Build: record("OrbitDB#1", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "append", "p1")
+			rec.Update("B", "append", "p2")
+			rec.Sync("A", "B")
+			rec.Sync("B", "A")
+			rec.Sync("A", "C")
+			rec.Sync("B", "C")
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"C"}}, runner.AntiEntropy(2)),
+		NewAssertions: stateStableDetector("C"),
+	}
+}
+
+func m1ReplicaDB() *Scenario {
+	newCluster := threeOf(func(string) replica.State {
+		return replicadb.New(replicadb.Flags{NoVersionResolution: true})
+	})
+	return &Scenario{
+		Misconception: 1, Subject: "ReplicaDB", Seeding: seed1,
+		Build: record("ReplicaDB#1", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "insert", "k", "va")
+			rec.Update("B", "insert", "k", "vb")
+			rec.Sync("A", "B")
+			rec.Sync("B", "A")
+			rec.Update("A", "transferComplete")
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"A"}}, runner.AntiEntropy(2)),
+		NewAssertions: stateStableDetector("A"),
+	}
+}
+
+func m1Yorkie() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State {
+		return yorkie.New(rep, yorkie.Flags{NoStampResolution: true})
+	})
+	return &Scenario{
+		Misconception: 1, Subject: "Yorkie", Seeding: seed1,
+		Build: record("Yorkie#1", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "set", "k", "va")
+			rec.Update("B", "set", "k", "vb")
+			rec.Sync("A", "B")
+			rec.Sync("B", "A")
+			rec.Update("C", "set", "other", "x")
+			rec.Sync("C", "A")
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"A"}}, runner.AntiEntropy(2)),
+		NewAssertions: stateStableDetector("A"),
+	}
+}
+
+func m1CRDTs() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State {
+		return crdts.New(rep, crdts.Flags{LastSyncWins: true})
+	})
+	return &Scenario{
+		Misconception: 1, Subject: "CRDTs", Seeding: seed1,
+		Build: record("CRDTs#1", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "tag.add", "urgent")
+			rec.Update("B", "tag.add", "later")
+			rec.Sync("A", "B")
+			rec.Sync("B", "A")
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"A"}}, runner.AntiEntropy(2)),
+		NewAssertions: stateStableDetector("A"),
+	}
+}
+
+// --- Misconception #2: "the order of List elements is always consistent"
+// — seeded with an unsorted replicated list; detected by checking the list
+// order across replicas and interleavings.
+
+const seed2 = "replicated list left unsorted"
+
+func m2Roshi() *Scenario {
+	newCluster := threeOf(func(string) replica.State { return roshi.New(roshi.Flags{BugMapOrder: true}) })
+	return &Scenario{
+		Misconception: 2, Subject: "Roshi", Seeding: seed2,
+		Build: record("Roshi#2", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "insert", "k", "x", "5")
+			rec.Sync("A", "B")
+			rec.Update("B", "insert", "k", "y", "5")
+			rec.Sync("B", "A")
+			rec.Observe("A", "select", "k")
+			rec.Observe("B", "select", "k")
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"A"}}, nil),
+		NewAssertions: func() []runner.Assertion {
+			return []runner.Assertion{
+				&check.ObservationStable{Event: 4},
+				&check.ObservationStable{Event: 5},
+			}
+		},
+	}
+}
+
+func m2CRDTs() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State { return crdts.New(rep, crdts.Flags{}) })
+	return &Scenario{
+		Misconception: 2, Subject: "CRDTs", Seeding: seed2,
+		Build: record("CRDTs#2", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "list.insert", "0", "a")
+			rec.Update("B", "list.insert", "0", "b")
+			rec.Sync("A", "B")
+			rec.Sync("B", "A")
+			rec.Observe("A", "list.read")
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"A"}}, nil),
+		NewAssertions: func() []runner.Assertion {
+			return []runner.Assertion{&check.ObservationStable{Event: 4}}
+		},
+	}
+}
+
+// --- Misconception #3: "moving items in a List doesn't cause duplication"
+// — seeded with a delete+insert move; detected by interleaving concurrent
+// moves of the same element and checking for duplicates.
+
+const seed3 = "move implemented as delete followed by insert"
+
+func m3Roshi() *Scenario {
+	// Items are positioned members "item#pos"; a move deletes the old
+	// position and inserts the new one, so concurrent moves leave two
+	// positioned copies of the same logical item.
+	newCluster := threeOf(func(string) replica.State { return roshi.New(roshi.Flags{}) })
+	return &Scenario{
+		Misconception: 3, Subject: "Roshi", Seeding: seed3,
+		Build: record("Roshi#3", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "insert", "k", "item#p1", "1") // 0
+			rec.Sync("A", "B")                             // 1
+			// A moves the item to p2; B concurrently to p3.
+			rec.Update("A", "delete", "k", "item#p1", "2") // 2
+			rec.Update("A", "insert", "k", "item#p2", "2") // 3
+			rec.Update("B", "delete", "k", "item#p1", "3") // 4
+			rec.Update("B", "insert", "k", "item#p3", "3") // 5
+			rec.Sync("A", "B")                             // 6
+			rec.Sync("B", "A")                             // 7
+			rec.Observe("A", "select", "k")                // 8
+		}, prune.Config{
+			Grouping:       prune.GroupSpec{Extra: [][]event.ID{{2, 3}, {4, 5}}},
+			TestedReplicas: []event.ReplicaID{"A"},
+		}, runner.AntiEntropy(2)),
+		NewAssertions: func() []runner.Assertion {
+			return []runner.Assertion{check.Custom{
+				Label: "no-logical-duplicate",
+				Fn: func(o *runner.Outcome) error {
+					got, ok := o.Observations[8]
+					if !ok {
+						return nil
+					}
+					n := strings.Count(got, "item#")
+					if n > 1 {
+						return fmt.Errorf("logical item present %d times: %q", n, got)
+					}
+					return nil
+				},
+			}}
+		},
+	}
+}
+
+func m3CRDTs() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State {
+		return crdts.New(rep, crdts.Flags{NaiveMove: true})
+	})
+	return &Scenario{
+		Misconception: 3, Subject: "CRDTs", Seeding: seed3,
+		Build: record("CRDTs#3", newCluster, func(rec *runner.Recorder) {
+			rec.Update("A", "list.insert", "0", "x") // 0
+			rec.Update("A", "list.insert", "1", "y") // 1
+			rec.Update("A", "list.insert", "2", "z") // 2
+			rec.Sync("A", "B")                       // 3
+			rec.Update("A", "list.move", "0", "3")   // 4
+			rec.Sync("A", "B")                       // 5
+			rec.Update("B", "list.move", "0", "2")   // 6
+			rec.Sync("B", "A")                       // 7
+			rec.Observe("A", "list.read")            // 8
+		}, prune.Config{
+			Grouping:       prune.GroupSpec{Extra: [][]event.ID{{0, 1, 2, 3}}},
+			TestedReplicas: []event.ReplicaID{"A"},
+		}, runner.AntiEntropy(2)),
+		NewAssertions: func() []runner.Assertion {
+			return []runner.Assertion{check.NoDuplicates{Event: 8}}
+		},
+	}
+}
+
+// --- Misconception #4: "sequential IDs are always suitable for creating
+// new items in a to-do list" — seeded with max+1 IDs; detected by
+// interleaving concurrent creations and checking for ID clashes.
+
+const seed4 = "to-do IDs generated as highest-known + 1"
+
+func m4CRDTs() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State {
+		return crdts.New(rep, crdts.Flags{SequentialIDs: true})
+	})
+	return &Scenario{
+		Misconception: 4, Subject: "CRDTs", Seeding: seed4,
+		Build: record("CRDTs#4", newCluster, func(rec *runner.Recorder) {
+			rec.Observe("A", "todo.create", "buy milk") // 0: returns the ID
+			rec.Sync("A", "B")                          // 1
+			rec.Observe("B", "todo.create", "walk dog") // 2: returns the ID
+			rec.Sync("B", "A")                          // 3
+			rec.Observe("A", "todo.read")               // 4
+		}, prune.Config{TestedReplicas: []event.ReplicaID{"A"}}, runner.AntiEntropy(2)),
+		NewAssertions: func() []runner.Assertion {
+			return []runner.Assertion{check.NoClash{EventA: 0, EventB: 2}}
+		},
+	}
+}
+
+// --- Misconception #5: "multiple replicas in different regions
+// mathematically resolve to the same state without coordination" — seeded
+// by stopping coordination for one replica (the motivating example);
+// detected by comparing that replica's state across interleavings.
+
+const seed5 = "coordination stopped for one replica"
+
+func m5Workload(newCluster func() (*replica.Cluster, error), name string,
+	script func(rec *runner.Recorder), tested event.ReplicaID) *Scenario {
+	return &Scenario{
+		Misconception: 5, Subject: strings.Split(name, "#")[0], Seeding: seed5,
+		Build:         record(name, newCluster, script, prune.Config{TestedReplicas: []event.ReplicaID{tested}}, nil),
+		NewAssertions: stateStableDetector(tested),
+	}
+}
+
+func m5Roshi() *Scenario {
+	newCluster := threeOf(func(string) replica.State { return roshi.New(roshi.Flags{}) })
+	return m5Workload(newCluster, "Roshi#5", func(rec *runner.Recorder) {
+		rec.Update("A", "insert", "k", "otb", "1")
+		rec.Sync("A", "B")
+		rec.Update("B", "insert", "k", "ph", "2")
+		rec.Update("B", "delete", "k", "otb", "3")
+		rec.Sync("B", "A")
+		rec.Sync("A", "C") // the only transmission C ever gets
+	}, "C")
+}
+
+func m5Orbit() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State { return orbit.New(rep, orbit.Flags{}) })
+	return m5Workload(newCluster, "OrbitDB#5", func(rec *runner.Recorder) {
+		rec.Update("A", "append", "a1")
+		rec.Sync("A", "B")
+		rec.Update("B", "append", "b1")
+		rec.Sync("B", "A")
+		rec.Sync("A", "C") // C is never synced again
+	}, "C")
+}
+
+func m5Yorkie() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State { return yorkie.New(rep, yorkie.Flags{}) })
+	return m5Workload(newCluster, "Yorkie#5", func(rec *runner.Recorder) {
+		rec.Update("A", "set", "issues.otb", "open")
+		rec.Sync("A", "B")
+		rec.Update("B", "deleteKey", "issues.otb")
+		rec.Update("B", "set", "issues.ph", "open")
+		rec.Sync("B", "A")
+		rec.Sync("A", "C")
+	}, "C")
+}
+
+func m5CRDTs() *Scenario {
+	newCluster := threeOf(func(rep string) replica.State { return crdts.New(rep, crdts.Flags{}) })
+	return m5Workload(newCluster, "CRDTs#5", func(rec *runner.Recorder) {
+		rec.Update("A", "tag.add", "otb")
+		rec.Sync("A", "B")
+		rec.Update("B", "tag.add", "ph")
+		rec.Update("B", "tag.remove", "otb")
+		rec.Sync("B", "A")
+		rec.Sync("A", "C")
+	}, "C")
+}

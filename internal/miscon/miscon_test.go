@@ -1,0 +1,81 @@
+package miscon
+
+import (
+	"testing"
+
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// TestTable2Coverage pins the checkmark matrix of the paper's Table 2.
+func TestTable2Coverage(t *testing.T) {
+	want := map[string][]int{
+		"Roshi":     {1, 2, 3, 5},
+		"OrbitDB":   {1, 5},
+		"ReplicaDB": {1},
+		"Yorkie":    {1, 5},
+		"CRDTs":     {1, 2, 3, 4, 5},
+	}
+	total := 0
+	for subject, ms := range want {
+		for _, m := range ms {
+			if !Covered(subject, m) {
+				t.Errorf("missing cell %s#%d", subject, m)
+			}
+			total++
+		}
+	}
+	if got := len(All()); got != total {
+		t.Errorf("scenarios = %d, want %d", got, total)
+	}
+	// Cells the paper leaves blank must stay blank.
+	for _, blank := range []struct {
+		subject string
+		m       int
+	}{{"OrbitDB", 2}, {"OrbitDB", 3}, {"OrbitDB", 4}, {"ReplicaDB", 2},
+		{"ReplicaDB", 3}, {"ReplicaDB", 4}, {"ReplicaDB", 5},
+		{"Yorkie", 2}, {"Yorkie", 3}, {"Yorkie", 4}, {"Roshi", 4}} {
+		if Covered(blank.subject, blank.m) {
+			t.Errorf("cell %s#%d should be blank", blank.subject, blank.m)
+		}
+	}
+}
+
+// TestEveryScenarioDetects runs each seeded scenario under ER-π's pruned
+// exploration and requires the detector to fire — the RQ2 result.
+func TestEveryScenarioDetects(t *testing.T) {
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			s, err := sc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := runner.Run(s, runner.Config{
+				Mode:             runner.ModeERPi,
+				MaxInterleavings: 2000,
+				StopOnViolation:  true,
+				Assertions:       sc.NewAssertions(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FirstViolation == 0 {
+				t.Fatalf("misconception not detected in %d interleavings (exhausted=%v)",
+					res.Explored, res.Exhausted)
+			}
+			t.Logf("detected at interleaving %d", res.FirstViolation)
+		})
+	}
+}
+
+// TestScenarioNames sanity-checks naming.
+func TestScenarioNames(t *testing.T) {
+	for _, sc := range All() {
+		if sc.Name() == "" || sc.Seeding == "" {
+			t.Errorf("scenario %+v missing name or seeding", sc)
+		}
+	}
+	if len(Subjects()) != 5 {
+		t.Error("five subjects expected")
+	}
+}

@@ -1,0 +1,164 @@
+// Package profile implements the resource-profiling extension the paper
+// names as future work (§8: "resource profiling and fuzzing"): it measures
+// what each explored interleaving costs the replicated system — RDL
+// operations executed, synchronization payload bytes shipped, snapshot
+// sizes — and aggregates the distribution across an exploration, so that
+// order-dependent resource blow-ups (like ReplicaDB's issue-#79 buffer
+// growth) show up as outliers even before they violate an assertion.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// Profiler accumulates resource metrics. Wrap the replica states at
+// cluster construction and pass OnOutcome to the runner config; both hooks
+// are safe for the runner's sequential executor and the live replayer.
+type Profiler struct {
+	mu sync.Mutex
+
+	// ops counts RDL operations by name.
+	ops map[string]int
+	// syncBytesOut / syncBytesIn total the payload bytes produced and
+	// applied.
+	syncBytesOut int64
+	syncBytesIn  int64
+	// maxPayload is the largest single sync payload seen.
+	maxPayload int
+	// snapshotBytes totals checkpoint traffic.
+	snapshotBytes int64
+
+	// interleavings counts outcomes observed; failedOps totals rejections.
+	interleavings int
+	failedOps     int
+	// maxFailedPerIL is the worst single interleaving by rejections.
+	maxFailedPerIL int
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{ops: make(map[string]int)}
+}
+
+// Wrap instruments a replica state; all resource flows through the state
+// are accounted to the profiler.
+func (p *Profiler) Wrap(inner replica.State) replica.State {
+	return &profiledState{inner: inner, p: p}
+}
+
+// OnOutcome is the runner hook counting per-interleaving outcomes.
+func (p *Profiler) OnOutcome(o *runner.Outcome) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.interleavings++
+	p.failedOps += len(o.FailedOps)
+	if len(o.FailedOps) > p.maxFailedPerIL {
+		p.maxFailedPerIL = len(o.FailedOps)
+	}
+}
+
+// Snapshot returns a copy of the current metrics.
+func (p *Profiler) Snapshot() Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ops := make(map[string]int, len(p.ops))
+	for k, v := range p.ops {
+		ops[k] = v
+	}
+	return Report{
+		Ops:            ops,
+		SyncBytesOut:   p.syncBytesOut,
+		SyncBytesIn:    p.syncBytesIn,
+		MaxPayload:     p.maxPayload,
+		SnapshotBytes:  p.snapshotBytes,
+		Interleavings:  p.interleavings,
+		FailedOps:      p.failedOps,
+		MaxFailedPerIL: p.maxFailedPerIL,
+	}
+}
+
+// Report is a point-in-time view of the metrics.
+type Report struct {
+	Ops            map[string]int
+	SyncBytesOut   int64
+	SyncBytesIn    int64
+	MaxPayload     int
+	SnapshotBytes  int64
+	Interleavings  int
+	FailedOps      int
+	MaxFailedPerIL int
+}
+
+// Render formats the report for humans.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "interleavings explored: %d\n", r.Interleavings)
+	fmt.Fprintf(&b, "failed ops: %d total, worst interleaving %d\n", r.FailedOps, r.MaxFailedPerIL)
+	fmt.Fprintf(&b, "sync traffic: %d B out, %d B in, largest payload %d B\n",
+		r.SyncBytesOut, r.SyncBytesIn, r.MaxPayload)
+	fmt.Fprintf(&b, "checkpoint traffic: %d B\n", r.SnapshotBytes)
+	names := make([]string, 0, len(r.Ops))
+	for name := range r.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  op %-24s %d\n", name, r.Ops[name])
+	}
+	return b.String()
+}
+
+// profiledState instruments one replica's state.
+type profiledState struct {
+	inner replica.State
+	p     *Profiler
+}
+
+var _ replica.State = (*profiledState)(nil)
+
+func (s *profiledState) Apply(op replica.Op) (string, error) {
+	s.p.mu.Lock()
+	s.p.ops[op.Name]++
+	s.p.mu.Unlock()
+	return s.inner.Apply(op)
+}
+
+func (s *profiledState) SyncPayload() ([]byte, error) {
+	payload, err := s.inner.SyncPayload()
+	if err == nil {
+		s.p.mu.Lock()
+		s.p.syncBytesOut += int64(len(payload))
+		if len(payload) > s.p.maxPayload {
+			s.p.maxPayload = len(payload)
+		}
+		s.p.mu.Unlock()
+	}
+	return payload, err
+}
+
+func (s *profiledState) ApplySync(payload []byte) error {
+	s.p.mu.Lock()
+	s.p.syncBytesIn += int64(len(payload))
+	s.p.mu.Unlock()
+	return s.inner.ApplySync(payload)
+}
+
+func (s *profiledState) Snapshot() ([]byte, error) {
+	snap, err := s.inner.Snapshot()
+	if err == nil {
+		s.p.mu.Lock()
+		s.p.snapshotBytes += int64(len(snap))
+		s.p.mu.Unlock()
+	}
+	return snap, err
+}
+
+func (s *profiledState) Restore(snap []byte) error { return s.inner.Restore(snap) }
+
+func (s *profiledState) Fingerprint() string { return s.inner.Fingerprint() }

@@ -1,0 +1,102 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/subjects/roshi"
+)
+
+// profiledScenario builds a Roshi workload whose replicas are wrapped by
+// the profiler.
+func profiledScenario(t *testing.T, p *Profiler) runner.Scenario {
+	t.Helper()
+	newCluster := func() (*replica.Cluster, error) {
+		return replica.NewCluster(map[event.ReplicaID]replica.State{
+			"A": p.Wrap(roshi.New(roshi.Flags{})),
+			"B": p.Wrap(roshi.New(roshi.Flags{})),
+		}), nil
+	}
+	cluster, err := newCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := runner.NewRecorder(cluster)
+	rec.Update("A", "insert", "k", "x", "1")
+	rec.Sync("A", "B")
+	rec.Update("B", "insert", "k", "y", "2")
+	rec.Sync("B", "A")
+	log, err := rec.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runner.Scenario{Name: "profiled", Log: log, NewCluster: newCluster}
+}
+
+func TestProfilerAccountsExploration(t *testing.T) {
+	p := New()
+	s := profiledScenario(t, p)
+	res, err := runner.Run(s, runner.Config{
+		Mode:      runner.ModeDFS,
+		OnOutcome: p.OnOutcome,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Explored != 24 {
+		t.Fatalf("explored %d, want all 24", res.Explored)
+	}
+	r := p.Snapshot()
+	if r.Interleavings != 24 {
+		t.Fatalf("profiled %d interleavings, want 24", r.Interleavings)
+	}
+	// Every interleaving executes two inserts; the recording adds two more.
+	if got := r.Ops["insert"]; got != 2*24+2 {
+		t.Fatalf("insert count = %d, want 50", got)
+	}
+	if r.SyncBytesOut == 0 || r.SyncBytesIn == 0 {
+		t.Fatal("sync traffic unaccounted")
+	}
+	if r.MaxPayload <= 0 || int64(r.MaxPayload) > r.SyncBytesOut {
+		t.Fatalf("MaxPayload = %d", r.MaxPayload)
+	}
+	if r.SnapshotBytes == 0 {
+		t.Fatal("checkpoint traffic unaccounted")
+	}
+
+	rendered := r.Render()
+	for _, want := range []string{"interleavings explored: 24", "sync traffic", "op insert"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("render missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestProfilerSeesOrderDependentCost(t *testing.T) {
+	// The profiler's purpose: resource use varies with the interleaving.
+	// Sync payloads carry whatever state exists when the sync runs, so the
+	// max payload across exploration exceeds the payload of the leanest
+	// order. We verify max > min by profiling two single-interleaving runs.
+	lean := New()
+	s := profiledScenario(t, lean)
+	// Interleaving where syncs run before the inserts: empty payloads.
+	if _, err := runner.ExecuteOnce(s, []event.ID{1, 3, 0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	leanBytes := lean.Snapshot().SyncBytesOut
+
+	heavy := New()
+	s2 := profiledScenario(t, heavy)
+	// Recording order: syncs carry the inserts.
+	if _, err := runner.ExecuteOnce(s2, []event.ID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	heavyBytes := heavy.Snapshot().SyncBytesOut
+
+	if heavyBytes <= leanBytes {
+		t.Fatalf("expected order-dependent sync cost: heavy=%d lean=%d", heavyBytes, leanBytes)
+	}
+}

@@ -1,0 +1,50 @@
+package proxy
+
+import (
+	"context"
+	"time"
+
+	"github.com/er-pi/erpi/internal/lockserver"
+)
+
+// DistGate adapts the lock server's distributed mutex + sequencer into a
+// TurnGate, giving replay ordering across OS processes — the paper's
+// "distributed lock … deploys a mutex with a shared key managed by a Redis
+// server" (§4.3).
+type DistGate struct {
+	seq   *lockserver.Sequencer
+	mutex *lockserver.DMutex
+}
+
+var _ TurnGate = (*DistGate)(nil)
+
+// NewDistGate builds a distributed gate for one holder. key namespaces the
+// session; token must be unique per holder (e.g. the replica ID).
+func NewDistGate(client *lockserver.Client, key, token string) *DistGate {
+	return &DistGate{
+		seq:   lockserver.NewSequencer(client, key+":turn", time.Millisecond),
+		mutex: lockserver.NewDMutex(client, key+":mutex", token, 30*time.Second, time.Millisecond),
+	}
+}
+
+// Reset rewinds the shared turn counter (call once per interleaving, from
+// the coordinator only).
+func (g *DistGate) Reset() error { return g.seq.Reset() }
+
+// WaitTurn implements TurnGate: wait for the shared counter, then take the
+// mutex so the turn's critical section is exclusive even against stragglers.
+func (g *DistGate) WaitTurn(ctx context.Context, turn int) error {
+	if err := g.seq.WaitTurn(ctx, int64(turn)); err != nil {
+		return err
+	}
+	return g.mutex.Lock(ctx)
+}
+
+// Advance implements TurnGate: release the mutex and bump the counter.
+func (g *DistGate) Advance() error {
+	if err := g.mutex.Unlock(); err != nil {
+		return err
+	}
+	_, err := g.seq.Advance()
+	return err
+}

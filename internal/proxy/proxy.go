@@ -1,0 +1,256 @@
+// Package proxy provides ER-π's runtime interception layer (paper §4.1):
+// RDL calls made by application code pass through an Interceptor that, in
+// record mode, extracts them as distributed events and, in replay mode,
+// blocks each call until the active interleaving schedules it.
+//
+// The interceptor plays the role of the paper's language-specific proxies
+// (go/ast rewriting, monkey patching, dynamic proxies); the companion
+// package astproxy generates the call-site rewrites that route an existing
+// code base through it.
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+// Mode selects interceptor behaviour.
+type Mode int
+
+// Interceptor modes.
+const (
+	// Passthrough executes calls directly (ER-π disabled).
+	Passthrough Mode = iota + 1
+	// Record executes calls and extracts them as events.
+	Record
+	// Replay blocks each call until the active interleaving schedules it.
+	Replay
+)
+
+// TurnGate orders event execution during replay. Implementations: LocalGate
+// (in-process) and the lockserver-backed distributed sequencer adapter.
+type TurnGate interface {
+	// WaitTurn blocks until the global schedule reaches the given turn.
+	WaitTurn(ctx context.Context, turn int) error
+	// Advance hands the schedule to the next turn.
+	Advance() error
+}
+
+// Interceptor routes RDL calls for one test session. It is shared by all
+// replicas of the process (each replica passes its own ReplicaID).
+type Interceptor struct {
+	mu       sync.Mutex
+	mode     Mode
+	recorded []event.Event
+	// schedule maps event ID -> turn in the active interleaving.
+	schedule map[event.ID]int
+	// callSeq counts RDL calls per replica during replay, pairing the i-th
+	// call at replica R with the i-th recorded event at R.
+	callSeq map[event.ReplicaID]int
+	// byReplica indexes recorded event IDs per replica in record order.
+	byReplica map[event.ReplicaID][]event.ID
+	gate      TurnGate
+}
+
+// New returns a passthrough interceptor.
+func New() *Interceptor {
+	return &Interceptor{mode: Passthrough}
+}
+
+// Mode returns the current mode.
+func (i *Interceptor) Mode() Mode {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.mode
+}
+
+// StartRecording clears prior state and enters record mode.
+func (i *Interceptor) StartRecording() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.mode = Record
+	i.recorded = nil
+}
+
+// StopRecording leaves record mode and returns the extracted events.
+func (i *Interceptor) StopRecording() []event.Event {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.mode = Passthrough
+	out := make([]event.Event, len(i.recorded))
+	copy(out, i.recorded)
+	return out
+}
+
+// StartReplay enters replay mode for one interleaving: events holds the
+// recorded log, order the scheduled interleaving, gate the turn
+// coordinator.
+func (i *Interceptor) StartReplay(log *event.Log, order []event.ID, gate TurnGate) error {
+	if len(order) != log.Len() {
+		return fmt.Errorf("proxy: interleaving has %d events, log has %d", len(order), log.Len())
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.mode = Replay
+	i.gate = gate
+	i.schedule = make(map[event.ID]int, len(order))
+	for turn, id := range order {
+		i.schedule[id] = turn
+	}
+	i.callSeq = make(map[event.ReplicaID]int)
+	i.byReplica = make(map[event.ReplicaID][]event.ID)
+	for _, ev := range log.Events() {
+		i.byReplica[ev.Replica] = append(i.byReplica[ev.Replica], ev.ID)
+	}
+	return nil
+}
+
+// StopReplay returns to passthrough.
+func (i *Interceptor) StopReplay() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.mode = Passthrough
+	i.gate = nil
+}
+
+// Call routes one RDL invocation. ev describes the call (ID is ignored in
+// record mode and inferred in replay mode); fn performs the actual library
+// call.
+func (i *Interceptor) Call(ctx context.Context, ev event.Event, fn func() error) error {
+	i.mu.Lock()
+	mode := i.mode
+	switch mode {
+	case Record:
+		ev.ID = event.ID(len(i.recorded))
+		if ev.Lamport == 0 {
+			ev.Lamport = uint64(len(i.recorded) + 1)
+		}
+		if err := ev.Validate(); err != nil {
+			i.mu.Unlock()
+			return fmt.Errorf("proxy: record: %w", err)
+		}
+		i.recorded = append(i.recorded, ev)
+		i.mu.Unlock()
+		return fn()
+	case Replay:
+		ids := i.byReplica[ev.Replica]
+		seq := i.callSeq[ev.Replica]
+		if seq >= len(ids) {
+			i.mu.Unlock()
+			return fmt.Errorf("proxy: replica %s made more calls (%d) than recorded", ev.Replica, seq+1)
+		}
+		i.callSeq[ev.Replica] = seq + 1
+		id := ids[seq]
+		turn, ok := i.schedule[id]
+		gate := i.gate
+		i.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("proxy: event %d missing from schedule", id)
+		}
+		if err := gate.WaitTurn(ctx, turn); err != nil {
+			return fmt.Errorf("proxy: waiting for turn %d: %w", turn, err)
+		}
+		if err := fn(); err != nil {
+			return err
+		}
+		return gate.Advance()
+	default:
+		i.mu.Unlock()
+		return fn()
+	}
+}
+
+// CallScheduled executes fn as the given recorded event during replay,
+// waiting for that event's scheduled turn explicitly. This is the replay
+// driver's entry point (paper §4.3: "ER-π invokes interleaving events via
+// RDL proxies"): unlike Call, which pairs the i-th application call with
+// the i-th recorded event, CallScheduled can realize interleavings that
+// reorder a replica's own events.
+func (i *Interceptor) CallScheduled(ctx context.Context, id event.ID, fn func() error) error {
+	i.mu.Lock()
+	if i.mode != Replay {
+		i.mu.Unlock()
+		return fmt.Errorf("proxy: CallScheduled outside replay mode")
+	}
+	turn, ok := i.schedule[id]
+	gate := i.gate
+	i.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("proxy: event %d missing from schedule", id)
+	}
+	if err := gate.WaitTurn(ctx, turn); err != nil {
+		return fmt.Errorf("proxy: waiting for turn %d: %w", turn, err)
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	return gate.Advance()
+}
+
+// Recorded returns a snapshot of the events recorded so far.
+func (i *Interceptor) Recorded() []event.Event {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]event.Event, len(i.recorded))
+	copy(out, i.recorded)
+	return out
+}
+
+// LocalGate is an in-process TurnGate over a condition variable.
+type LocalGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	turn int
+}
+
+var _ TurnGate = (*LocalGate)(nil)
+
+// NewLocalGate returns a gate at turn 0.
+func NewLocalGate() *LocalGate {
+	g := &LocalGate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// WaitTurn implements TurnGate.
+func (g *LocalGate) WaitTurn(ctx context.Context, turn int) error {
+	// Wake all waiters when the context dies so they can observe it.
+	stop := context.AfterFunc(ctx, func() {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
+	defer stop()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.turn != turn {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if g.turn > turn {
+			return fmt.Errorf("proxy: turn %d already passed (at %d)", turn, g.turn)
+		}
+		g.cond.Wait()
+	}
+	return nil
+}
+
+// Advance implements TurnGate.
+func (g *LocalGate) Advance() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.turn++
+	g.cond.Broadcast()
+	return nil
+}
+
+// Reset rewinds the gate to turn 0 for the next interleaving.
+func (g *LocalGate) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.turn = 0
+	g.cond.Broadcast()
+}

@@ -1,0 +1,265 @@
+package prune
+
+import (
+	"fmt"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// UnitImpacts reports whether unit ui can impact the state observed at
+// replica r: it contains an event executing at r, or a synchronization
+// (send or exec) delivering into r. This is the impact notion of
+// replica-specific pruning — a transmission *toward* r determines what r
+// receives even though it executes at the sender.
+func UnitImpacts(space *interleave.Space, ui int, r event.ReplicaID) bool {
+	for _, id := range space.Units()[ui].Events {
+		ev := space.Log().Event(id)
+		if ev.Replica == r {
+			return true
+		}
+		if ev.IsSync() && ev.To == r {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicaSpecific implements Algorithm 2. For a tested replica r, consider
+// an interleaving whose trailing block — everything after the last unit
+// that impacts r — consists of ALL the units that cannot impact r. Those
+// trailing units can no longer influence anything observable at r, so all
+// orderings of the block are equivalent; the filter accepts only the
+// representative with the block in ascending unit order.
+//
+// This is exactly the situation of the paper's Figure 4 (replica A's four
+// events after its last sync to B merge, pruning 4!−1 = 23) and of the
+// motivating example ("ev_IV first" merges 3! orders, 24 → 19).
+type ReplicaSpecific struct {
+	impacting []bool // per unit index
+	freeCount int
+	replica   event.ReplicaID
+}
+
+var _ interleave.Filter = (*ReplicaSpecific)(nil)
+
+// NewReplicaSpecific builds the filter for a tested replica.
+func NewReplicaSpecific(space *interleave.Space, r event.ReplicaID) *ReplicaSpecific {
+	n := space.NumUnits()
+	f := &ReplicaSpecific{impacting: make([]bool, n), replica: r}
+	for ui := 0; ui < n; ui++ {
+		f.impacting[ui] = UnitImpacts(space, ui, r)
+		if !f.impacting[ui] {
+			f.freeCount++
+		}
+	}
+	return f
+}
+
+// Name implements interleave.Filter.
+func (f *ReplicaSpecific) Name() string {
+	return fmt.Sprintf("replica-specific(%s)", f.replica)
+}
+
+// Canonical implements interleave.Filter.
+func (f *ReplicaSpecific) Canonical(perm []int) (bool, int) {
+	if f.freeCount == 0 {
+		return true, 0
+	}
+	// Locate the last impacting unit.
+	last := -1
+	for i, u := range perm {
+		if f.impacting[u] {
+			last = i
+		}
+	}
+	if len(perm)-(last+1) != f.freeCount {
+		// The trailing block does not contain all free units: not a merged
+		// class, the interleaving stands for itself.
+		return true, 0
+	}
+	// Canonical representative: free suffix ascending by unit index.
+	for i := last + 2; i < len(perm); i++ {
+		if perm[i-1] > perm[i] {
+			return false, i + 1
+		}
+	}
+	return true, 0
+}
+
+// Independence implements Algorithm 3 for one developer-declared set of
+// mutually independent events. When no interfering unit lies between the
+// first and the last of the independent units, permuting the independent
+// units among their positions cannot change any outcome, so the filter
+// accepts only the ascending-order representative.
+type Independence struct {
+	name string
+	// member[u] is true for units holding an independent event.
+	member []bool
+	// inert[u] is true for units known not to interact with the independent
+	// set (developer-declared); inert units between independent units do
+	// not break the merge.
+	inert []bool
+}
+
+var _ interleave.Filter = (*Independence)(nil)
+
+// NewIndependence builds the filter. independent and nonInterfering are
+// event IDs; a unit is a member if it contains any independent event, and
+// inert if all of its events are declared non-interfering.
+func NewIndependence(space *interleave.Space, independent, nonInterfering []event.ID) (*Independence, error) {
+	n := space.NumUnits()
+	f := &Independence{
+		name:   fmt.Sprintf("independence(%d events)", len(independent)),
+		member: make([]bool, n),
+		inert:  make([]bool, n),
+	}
+	for _, id := range independent {
+		ui := space.UnitOf(id)
+		if ui < 0 {
+			return nil, fmt.Errorf("prune: independent event %d not in space", id)
+		}
+		f.member[ui] = true
+	}
+	inertIDs := make(map[event.ID]bool, len(nonInterfering))
+	for _, id := range nonInterfering {
+		inertIDs[id] = true
+	}
+	units := space.Units()
+	for ui := range units {
+		if f.member[ui] {
+			continue
+		}
+		all := true
+		for _, id := range units[ui].Events {
+			if !inertIDs[id] {
+				all = false
+				break
+			}
+		}
+		f.inert[ui] = all && len(units[ui].Events) > 0
+	}
+	return f, nil
+}
+
+// Name implements interleave.Filter.
+func (f *Independence) Name() string { return f.name }
+
+// Canonical implements interleave.Filter.
+func (f *Independence) Canonical(perm []int) (bool, int) {
+	first, last := -1, -1
+	for i, u := range perm {
+		if f.member[u] {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || first == last {
+		return true, 0
+	}
+	// Interfering unit between the first and last independent unit keeps
+	// the interleaving un-merged.
+	for i := first + 1; i < last; i++ {
+		u := perm[i]
+		if !f.member[u] && !f.inert[u] {
+			return true, 0
+		}
+	}
+	// Canonical: independent units in ascending unit order.
+	prev := -1
+	for i := first; i <= last; i++ {
+		u := perm[i]
+		if !f.member[u] {
+			continue
+		}
+		if u < prev {
+			return false, 0
+		}
+		prev = u
+	}
+	return true, 0
+}
+
+// FailedOpsSpec declares a Failed Ops constraint (Algorithm 4):
+// Predecessors are the events whose successful execution dooms every
+// Successor to fail (e.g. elements already added to a set make a duplicate
+// add and a remove of a missing element fail).
+type FailedOpsSpec struct {
+	Predecessors []event.ID
+	Successors   []event.ID
+}
+
+// FailedOps implements Algorithm 4. In interleavings where every
+// predecessor occurs before every successor, all successors fail, so
+// permutations of the successors among their positions are equivalent; the
+// filter accepts only the ascending representative.
+type FailedOps struct {
+	name string
+	pred []bool
+	succ []bool
+}
+
+var _ interleave.Filter = (*FailedOps)(nil)
+
+// NewFailedOps builds the filter from a spec.
+func NewFailedOps(space *interleave.Space, spec FailedOpsSpec) (*FailedOps, error) {
+	n := space.NumUnits()
+	f := &FailedOps{
+		name: fmt.Sprintf("failed-ops(%dp,%ds)", len(spec.Predecessors), len(spec.Successors)),
+		pred: make([]bool, n),
+		succ: make([]bool, n),
+	}
+	for _, id := range spec.Predecessors {
+		ui := space.UnitOf(id)
+		if ui < 0 {
+			return nil, fmt.Errorf("prune: predecessor event %d not in space", id)
+		}
+		f.pred[ui] = true
+	}
+	for _, id := range spec.Successors {
+		ui := space.UnitOf(id)
+		if ui < 0 {
+			return nil, fmt.Errorf("prune: successor event %d not in space", id)
+		}
+		if f.pred[ui] {
+			return nil, fmt.Errorf("prune: event %d is both predecessor and successor", id)
+		}
+		f.succ[ui] = true
+	}
+	return f, nil
+}
+
+// Name implements interleave.Filter.
+func (f *FailedOps) Name() string { return f.name }
+
+// Canonical implements interleave.Filter.
+func (f *FailedOps) Canonical(perm []int) (bool, int) {
+	lastPred, firstSucc := -1, -1
+	for i, u := range perm {
+		if f.pred[u] {
+			lastPred = i
+		}
+		if f.succ[u] && firstSucc < 0 {
+			firstSucc = i
+		}
+	}
+	if firstSucc < 0 || lastPred < 0 || lastPred > firstSucc {
+		// Not every predecessor precedes every successor: the successors
+		// are not uniformly doomed, no merge.
+		return true, 0
+	}
+	// Canonical: successor units ascending.
+	prev := -1
+	for _, u := range perm {
+		if !f.succ[u] {
+			continue
+		}
+		if u < prev {
+			return false, 0
+		}
+		prev = u
+	}
+	return true, 0
+}

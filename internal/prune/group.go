@@ -1,0 +1,120 @@
+// Package prune implements ER-π's four pruning algorithms (paper §3):
+//
+//  1. Event Grouping (Algorithm 1) — sync_req/exec_sync pairs and
+//     user-specified groups become single schedulable units.
+//  2. Replica-Specific (Algorithm 2) — orderings of the complete trailing
+//     block of units that cannot impact the tested replica are merged.
+//  3. Event Independence (Algorithm 3) — orderings of developer-declared
+//     mutually independent events are merged when no interfering event
+//     lies between them.
+//  4. Failed Ops (Algorithm 4) — orderings of operations doomed to fail
+//     (because conflicting predecessors already executed) are merged.
+//
+// Grouping transforms the event list into units; the other three rules are
+// interleave.Filter implementations that accept exactly one canonical
+// representative per equivalence class of interleavings, so that a lazy
+// explorer never materializes the merged duplicates.
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// GroupSpec configures Event Grouping (Algorithm 1).
+type GroupSpec struct {
+	// DisableSyncPairs turns off the automatic pairing of sync_req with the
+	// matching exec_sync in the same (sender, receiver) pair.
+	DisableSyncPairs bool
+	// Extra lists developer-specified groups (paper: spec_group); each
+	// inner slice is a set of event IDs to fuse into one unit. Groups that
+	// share events with each other or with an automatic sync pair are
+	// merged transitively.
+	Extra [][]event.ID
+}
+
+// Group applies Event Grouping to a recorded log and returns the unit
+// partition. Events inside a unit keep their recording order.
+func Group(log *event.Log, spec GroupSpec) ([]interleave.Unit, error) {
+	uf := newUnionFind(log.Len())
+	if !spec.DisableSyncPairs {
+		for _, pair := range log.SyncPairs() {
+			uf.union(int(pair[0]), int(pair[1]))
+		}
+	}
+	for _, g := range spec.Extra {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("prune: empty user group")
+		}
+		for _, id := range g {
+			if int(id) < 0 || int(id) >= log.Len() {
+				return nil, fmt.Errorf("prune: group references unknown event %d", id)
+			}
+			uf.union(int(g[0]), int(id))
+		}
+	}
+	members := make(map[int][]event.ID)
+	for i := 0; i < log.Len(); i++ {
+		root := uf.find(i)
+		members[root] = append(members[root], event.ID(i))
+	}
+	roots := make([]int, 0, len(members))
+	for root := range members {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	units := make([]interleave.Unit, 0, len(roots))
+	for _, root := range roots {
+		ids := members[root]
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		units = append(units, interleave.Unit{Events: ids})
+	}
+	// Deterministic unit order: by first member event.
+	sort.Slice(units, func(i, j int) bool { return units[i].Events[0] < units[j].Events[0] })
+	return units, nil
+}
+
+// GroupedSpace is a convenience combining Group and NewGroupedSpace.
+func GroupedSpace(log *event.Log, spec GroupSpec) (*interleave.Space, error) {
+	units, err := Group(log, spec)
+	if err != nil {
+		return nil, err
+	}
+	return interleave.NewGroupedSpace(log, units)
+}
+
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	// Smaller root wins, keeping unit identity anchored at the earliest
+	// member event for deterministic output.
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}

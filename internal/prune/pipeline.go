@@ -1,0 +1,158 @@
+package prune
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// IndependenceSpec declares one set of mutually independent events plus the
+// events known not to interact with them (Algorithm 3 inputs).
+type IndependenceSpec struct {
+	Events         []event.ID `json:"events"`
+	NonInterfering []event.ID `json:"non_interfering,omitempty"`
+}
+
+// Config aggregates every pruning input for a recorded segment. Grouping
+// and TestedReplicas come from the initial run (paper §3.1: "for initial
+// pruning, ER-π applies Event Grouping and Replica Specific pruning");
+// IndependentSets and FailedOps arrive later from developer-provided
+// constraints (paper §4.5).
+type Config struct {
+	Grouping        GroupSpec          `json:"grouping"`
+	TestedReplicas  []event.ReplicaID  `json:"tested_replicas,omitempty"`
+	IndependentSets []IndependenceSpec `json:"independent_sets,omitempty"`
+	FailedOps       []FailedOpsSpec    `json:"failed_ops,omitempty"`
+}
+
+// Merge folds additional constraints (e.g. from a constraints file picked
+// up at runtime) into the config.
+func (c *Config) Merge(other Config) {
+	c.Grouping.Extra = append(c.Grouping.Extra, other.Grouping.Extra...)
+	c.TestedReplicas = append(c.TestedReplicas, other.TestedReplicas...)
+	c.IndependentSets = append(c.IndependentSets, other.IndependentSets...)
+	c.FailedOps = append(c.FailedOps, other.FailedOps...)
+}
+
+// Build converts a recorded log plus pruning config into the grouped unit
+// space and the filter chain for the pruned explorer.
+func Build(log *event.Log, cfg Config) (*interleave.Space, []interleave.Filter, error) {
+	space, err := GroupedSpace(log, cfg.Grouping)
+	if err != nil {
+		return nil, nil, fmt.Errorf("prune: grouping: %w", err)
+	}
+	var filters []interleave.Filter
+	for _, r := range cfg.TestedReplicas {
+		filters = append(filters, NewReplicaSpecific(space, r))
+	}
+	for _, spec := range cfg.IndependentSets {
+		f, err := NewIndependence(space, spec.Events, spec.NonInterfering)
+		if err != nil {
+			return nil, nil, err
+		}
+		filters = append(filters, f)
+	}
+	for _, spec := range cfg.FailedOps {
+		f, err := NewFailedOps(space, spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		filters = append(filters, f)
+	}
+	return space, filters, nil
+}
+
+// NewExplorer builds the fully pruned ER-π explorer for a log and config.
+func NewExplorer(log *event.Log, cfg Config) (*interleave.DFSExplorer, error) {
+	space, filters, err := Build(log, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return interleave.NewPruned(space, filters...), nil
+}
+
+// CountPruned returns the surviving-interleaving count under the full
+// config (exact for small unit counts, sampled otherwise).
+func CountPruned(log *event.Log, cfg Config, sampleSize int, seed int64) (interleave.CountResult, error) {
+	space, filters, err := Build(log, cfg)
+	if err != nil {
+		return interleave.CountResult{}, err
+	}
+	return interleave.Count(space, filters, sampleSize, seed), nil
+}
+
+// AblationStage names one pruning algorithm for ablation reporting.
+type AblationStage string
+
+// Stage names used by the Figure-9 ablation.
+const (
+	StageNone         AblationStage = "none"
+	StageGrouping     AblationStage = "grouping"
+	StageReplica      AblationStage = "replica-specific"
+	StageIndependence AblationStage = "independence"
+	StageFailedOps    AblationStage = "failed-ops"
+)
+
+// AblationResult reports the surviving count with exactly one algorithm
+// enabled (plus grouping, which defines the unit alphabet for the others
+// exactly as in the paper's pipeline).
+type AblationResult struct {
+	Stage     AblationStage
+	Count     interleave.CountResult
+	Reduction float64 // vs. the ungrouped n! baseline
+}
+
+// Ablate measures each algorithm's individual contribution to problem-space
+// reduction (paper Figure 9). The baseline is the ungrouped n! space.
+// Grouping is measured alone; each filter-based algorithm is measured on
+// the grouped space with only its own filters active.
+func Ablate(log *event.Log, cfg Config, sampleSize int, seed int64) ([]AblationResult, error) {
+	baseline := interleave.Factorial(log.Len())
+	out := make([]AblationResult, 0, 4)
+
+	appendStage := func(stage AblationStage, space *interleave.Space, filters []interleave.Filter) {
+		res := interleave.Count(space, filters, sampleSize, seed)
+		red := 0.0
+		if res.Surviving.Sign() > 0 {
+			// Reduction relative to the ungrouped n! baseline.
+			q := new(big.Float).Quo(new(big.Float).SetInt(baseline), new(big.Float).SetInt(res.Surviving))
+			red, _ = q.Float64()
+		}
+		out = append(out, AblationResult{Stage: stage, Count: res, Reduction: red})
+	}
+
+	grouped, err := GroupedSpace(log, cfg.Grouping)
+	if err != nil {
+		return nil, err
+	}
+	appendStage(StageGrouping, grouped, nil)
+
+	for _, r := range cfg.TestedReplicas {
+		appendStage(StageReplica, grouped, []interleave.Filter{NewReplicaSpecific(grouped, r)})
+	}
+	var indepFilters []interleave.Filter
+	for _, spec := range cfg.IndependentSets {
+		f, err := NewIndependence(grouped, spec.Events, spec.NonInterfering)
+		if err != nil {
+			return nil, err
+		}
+		indepFilters = append(indepFilters, f)
+	}
+	if len(indepFilters) > 0 {
+		appendStage(StageIndependence, grouped, indepFilters)
+	}
+	var failedFilters []interleave.Filter
+	for _, spec := range cfg.FailedOps {
+		f, err := NewFailedOps(grouped, spec)
+		if err != nil {
+			return nil, err
+		}
+		failedFilters = append(failedFilters, f)
+	}
+	if len(failedFilters) > 0 {
+		appendStage(StageFailedOps, grouped, failedFilters)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+// Package replica provides the replica runtime ER-π replays interleavings
+// against: a State interface that every evaluation subject implements, a
+// Node binding a state to a replica identity, and a Cluster that manages
+// checkpointing and resetting replica states between interleavings
+// (paper §4.3: "ER-π checkpoints the replicas' states and resets them prior
+// to executing each interleaving").
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+// ErrFailedOp marks an RDL operation rejected by the data structure's
+// constraints (e.g. adding an element a set already holds). Failed ops are
+// expected outcomes during exhaustive replay — the runner records them
+// instead of aborting, and they feed the Failed-Ops pruning algorithm.
+var ErrFailedOp = errors.New("replica: operation failed by data-type constraint")
+
+// Op is one RDL operation invoked by application logic, extracted from a
+// recorded event during replay.
+type Op struct {
+	Name string
+	Args []string
+}
+
+// String renders "name(arg1,arg2)".
+func (o Op) String() string {
+	if len(o.Args) == 0 {
+		return o.Name
+	}
+	return o.Name + "(" + strings.Join(o.Args, ",") + ")"
+}
+
+// State is the contract between ER-π and an application's replicated
+// state. Implementations wrap the subject's RDL integration.
+type State interface {
+	// Apply executes a local RDL operation (an Update or Observe event) and
+	// returns its observable result ("" when none).
+	Apply(op Op) (string, error)
+	// SyncPayload produces the synchronization request this replica would
+	// send right now (full state for state-based CRDTs, pending ops for
+	// op-based ones).
+	SyncPayload() ([]byte, error)
+	// ApplySync executes a received synchronization request.
+	ApplySync(payload []byte) error
+	// Snapshot serializes the state for checkpointing.
+	Snapshot() ([]byte, error)
+	// Restore resets the state from a snapshot.
+	Restore(snapshot []byte) error
+	// Fingerprint returns a canonical digest of the observable state, used
+	// by divergence assertions. Equal states must produce equal
+	// fingerprints.
+	Fingerprint() string
+}
+
+// Node binds a State to a replica identity.
+type Node struct {
+	ID    event.ReplicaID
+	State State
+}
+
+// Cluster is the set of replicas one scenario replays against.
+type Cluster struct {
+	nodes       map[event.ReplicaID]*Node
+	checkpoints map[event.ReplicaID][]byte
+}
+
+// NewCluster builds a cluster from per-replica states.
+func NewCluster(states map[event.ReplicaID]State) *Cluster {
+	c := &Cluster{
+		nodes:       make(map[event.ReplicaID]*Node, len(states)),
+		checkpoints: make(map[event.ReplicaID][]byte),
+	}
+	for id, st := range states {
+		c.nodes[id] = &Node{ID: id, State: st}
+	}
+	return c
+}
+
+// Node returns the node for a replica.
+func (c *Cluster) Node(id event.ReplicaID) (*Node, error) {
+	n, ok := c.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("replica: unknown replica %s", id)
+	}
+	return n, nil
+}
+
+// IDs returns the sorted replica identities.
+func (c *Cluster) IDs() []event.ReplicaID {
+	out := make([]event.ReplicaID, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Checkpoint snapshots every replica's current state.
+func (c *Cluster) Checkpoint() error {
+	for id, n := range c.nodes {
+		snap, err := n.State.Snapshot()
+		if err != nil {
+			return fmt.Errorf("replica: checkpoint %s: %w", id, err)
+		}
+		c.checkpoints[id] = snap
+	}
+	return nil
+}
+
+// Reset restores every replica to the last checkpoint.
+func (c *Cluster) Reset() error {
+	for id, n := range c.nodes {
+		snap, ok := c.checkpoints[id]
+		if !ok {
+			return fmt.Errorf("replica: no checkpoint for %s", id)
+		}
+		if err := n.State.Restore(snap); err != nil {
+			return fmt.Errorf("replica: reset %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Fingerprints returns every replica's current state fingerprint.
+func (c *Cluster) Fingerprints() map[event.ReplicaID]string {
+	out := make(map[event.ReplicaID]string, len(c.nodes))
+	for id, n := range c.nodes {
+		out[id] = n.State.Fingerprint()
+	}
+	return out
+}
+
+// Converged reports whether every replica has the same fingerprint.
+func (c *Cluster) Converged() bool {
+	var first string
+	started := false
+	for _, n := range c.nodes {
+		fp := n.State.Fingerprint()
+		if !started {
+			first, started = fp, true
+			continue
+		}
+		if fp != first {
+			return false
+		}
+	}
+	return true
+}

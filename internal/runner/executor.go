@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// executor applies one interleaving's events to the cluster.
+//
+// Event semantics during replay:
+//   - Update / Observe: apply the RDL op locally; the returned value is
+//     recorded as an observation.
+//   - SyncSend: capture the sender's sync payload at this instant; the
+//     payload travels with the event ID.
+//   - SyncExec: apply the payload captured by the paired SyncSend — or,
+//     for a standalone sync event (recorded without an explicit send),
+//     capture the sender's payload at execution time, modelling a
+//     synchronization whose content depends on when it runs.
+type executor struct {
+	log     *event.Log
+	cluster *replica.Cluster
+	// sendFor maps each SyncExec ID to its paired SyncSend ID.
+	sendFor map[event.ID]event.ID
+	built   bool
+}
+
+func (x *executor) buildPairs() {
+	x.sendFor = make(map[event.ID]event.ID)
+	for _, pair := range x.log.SyncPairs() {
+		x.sendFor[pair[1]] = pair[0]
+	}
+	x.built = true
+}
+
+func (x *executor) execute(il interleave.Interleaving, index int) (*Outcome, error) {
+	if !x.built {
+		x.buildPairs()
+	}
+	outcome := &Outcome{
+		Index:        index,
+		Interleaving: il,
+		Observations: make(map[event.ID]string),
+	}
+	pending := make(map[event.ID][]byte)
+	for pos, id := range il {
+		ev := x.log.Event(id)
+		node, err := x.cluster.Node(ev.Replica)
+		if err != nil {
+			return nil, err
+		}
+		_ = pos
+		switch ev.Kind {
+		case event.Update, event.Observe:
+			result, err := node.State.Apply(replica.Op{Name: ev.Op, Args: ev.Args})
+			if err != nil {
+				if errors.Is(err, replica.ErrFailedOp) {
+					outcome.FailedOps = append(outcome.FailedOps, id)
+					continue
+				}
+				return nil, fmt.Errorf("event %s: %w", ev, err)
+			}
+			if result != "" {
+				outcome.Observations[id] = result
+			}
+		case event.SyncSend:
+			payload, err := node.State.SyncPayload()
+			if err != nil {
+				return nil, fmt.Errorf("event %s: %w", ev, err)
+			}
+			pending[id] = payload
+		case event.SyncExec:
+			payload, ok := x.payloadFor(id, pending)
+			if !ok {
+				// Standalone sync: capture the sender's state now.
+				sender, err := x.cluster.Node(ev.From)
+				if err != nil {
+					return nil, err
+				}
+				payload, err = sender.State.SyncPayload()
+				if err != nil {
+					return nil, fmt.Errorf("event %s: %w", ev, err)
+				}
+			}
+			if err := node.State.ApplySync(payload); err != nil {
+				if errors.Is(err, replica.ErrFailedOp) {
+					outcome.FailedOps = append(outcome.FailedOps, id)
+					continue
+				}
+				return nil, fmt.Errorf("event %s: %w", ev, err)
+			}
+		default:
+			return nil, fmt.Errorf("event %s: unsupported kind", ev)
+		}
+	}
+	outcome.Fingerprints = x.cluster.Fingerprints()
+	outcome.Converged = x.cluster.Converged()
+	return outcome, nil
+}
+
+func (x *executor) payloadFor(execID event.ID, pending map[event.ID][]byte) ([]byte, bool) {
+	sendID, ok := x.sendFor[execID]
+	if !ok {
+		return nil, false
+	}
+	payload, ok := pending[sendID]
+	return payload, ok
+}

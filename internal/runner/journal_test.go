@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/checkpoint"
+	"github.com/er-pi/erpi/internal/prune"
+)
+
+// TestJournalResume interrupts an exploration after a few interleavings
+// and resumes it from the journal: the second run must skip everything
+// already explored and finish the space, with no interleaving executed
+// twice in total.
+func TestJournalResume(t *testing.T) {
+	s := townReportScenario(t)
+	dir, err := checkpoint.Open(filepath.Join(t.TempDir(), "session"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := Run(s, Config{
+		Mode:             ModeERPi,
+		MaxInterleavings: 7,
+		Journal:          dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Explored != 7 || first.Resumed != 0 {
+		t.Fatalf("first run: explored=%d resumed=%d", first.Explored, first.Resumed)
+	}
+
+	second, err := Run(s, Config{
+		Mode:    ModeERPi,
+		Journal: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Resumed != 7 {
+		t.Fatalf("second run resumed %d, want 7", second.Resumed)
+	}
+	if second.Explored != 12 {
+		t.Fatalf("second run explored %d, want the remaining 12 of 19", second.Explored)
+	}
+	if !second.Exhausted {
+		t.Fatal("second run must exhaust the pruned space")
+	}
+
+	// The journal now holds the full space; a third run does nothing new.
+	third, err := Run(s, Config{Mode: ModeERPi, Journal: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Explored != 0 || third.Resumed != 19 {
+		t.Fatalf("third run explored=%d resumed=%d, want 0/19", third.Explored, third.Resumed)
+	}
+
+	// The recorded log survives in the journal for offline inspection.
+	loaded, err := dir.LoadLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Log.Len() {
+		t.Fatalf("journaled log has %d events, want %d", loaded.Len(), s.Log.Len())
+	}
+}
+
+// TestConstraintRepruningShrinksExploration verifies the §5.2 runtime
+// constraint path end to end: constraints appearing mid-run regenerate the
+// explorer, and the merged pruning shrinks the total exploration below the
+// unconstrained space.
+func TestConstraintRepruningShrinksExploration(t *testing.T) {
+	s := townReportScenario(t)
+	// Without the replica-specific constraint: grouped space only.
+	base := s
+	base.Pruning.TestedReplicas = nil
+	plain, err := Run(base, Config{Mode: ModeERPi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Explored != 24 {
+		t.Fatalf("unconstrained grouped space = %d, want 24", plain.Explored)
+	}
+
+	// The same run, but the tested-replica constraint arrives after five
+	// interleavings via the polling hook.
+	delivered := false
+	constrained, err := Run(base, Config{
+		Mode:      ModeERPi,
+		PollEvery: 5,
+		ConstraintPoll: func() (pcfg prune.Config, found bool, err error) {
+			if delivered {
+				return pcfg, false, nil
+			}
+			delivered = true
+			pcfg.TestedReplicas = append(pcfg.TestedReplicas, "M")
+			return pcfg, true, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !constrained.Exhausted {
+		t.Fatal("constrained run must exhaust")
+	}
+	if constrained.Explored >= plain.Explored {
+		t.Fatalf("re-pruning did not shrink exploration: %d vs %d",
+			constrained.Explored, plain.Explored)
+	}
+}

@@ -1,0 +1,192 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/proxy"
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// ExecuteLive replays one interleaving the way a deployed ER-π session
+// does (paper §4.3): one goroutine per replica invokes that replica's
+// proxied RDL functions in the interleaving's order, and a TurnGate — the
+// in-process LocalGate or the lock-server-backed DistGate — blocks each
+// call until its scheduled turn. The returned outcome is semantically
+// identical to the sequential ExecuteOnce (a property pinned by tests);
+// the live path exists to exercise the real concurrency and distributed
+// locking machinery.
+//
+// newGate builds one gate per replica; with proxy.NewLocalGate a single
+// shared gate works, with DistGate each replica passes its own client.
+func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.ReplicaID) proxy.TurnGate) (*Outcome, error) {
+	if s.Log == nil || len(il) != s.Log.Len() {
+		return nil, fmt.Errorf("runner: live replay needs a complete interleaving")
+	}
+	cluster, err := s.NewCluster()
+	if err != nil {
+		return nil, fmt.Errorf("runner: cluster setup: %w", err)
+	}
+	if err := cluster.Checkpoint(); err != nil {
+		return nil, err
+	}
+
+	outcome := &Outcome{
+		Index:        1,
+		Interleaving: il,
+		Observations: make(map[event.ID]string),
+	}
+	var mu sync.Mutex // guards outcome fields and the pending payloads
+	pending := make(map[event.ID][]byte)
+	sendFor := make(map[event.ID]event.ID)
+	for _, pair := range s.Log.SyncPairs() {
+		sendFor[pair[1]] = pair[0]
+	}
+
+	// Per-replica interceptors share the schedule; each replica goroutine
+	// re-issues its recorded calls in program order.
+	replicas := s.Log.Replicas()
+	interceptors := make(map[event.ReplicaID]*proxy.Interceptor, len(replicas))
+	for _, rep := range replicas {
+		i := proxy.New()
+		if err := i.StartReplay(s.Log, il, newGate(rep)); err != nil {
+			return nil, err
+		}
+		interceptors[rep] = i
+	}
+
+	apply := func(ev event.Event) error {
+		node, err := cluster.Node(ev.Replica)
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case event.Update, event.Observe:
+			result, err := node.State.Apply(replica.Op{Name: ev.Op, Args: ev.Args})
+			if err != nil {
+				if errors.Is(err, replica.ErrFailedOp) {
+					mu.Lock()
+					outcome.FailedOps = append(outcome.FailedOps, ev.ID)
+					mu.Unlock()
+					return nil
+				}
+				return fmt.Errorf("event %s: %w", ev, err)
+			}
+			if result != "" {
+				mu.Lock()
+				outcome.Observations[ev.ID] = result
+				mu.Unlock()
+			}
+			return nil
+		case event.SyncSend:
+			payload, err := node.State.SyncPayload()
+			if err != nil {
+				return fmt.Errorf("event %s: %w", ev, err)
+			}
+			mu.Lock()
+			pending[ev.ID] = payload
+			mu.Unlock()
+			return nil
+		case event.SyncExec:
+			var payload []byte
+			if sendID, ok := sendFor[ev.ID]; ok {
+				mu.Lock()
+				payload = pending[sendID]
+				mu.Unlock()
+			}
+			if payload == nil {
+				sender, err := cluster.Node(ev.From)
+				if err != nil {
+					return err
+				}
+				// Safe without extra locking: the gate's mutual exclusion
+				// means no other event executes concurrently.
+				payload, err = sender.State.SyncPayload()
+				if err != nil {
+					return fmt.Errorf("event %s: %w", ev, err)
+				}
+			}
+			if err := node.State.ApplySync(payload); err != nil {
+				if errors.Is(err, replica.ErrFailedOp) {
+					mu.Lock()
+					outcome.FailedOps = append(outcome.FailedOps, ev.ID)
+					mu.Unlock()
+					return nil
+				}
+				return fmt.Errorf("event %s: %w", ev, err)
+			}
+			return nil
+		default:
+			return fmt.Errorf("event %s: unsupported kind", ev)
+		}
+	}
+
+	// Each replica's proxied functions are invoked in the interleaving's
+	// order for that replica (the replay driver drives the proxies; the
+	// schedule may reorder a replica's own recorded events).
+	position := make(map[event.ID]int, len(il))
+	for turn, id := range il {
+		position[id] = turn
+	}
+	// A failing replica cancels the context so the others' turn waits
+	// unblock instead of hanging on a turn that will never come.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(replicas))
+	for _, rep := range replicas {
+		ownEvents := make([]event.Event, 0, s.Log.Len())
+		for _, id := range s.Log.ByReplica(rep) {
+			ownEvents = append(ownEvents, s.Log.Event(id))
+		}
+		sort.Slice(ownEvents, func(a, b int) bool {
+			return position[ownEvents[a].ID] < position[ownEvents[b].ID]
+		})
+		wg.Add(1)
+		go func(rep event.ReplicaID, events []event.Event) {
+			defer wg.Done()
+			i := interceptors[rep]
+			for _, ev := range events {
+				ev := ev
+				err := i.CallScheduled(ctx, ev.ID, func() error { return apply(ev) })
+				if err != nil {
+					errCh <- fmt.Errorf("replica %s: %w", rep, err)
+					cancel()
+					return
+				}
+			}
+		}(rep, ownEvents)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	if s.Finalize != nil {
+		if err := s.Finalize(cluster); err != nil {
+			return nil, err
+		}
+	}
+	outcome.Fingerprints = cluster.Fingerprints()
+	outcome.Converged = cluster.Converged()
+	// Failed ops may arrive out of schedule order across goroutines;
+	// normalize for comparison with the sequential executor.
+	sortIDs(outcome.FailedOps)
+	return outcome, nil
+}
+
+func sortIDs(ids []event.ID) {
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+}

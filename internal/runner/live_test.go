@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/proxy"
+)
+
+// TestLiveMatchesSequential replays every pruned interleaving of the
+// motivating example both sequentially (ExecuteOnce) and live (one
+// goroutine per replica, LocalGate ordering) and requires identical
+// outcomes — the property that makes the fast sequential executor a valid
+// stand-in for the deployment-shaped path.
+func TestLiveMatchesSequential(t *testing.T) {
+	s := townReportScenario(t)
+	ex, err := NewPrunedExplorer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		il, ok := ex.Next()
+		if !ok {
+			break
+		}
+		count++
+		seq, err := ExecuteOnce(s, il)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate := proxy.NewLocalGate()
+		live, err := ExecuteLive(s, il, func(event.ReplicaID) proxy.TurnGate { return gate })
+		if err != nil {
+			t.Fatalf("interleaving %s: %v", il.Key(), err)
+		}
+		sortedSeq := append([]event.ID(nil), seq.FailedOps...)
+		sort.Slice(sortedSeq, func(i, j int) bool { return sortedSeq[i] < sortedSeq[j] })
+		if !reflect.DeepEqual(live.Fingerprints, seq.Fingerprints) {
+			t.Fatalf("interleaving %s: fingerprints diverge: %v vs %v", il.Key(), live.Fingerprints, seq.Fingerprints)
+		}
+		if !reflect.DeepEqual(live.Observations, seq.Observations) {
+			t.Fatalf("interleaving %s: observations diverge: %v vs %v", il.Key(), live.Observations, seq.Observations)
+		}
+		if !reflect.DeepEqual(live.FailedOps, sortedSeq) && !(len(live.FailedOps) == 0 && len(sortedSeq) == 0) {
+			t.Fatalf("interleaving %s: failed ops diverge: %v vs %v", il.Key(), live.FailedOps, sortedSeq)
+		}
+	}
+	if count != 19 {
+		t.Fatalf("explored %d interleavings, want 19", count)
+	}
+}
+
+// TestLiveOverDistributedLock replays one interleaving with per-replica
+// DistGates coordinating through a real TCP lock server — the full §4.3
+// pipeline: proxy interception + distributed mutex + shared sequencer.
+func TestLiveOverDistributedLock(t *testing.T) {
+	srv := lockserver.NewServer(lockserver.NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	s := townReportScenario(t)
+	// The bug-triggering order: transmit before the fix syncs.
+	il := interleave.Interleaving{0, 1, 2, 3, 6, 4, 5}
+
+	coord, err := lockserver.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := lockserver.NewSequencer(coord, "live:turn", 1).Reset(); err != nil {
+		t.Fatal(err)
+	}
+
+	var clients []*lockserver.Client
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+	}()
+	live, err := ExecuteLive(s, il, func(rep event.ReplicaID) proxy.TurnGate {
+		c, err := lockserver.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		return proxy.NewDistGate(c, "live", string(rep))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := ExecuteOnce(s, il)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live.Fingerprints, seq.Fingerprints) {
+		t.Fatalf("distributed live replay diverged: %v vs %v", live.Fingerprints, seq.Fingerprints)
+	}
+	// This order ships both issues to the municipality — the §2.3 bug.
+	if got := live.Fingerprints["M"]; got != "otb,ph" {
+		t.Fatalf("municipality state = %q, want the buggy otb,ph", got)
+	}
+}

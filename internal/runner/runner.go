@@ -1,0 +1,434 @@
+// Package runner is ER-π's replay engine (paper §4.3–§4.4): it drives a
+// scenario's event log through an exploration mode (ER-π pruned, DFS, or
+// Rand), executes each interleaving against a fresh replica cluster —
+// checkpointing and resetting states between interleavings — and checks
+// test assertions after each one, collecting violations.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/er-pi/erpi/internal/checkpoint"
+	"github.com/er-pi/erpi/internal/datalog"
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/fuzz"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/prune"
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// Mode names an exploration strategy.
+type Mode string
+
+// Exploration modes of the paper's §6.3 evaluation.
+const (
+	// ModeERPi explores the pruned space (grouped units + filters).
+	ModeERPi Mode = "erpi"
+	// ModeDFS exhaustively explores all n! event orders depth-first.
+	ModeDFS Mode = "dfs"
+	// ModeRand explores uniformly random event orders with a dedup cache.
+	ModeRand Mode = "rand"
+	// ModeFuzz is the coverage-guided greybox mode (the paper's §8 future
+	// work): order mutations over a corpus of interleavings that produced
+	// novel outcome signatures.
+	ModeFuzz Mode = "fuzz"
+)
+
+// Scenario is one workload to replay exhaustively.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Log is the recorded event log.
+	Log *event.Log
+	// NewCluster builds fresh replica states for the scenario.
+	NewCluster func() (*replica.Cluster, error)
+	// Pruning configures ER-π's pruning algorithms (ModeERPi only).
+	Pruning prune.Config
+	// Finalize, when set, runs after executing each interleaving and
+	// before the assertions — typically an anti-entropy round that
+	// completes delivery, so that convergence assertions are free of
+	// propagation-lag false positives and flag only genuine
+	// order-dependent corruption. Outcome fingerprints are recomputed
+	// after it runs.
+	Finalize func(*replica.Cluster) error
+}
+
+// AntiEntropy returns a Finalize function performing `rounds` rounds of
+// full pairwise state exchange (every ordered replica pair, in sorted
+// order). Two rounds give transitive closure for any replica count.
+func AntiEntropy(rounds int) func(*replica.Cluster) error {
+	if rounds <= 0 {
+		rounds = 2
+	}
+	return func(c *replica.Cluster) error {
+		ids := c.IDs()
+		for r := 0; r < rounds; r++ {
+			for _, from := range ids {
+				for _, to := range ids {
+					if from == to {
+						continue
+					}
+					src, err := c.Node(from)
+					if err != nil {
+						return err
+					}
+					dst, err := c.Node(to)
+					if err != nil {
+						return err
+					}
+					payload, err := src.State.SyncPayload()
+					if err != nil {
+						return fmt.Errorf("runner: anti-entropy payload %s: %w", from, err)
+					}
+					if err := dst.State.ApplySync(payload); err != nil && !errors.Is(err, replica.ErrFailedOp) {
+						return fmt.Errorf("runner: anti-entropy %s->%s: %w", from, to, err)
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// Outcome captures everything observable from executing one interleaving.
+type Outcome struct {
+	// Index is the 1-based exploration position.
+	Index int
+	// Interleaving is the executed event order.
+	Interleaving interleave.Interleaving
+	// Fingerprints are the final per-replica state digests.
+	Fingerprints map[event.ReplicaID]string
+	// Observations map Observe/Update event IDs to their returned values.
+	Observations map[event.ID]string
+	// FailedOps lists events rejected by data-type constraints.
+	FailedOps []event.ID
+	// Converged reports whether all replicas ended with equal fingerprints.
+	Converged bool
+}
+
+// Assertion checks a property after each interleaving. Implementations may
+// keep state across interleavings (e.g. comparing a replica's final state
+// between different orders, the detector for misconceptions #1 and #5).
+type Assertion interface {
+	// Name labels the assertion in violation reports.
+	Name() string
+	// Check returns a non-nil error when the outcome violates the property.
+	Check(o *Outcome) error
+}
+
+// Violation is one assertion failure.
+type Violation struct {
+	Index        int
+	Interleaving interleave.Interleaving
+	Assertion    string
+	Err          error
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("interleaving #%d [%s] violates %s: %v",
+		v.Index, v.Interleaving.Key(), v.Assertion, v.Err)
+}
+
+// Config tunes one exploration run.
+type Config struct {
+	// Mode selects the exploration strategy (default ModeERPi).
+	Mode Mode
+	// MaxInterleavings caps exploration (default 10000, the paper's
+	// termination threshold). Zero means the default; negative means
+	// unbounded.
+	MaxInterleavings int
+	// Seed drives ModeRand.
+	Seed int64
+	// StopOnViolation ends exploration at the first assertion failure —
+	// the bug-reproduction configuration of §6.3.
+	StopOnViolation bool
+	// Assertions are checked after every interleaving.
+	Assertions []Assertion
+	// Store, when set, persists every explored interleaving; a full store
+	// aborts the run with datalog.ErrBudgetExhausted (the Figure 10
+	// "crash").
+	Store *datalog.Store
+	// ConstraintPoll, when set, is called every PollEvery interleavings;
+	// returning new constraints triggers re-pruning (ModeERPi only),
+	// regenerating the explorer over the merged config.
+	ConstraintPoll func() (prune.Config, bool, error)
+	// PollEvery is the constraint polling interval in interleavings
+	// (default 100).
+	PollEvery int
+	// OnOutcome, when set, observes every outcome (tracing hook).
+	OnOutcome func(*Outcome)
+	// Journal, when set, persists the recorded log and every explored
+	// interleaving to the session directory; interleavings already in the
+	// journal are skipped, so an interrupted exploration resumes where it
+	// left off (paper §4.2: ER-π persists the interleavings).
+	Journal *checkpoint.Dir
+}
+
+// DefaultMaxInterleavings is the paper's exploration cap.
+const DefaultMaxInterleavings = 10000
+
+// Result summarizes one exploration run.
+type Result struct {
+	Scenario   string
+	Mode       Mode
+	Explored   int
+	Violations []Violation
+	// Exhausted reports that the space ran out before the cap.
+	Exhausted bool
+	// Crashed reports a resource-budget abort (Figure 10 semantics).
+	Crashed bool
+	// CrashErr holds the budget error when Crashed.
+	CrashErr error
+	// Duration is the wall-clock exploration time.
+	Duration time.Duration
+	// RandShuffles counts total shuffle attempts in ModeRand (wasted work
+	// included).
+	RandShuffles int
+	// FirstViolation is the 1-based index of the first violation (0 if
+	// none) — the "interleavings to reproduce the bug" metric of Fig. 8a.
+	FirstViolation int
+	// Resumed counts interleavings skipped because a journal already held
+	// them (0 without a journal).
+	Resumed int
+}
+
+// Run explores a scenario under the config.
+func Run(s Scenario, cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.Mode == "" {
+		cfg.Mode = ModeERPi
+	}
+	maxIL := cfg.MaxInterleavings
+	switch {
+	case maxIL == 0:
+		maxIL = DefaultMaxInterleavings
+	case maxIL < 0:
+		maxIL = int(^uint(0) >> 1) // unbounded
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 100
+	}
+	if s.Log == nil || s.Log.Len() == 0 {
+		return nil, errors.New("runner: scenario has no events")
+	}
+	if s.NewCluster == nil {
+		return nil, errors.New("runner: scenario has no cluster factory")
+	}
+
+	cluster, err := s.NewCluster()
+	if err != nil {
+		return nil, fmt.Errorf("runner: cluster setup: %w", err)
+	}
+	// Checkpoint the pristine states once; reset before each interleaving.
+	if err := cluster.Checkpoint(); err != nil {
+		return nil, err
+	}
+
+	pruning := s.Pruning
+	explorer, err := newExplorer(s, cfg, pruning)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Scenario: s.Name, Mode: cfg.Mode}
+	exec := &executor{log: s.Log, cluster: cluster}
+	explored := make(map[string]bool)
+	if cfg.Journal != nil {
+		if err := cfg.Journal.SaveLog(s.Log); err != nil {
+			return nil, err
+		}
+		prior, err := cfg.Journal.LoadExplored()
+		if err != nil {
+			return nil, err
+		}
+		for key := range prior {
+			explored[key] = true
+		}
+		res.Resumed = len(prior)
+	}
+
+	for res.Explored < maxIL {
+		il, ok := explorer.Next()
+		if !ok {
+			res.Exhausted = true
+			break
+		}
+		key := il.Key()
+		if explored[key] {
+			continue // journal resume, or re-pruning regenerated the explorer
+		}
+		explored[key] = true
+		res.Explored++
+		if cfg.Journal != nil {
+			if err := cfg.Journal.AppendExplored(il); err != nil {
+				return nil, err
+			}
+		}
+
+		if cfg.Store != nil {
+			if err := cfg.Store.Record(il); err != nil {
+				if errors.Is(err, datalog.ErrBudgetExhausted) {
+					res.Crashed = true
+					res.CrashErr = err
+					break
+				}
+				return nil, err
+			}
+		}
+
+		if err := cluster.Reset(); err != nil {
+			return nil, err
+		}
+		outcome, err := exec.execute(il, res.Explored)
+		if err != nil {
+			return nil, fmt.Errorf("runner: interleaving %s: %w", key, err)
+		}
+		if s.Finalize != nil {
+			if err := s.Finalize(cluster); err != nil {
+				return nil, fmt.Errorf("runner: finalize %s: %w", key, err)
+			}
+			outcome.Fingerprints = cluster.Fingerprints()
+			outcome.Converged = cluster.Converged()
+		}
+		if cfg.OnOutcome != nil {
+			cfg.OnOutcome(outcome)
+		}
+		if fb, ok := explorer.(feedbackExplorer); ok {
+			fb.Report(behaviorSignature(outcome))
+		}
+		violated := false
+		for _, a := range cfg.Assertions {
+			if err := a.Check(outcome); err != nil {
+				res.Violations = append(res.Violations, Violation{
+					Index:        res.Explored,
+					Interleaving: il,
+					Assertion:    a.Name(),
+					Err:          err,
+				})
+				violated = true
+			}
+		}
+		if violated && res.FirstViolation == 0 {
+			res.FirstViolation = res.Explored
+		}
+		if violated && cfg.StopOnViolation {
+			break
+		}
+
+		if cfg.ConstraintPoll != nil && cfg.Mode == ModeERPi && res.Explored%cfg.PollEvery == 0 {
+			extra, found, err := cfg.ConstraintPoll()
+			if err != nil {
+				return nil, fmt.Errorf("runner: constraints: %w", err)
+			}
+			if found {
+				pruning.Merge(extra)
+				explorer, err = newExplorer(s, cfg, pruning)
+				if err != nil {
+					return nil, fmt.Errorf("runner: re-pruning: %w", err)
+				}
+			}
+		}
+	}
+	if r, ok := explorer.(*interleave.RandExplorer); ok {
+		res.RandShuffles = r.Shuffles()
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// NewPrunedExplorer builds the ER-π explorer for a scenario (grouped
+// units + pruning filters), for callers that drive exploration themselves.
+func NewPrunedExplorer(s Scenario) (interleave.Explorer, error) {
+	return prune.NewExplorer(s.Log, s.Pruning)
+}
+
+// ExecuteOnce runs a single given interleaving of the scenario (fresh
+// cluster, execute, finalize) and returns its outcome. Used to compute the
+// reported manifestation of a bug benchmark from its trigger order.
+func ExecuteOnce(s Scenario, il interleave.Interleaving) (*Outcome, error) {
+	cluster, err := s.NewCluster()
+	if err != nil {
+		return nil, fmt.Errorf("runner: cluster setup: %w", err)
+	}
+	if err := cluster.Checkpoint(); err != nil {
+		return nil, err
+	}
+	exec := &executor{log: s.Log, cluster: cluster}
+	outcome, err := exec.execute(il, 1)
+	if err != nil {
+		return nil, err
+	}
+	if s.Finalize != nil {
+		if err := s.Finalize(cluster); err != nil {
+			return nil, err
+		}
+		outcome.Fingerprints = cluster.Fingerprints()
+		outcome.Converged = cluster.Converged()
+	}
+	return outcome, nil
+}
+
+// feedbackExplorer is implemented by coverage-guided explorers that want
+// the behaviour signature of each executed interleaving.
+type feedbackExplorer interface {
+	Report(signature string)
+}
+
+// behaviorSignature digests an outcome into a stable string: equal
+// behaviours collapse, so coverage-guided exploration can detect novelty.
+func behaviorSignature(o *Outcome) string {
+	var b strings.Builder
+	reps := make([]string, 0, len(o.Fingerprints))
+	for r := range o.Fingerprints {
+		reps = append(reps, string(r))
+	}
+	sort.Strings(reps)
+	for _, r := range reps {
+		b.WriteString(r)
+		b.WriteByte('=')
+		b.WriteString(o.Fingerprints[event.ReplicaID(r)])
+		b.WriteByte(';')
+	}
+	obs := make([]int, 0, len(o.Observations))
+	for id := range o.Observations {
+		obs = append(obs, int(id))
+	}
+	sort.Ints(obs)
+	for _, id := range obs {
+		fmt.Fprintf(&b, "o%d=%s;", id, o.Observations[event.ID(id)])
+	}
+	failed := make([]int, 0, len(o.FailedOps))
+	for _, id := range o.FailedOps {
+		failed = append(failed, int(id))
+	}
+	sort.Ints(failed)
+	for _, id := range failed {
+		fmt.Fprintf(&b, "f%d;", id)
+	}
+	return b.String()
+}
+
+func newExplorer(s Scenario, cfg Config, pruning prune.Config) (interleave.Explorer, error) {
+	switch cfg.Mode {
+	case ModeERPi:
+		return prune.NewExplorer(s.Log, pruning)
+	case ModeDFS:
+		return interleave.NewDFS(interleave.NewSpace(s.Log)), nil
+	case ModeRand:
+		return interleave.NewRand(interleave.NewSpace(s.Log), cfg.Seed), nil
+	case ModeFuzz:
+		// The fuzzer mutates over the grouped unit space so that causal
+		// pairs stay intact, like ER-π's own exploration.
+		space, err := prune.GroupedSpace(s.Log, pruning.Grouping)
+		if err != nil {
+			return nil, err
+		}
+		return fuzz.New(space, cfg.Seed), nil
+	default:
+		return nil, fmt.Errorf("runner: unknown mode %q", cfg.Mode)
+	}
+}

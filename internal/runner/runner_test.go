@@ -1,0 +1,299 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/crdt"
+	"github.com/er-pi/erpi/internal/datalog"
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/prune"
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// lwwSetState adapts an LWW set to the replica.State interface: the town
+// report app of the paper's motivating example, where issues are a
+// replicated set.
+type lwwSetState struct {
+	set   *crdt.LWWSet
+	clock *crdt.Clock
+}
+
+func newLWWSetState(rep string) *lwwSetState {
+	return &lwwSetState{set: crdt.NewLWWSet(crdt.BiasAdd), clock: crdt.NewClock(rep)}
+}
+
+func (s *lwwSetState) Apply(op replica.Op) (string, error) {
+	switch op.Name {
+	case "set.add":
+		s.set.Add(op.Args[0], s.clock.Now())
+		return "", nil
+	case "set.remove":
+		if !s.set.Contains(op.Args[0]) {
+			return "", replica.ErrFailedOp
+		}
+		s.set.Remove(op.Args[0], s.clock.Now())
+		return "", nil
+	case "set.read":
+		return strings.Join(s.set.Elements(), ","), nil
+	default:
+		return "", errors.New("unknown op " + op.Name)
+	}
+}
+
+func (s *lwwSetState) SyncPayload() ([]byte, error) { return s.Snapshot() }
+
+func (s *lwwSetState) ApplySync(payload []byte) error {
+	other := crdt.NewLWWSet(crdt.BiasAdd)
+	var snap map[string]map[string]crdt.Time
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return err
+	}
+	for e, t := range snap["adds"] {
+		other.Add(e, t)
+	}
+	for e, t := range snap["rems"] {
+		other.Remove(e, t)
+	}
+	s.set.Merge(other)
+	return nil
+}
+
+func (s *lwwSetState) Snapshot() ([]byte, error) {
+	adds, rems := s.set.Dump()
+	return json.Marshal(map[string]map[string]crdt.Time{"adds": adds, "rems": rems})
+}
+
+func (s *lwwSetState) Restore(snapshot []byte) error {
+	s.set = crdt.NewLWWSet(crdt.BiasAdd)
+	return s.ApplySync(snapshot)
+}
+
+func (s *lwwSetState) Fingerprint() string {
+	return strings.Join(s.set.Elements(), ",")
+}
+
+// townReportScenario records the paper's §2.3 motivating example against
+// live LWW-set states.
+func townReportScenario(t *testing.T) Scenario {
+	t.Helper()
+	newCluster := func() (*replica.Cluster, error) {
+		return replica.NewCluster(map[event.ReplicaID]replica.State{
+			"A": newLWWSetState("A"),
+			"B": newLWWSetState("B"),
+			"M": newLWWSetState("M"),
+		}), nil
+	}
+	cluster, err := newCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(cluster)
+	rec.Update("A", "set.add", "otb")    // ev0  ev_I
+	rec.Sync("A", "B")                   // ev1  sync(ev_I)
+	rec.Update("B", "set.add", "ph")     // ev2  ev_II
+	rec.Sync("B", "A")                   // ev3  sync(ev_II)
+	rec.Update("B", "set.remove", "otb") // ev4  ev_III
+	rec.Sync("B", "A")                   // ev5  sync(ev_III)
+	rec.Sync("A", "M")                   // ev6  ev_IV: transmit to municipality
+	log, err := rec.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scenario{
+		Name:       "townreport",
+		Log:        log,
+		NewCluster: newCluster,
+		Pruning: prune.Config{
+			Grouping:       prune.GroupSpec{Extra: [][]event.ID{{0, 1}, {2, 3}, {4, 5}}},
+			TestedReplicas: []event.ReplicaID{"M"},
+		},
+	}
+}
+
+// municipalityInvariant: the municipality must receive only the pothole.
+type municipalityInvariant struct{}
+
+func (municipalityInvariant) Name() string { return "municipality-receives-only-ph" }
+func (municipalityInvariant) Check(o *Outcome) error {
+	if got := o.Fingerprints["M"]; got != "ph" {
+		return errors.New("municipality received " + got)
+	}
+	return nil
+}
+
+func TestTownReportERPiFindsViolations(t *testing.T) {
+	s := townReportScenario(t)
+	res, err := Run(s, Config{
+		Mode:       ModeERPi,
+		Assertions: []Assertion{municipalityInvariant{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatal("19 interleavings must be exhausted under the 10K cap")
+	}
+	if res.Explored != 19 {
+		t.Fatalf("explored %d, want 19 (paper §3.1)", res.Explored)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("the erroneous-assumption interleavings must violate the invariant")
+	}
+	// The recording order itself is correct, so not every interleaving
+	// violates.
+	if len(res.Violations) == 19 {
+		t.Fatal("the recorded (correct) interleaving must pass")
+	}
+	if res.FirstViolation == 0 {
+		t.Fatal("FirstViolation must be set")
+	}
+}
+
+func TestTownReportDFSFindsSameViolationsSlower(t *testing.T) {
+	s := townReportScenario(t)
+	erpi, err := Run(s, Config{Mode: ModeERPi, Assertions: []Assertion{municipalityInvariant{}}, StopOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := Run(s, Config{Mode: ModeDFS, Assertions: []Assertion{municipalityInvariant{}}, StopOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erpi.FirstViolation == 0 || dfs.FirstViolation == 0 {
+		t.Fatalf("both modes must find the bug: erpi=%d dfs=%d", erpi.FirstViolation, dfs.FirstViolation)
+	}
+	if erpi.FirstViolation > dfs.FirstViolation {
+		t.Fatalf("ER-π (%d) should not need more interleavings than DFS (%d) here",
+			erpi.FirstViolation, dfs.FirstViolation)
+	}
+}
+
+func TestRandModeExploresDistinctOrders(t *testing.T) {
+	s := townReportScenario(t)
+	res, err := Run(s, Config{Mode: ModeRand, Seed: 3, MaxInterleavings: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored != 50 {
+		t.Fatalf("explored %d, want 50", res.Explored)
+	}
+	if res.RandShuffles < 50 {
+		t.Fatalf("shuffles %d < explored", res.RandShuffles)
+	}
+}
+
+func TestRunPersistsToStore(t *testing.T) {
+	s := townReportScenario(t)
+	store := datalog.NewStore()
+	res, err := Run(s, Config{Mode: ModeERPi, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Count() != res.Explored {
+		t.Fatalf("store has %d, explored %d", store.Count(), res.Explored)
+	}
+}
+
+func TestRunCrashesOnBudget(t *testing.T) {
+	s := townReportScenario(t)
+	store := datalog.NewStore()
+	store.MaxFacts = 30 // a few interleavings of 7 events (8 facts each)
+	res, err := Run(s, Config{Mode: ModeDFS, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("run must crash when the store budget is exhausted")
+	}
+	if !errors.Is(res.CrashErr, datalog.ErrBudgetExhausted) {
+		t.Fatalf("CrashErr = %v", res.CrashErr)
+	}
+}
+
+func TestRunStopOnViolation(t *testing.T) {
+	s := townReportScenario(t)
+	res, err := Run(s, Config{
+		Mode:            ModeERPi,
+		Assertions:      []Assertion{municipalityInvariant{}},
+		StopOnViolation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %d, want exactly 1 with StopOnViolation", len(res.Violations))
+	}
+	if res.Explored != res.FirstViolation {
+		t.Fatalf("exploration must stop at the violation: %d vs %d", res.Explored, res.FirstViolation)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Scenario{}, Config{}); err == nil {
+		t.Fatal("empty scenario must be rejected")
+	}
+	s := townReportScenario(t)
+	if _, err := Run(s, Config{Mode: "bogus"}); err == nil {
+		t.Fatal("unknown mode must be rejected")
+	}
+	s2 := s
+	s2.NewCluster = nil
+	if _, err := Run(s2, Config{}); err == nil {
+		t.Fatal("missing cluster factory must be rejected")
+	}
+}
+
+func TestRecorderFailedOpIsRecorded(t *testing.T) {
+	cluster := replica.NewCluster(map[event.ReplicaID]replica.State{
+		"A": newLWWSetState("A"),
+	})
+	rec := NewRecorder(cluster)
+	rec.Update("A", "set.remove", "ghost") // fails by constraint, still recorded
+	rec.Update("A", "set.add", "x")
+	log, err := rec.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 2 {
+		t.Fatalf("log has %d events, want 2 (failed op included)", log.Len())
+	}
+}
+
+func TestRecorderObserveReturnsIDAndValue(t *testing.T) {
+	cluster := replica.NewCluster(map[event.ReplicaID]replica.State{
+		"A": newLWWSetState("A"),
+	})
+	rec := NewRecorder(cluster)
+	rec.Update("A", "set.add", "x")
+	id, val := rec.Observe("A", "set.read")
+	if id != 1 {
+		t.Fatalf("observe ID = %d, want 1", id)
+	}
+	if val != "x" {
+		t.Fatalf("observed %q", val)
+	}
+}
+
+func TestOutcomeRecordsFailedOps(t *testing.T) {
+	s := townReportScenario(t)
+	var sawFailed bool
+	_, err := Run(s, Config{
+		Mode: ModeERPi,
+		OnOutcome: func(o *Outcome) {
+			if len(o.FailedOps) > 0 {
+				sawFailed = true
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In interleavings where the remove of "otb" executes before the otb
+	// add synced to B, the remove fails by set constraint.
+	if !sawFailed {
+		t.Fatal("expected some interleaving to produce a failed op")
+	}
+}

@@ -1,0 +1,289 @@
+// Package crdts re-implements the evaluation paper's fifth subject: a
+// plain collection of replicated data structures (after the java "crdts"
+// library) with application logic layered on top — a to-do list, a shared
+// set, a counter, and a collaborative list in one replicated workspace.
+//
+// The to-do application supports two ID strategies: sequential IDs
+// (increment the highest known ID — the misconception #4 hazard, clashing
+// under concurrent creation) and replica-unique IDs (the AMC-recommended
+// fix). The collaborative list exposes unsorted reads (misconception #2)
+// and a move operation with a naive delete+insert variant
+// (misconception #3).
+package crdts
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/er-pi/erpi/internal/crdt"
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// Flags configure the application-logic hazards.
+type Flags struct {
+	// SequentialIDs uses max+1 to-do IDs (misconception #4) instead of
+	// replica-unique IDs.
+	SequentialIDs bool `json:"sequential_ids"`
+	// NaiveMove moves list items by delete+insert (misconception #3).
+	NaiveMove bool `json:"naive_move"`
+	// LastSyncWins replaces the merge-based sync with wholesale state
+	// overwrite (misconception #1 seed: no conflict resolution).
+	LastSyncWins bool `json:"last_sync_wins"`
+}
+
+// Workspace is one replica of the collection app.
+type Workspace struct {
+	flags Flags
+	clock *crdt.Clock
+	// todos maps to-do ID -> title (LWW per key).
+	todos *crdt.ORMap
+	// tags is a shared OR-set.
+	tags *crdt.ORSet
+	// counter is a shared PN-counter.
+	counter *crdt.PNCounter
+	// list is the collaborative list.
+	list *crdt.RGA
+	// seq tracks the highest to-do ID this replica has seen (the
+	// sequential-ID strategy's source of clashes).
+	seq int
+}
+
+var _ replica.State = (*Workspace)(nil)
+
+// New returns an empty workspace for a replica identity.
+func New(identity string, flags Flags) *Workspace {
+	return &Workspace{
+		flags:   flags,
+		clock:   crdt.NewClock(identity),
+		todos:   crdt.NewORMap(),
+		tags:    crdt.NewORSet(),
+		counter: crdt.NewPNCounter(),
+		list:    crdt.NewRGA(),
+	}
+}
+
+// CreateTodo adds a to-do item and returns its generated ID.
+func (w *Workspace) CreateTodo(title string) string {
+	var id string
+	if w.flags.SequentialIDs {
+		// Misconception #4: concurrent creators both see the same highest
+		// ID and both produce highest+1.
+		w.seq++
+		id = strconv.Itoa(w.seq)
+	} else {
+		id = w.clock.Now().String()
+	}
+	w.todos.Put(id, title, w.clock.Now())
+	if n, err := strconv.Atoi(id); err == nil && n > w.seq {
+		w.seq = n
+	}
+	return id
+}
+
+// Apply implements replica.State. Ops:
+//
+//	todo.create(title)         -> generated ID
+//	todo.done(id)              remove a to-do
+//	todo.read()                -> "id:title,..."
+//	tag.add(tag) / tag.remove(tag) / tag.read()
+//	counter.inc(n) / counter.dec(n) / counter.read()
+//	list.insert(idx, v) / list.move(from, to) / list.read()
+func (w *Workspace) Apply(op replica.Op) (string, error) {
+	switch op.Name {
+	case "todo.create":
+		return w.CreateTodo(op.Args[0]), nil
+	case "todo.done":
+		if !w.todos.Remove(op.Args[0], w.clock.Now()) {
+			return "", replica.ErrFailedOp
+		}
+		return "", nil
+	case "todo.read":
+		return w.renderTodos(), nil
+	case "tag.add":
+		w.tags.Add(w.clock, op.Args[0])
+		return "", nil
+	case "tag.remove":
+		if !w.tags.Remove(op.Args[0]) {
+			return "", replica.ErrFailedOp
+		}
+		return "", nil
+	case "tag.read":
+		return strings.Join(w.tags.Elements(), ","), nil
+	case "counter.inc":
+		n, err := strconv.ParseUint(op.Args[0], 10, 32)
+		if err != nil {
+			return "", fmt.Errorf("crdts: bad delta: %w", err)
+		}
+		w.counter.Inc(w.clock.Replica(), n)
+		return "", nil
+	case "counter.dec":
+		n, err := strconv.ParseUint(op.Args[0], 10, 32)
+		if err != nil {
+			return "", fmt.Errorf("crdts: bad delta: %w", err)
+		}
+		w.counter.Dec(w.clock.Replica(), n)
+		return "", nil
+	case "counter.read":
+		return strconv.FormatInt(w.counter.Value(), 10), nil
+	case "list.insert":
+		idx, err := strconv.Atoi(op.Args[0])
+		if err != nil {
+			return "", fmt.Errorf("crdts: bad index: %w", err)
+		}
+		if idx > w.list.Len() {
+			idx = w.list.Len()
+		}
+		if _, err := w.list.InsertAt(w.clock, idx, op.Args[1]); err != nil {
+			return "", replica.ErrFailedOp
+		}
+		return "", nil
+	case "list.move":
+		return "", w.moveListItem(op.Args[0], op.Args[1])
+	case "list.read":
+		return strings.Join(w.list.Values(), ","), nil
+	default:
+		return "", fmt.Errorf("crdts: unknown op %s", op.Name)
+	}
+}
+
+func (w *Workspace) moveListItem(fromArg, toArg string) error {
+	from, err := strconv.Atoi(fromArg)
+	if err != nil {
+		return fmt.Errorf("crdts: bad index: %w", err)
+	}
+	to, err := strconv.Atoi(toArg)
+	if err != nil {
+		return fmt.Errorf("crdts: bad index: %w", err)
+	}
+	if from >= w.list.Len() || w.list.Len() == 0 {
+		return replica.ErrFailedOp
+	}
+	id, err := w.list.IDAt(from)
+	if err != nil {
+		return replica.ErrFailedOp
+	}
+	after := crdt.HeadID
+	if to > 0 {
+		if to > w.list.Len() {
+			to = w.list.Len()
+		}
+		afterID, err := w.list.IDAt(to - 1)
+		if err != nil {
+			return replica.ErrFailedOp
+		}
+		if afterID != id {
+			after = afterID
+		}
+	}
+	if w.flags.NaiveMove {
+		_, err = w.list.Move(w.clock, id, after)
+	} else {
+		_, err = w.list.MoveWins(w.clock, id, after)
+	}
+	if err != nil {
+		return replica.ErrFailedOp
+	}
+	return nil
+}
+
+func (w *Workspace) renderTodos() string {
+	keys := w.todos.Keys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		v, _ := w.todos.Get(k)
+		parts = append(parts, k+":"+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// serialized is the JSON wire/snapshot form of the workspace; the
+// component CRDTs carry their own join-complete encodings.
+type serialized struct {
+	Todos   *crdt.ORMap     `json:"todos"`
+	Tags    *crdt.ORSet     `json:"tags"`
+	Counter *crdt.PNCounter `json:"counter"`
+	List    *crdt.RGA       `json:"list"`
+	Seq     int             `json:"seq"`
+	Clock   uint64          `json:"clock"`
+}
+
+// SyncPayload implements replica.State.
+func (w *Workspace) SyncPayload() ([]byte, error) { return w.Snapshot() }
+
+// ApplySync implements replica.State: merge the remote workspace (or,
+// with LastSyncWins, overwrite it wholesale).
+func (w *Workspace) ApplySync(payload []byte) error {
+	if w.flags.LastSyncWins {
+		return w.decodeInto(payload)
+	}
+	other := New(w.clock.Replica(), w.flags)
+	if err := other.decodeInto(payload); err != nil {
+		return err
+	}
+	w.todos.Merge(other.todos)
+	w.tags.Merge(other.tags)
+	w.counter.Merge(other.counter)
+	w.list.Merge(other.list)
+	if other.seq > w.seq {
+		w.seq = other.seq
+	}
+	if other.clock.Counter() > w.clock.Counter() {
+		w.clock.SetCounter(other.clock.Counter())
+	}
+	return nil
+}
+
+// Snapshot implements replica.State.
+func (w *Workspace) Snapshot() ([]byte, error) {
+	return json.Marshal(serialized{
+		Todos:   w.todos,
+		Tags:    w.tags,
+		Counter: w.counter,
+		List:    w.list,
+		Seq:     w.seq,
+		Clock:   w.clock.Counter(),
+	})
+}
+
+func (w *Workspace) decodeInto(data []byte) error {
+	s := serialized{
+		Todos:   crdt.NewORMap(),
+		Tags:    crdt.NewORSet(),
+		Counter: crdt.NewPNCounter(),
+		List:    crdt.NewRGA(),
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("crdts: snapshot: %w", err)
+	}
+	w.todos, w.tags, w.counter, w.list = s.Todos, s.Tags, s.Counter, s.List
+	w.seq = s.Seq
+	w.clock.SetCounter(s.Clock)
+	return nil
+}
+
+// Restore implements replica.State.
+func (w *Workspace) Restore(snapshot []byte) error {
+	fresh := New(w.clock.Replica(), w.flags)
+	if err := fresh.decodeInto(snapshot); err != nil {
+		return err
+	}
+	*w = *fresh
+	return nil
+}
+
+// Fingerprint implements replica.State.
+func (w *Workspace) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("todos{")
+	b.WriteString(w.renderTodos())
+	b.WriteString("}tags{")
+	b.WriteString(strings.Join(w.tags.Elements(), ","))
+	b.WriteString("}counter{")
+	b.WriteString(strconv.FormatInt(w.counter.Value(), 10))
+	b.WriteString("}list{")
+	b.WriteString(strings.Join(w.list.Values(), ","))
+	b.WriteString("}")
+	return b.String()
+}

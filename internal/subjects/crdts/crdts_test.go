@@ -1,0 +1,179 @@
+package crdts
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+func apply(t *testing.T, w *Workspace, name string, args ...string) string {
+	t.Helper()
+	out, err := w.Apply(replica.Op{Name: name, Args: args})
+	if err != nil {
+		t.Fatalf("%s(%v): %v", name, args, err)
+	}
+	return out
+}
+
+func syncBoth(t *testing.T, a, b *Workspace) {
+	t.Helper()
+	pa, err := a.SyncPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.SyncPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ApplySync(pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplySync(pa); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTodoUniqueIDsNoClash(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	ida := apply(t, a, "todo.create", "buy milk")
+	idb := apply(t, b, "todo.create", "walk dog")
+	if ida == idb {
+		t.Fatalf("replica-unique IDs must not clash: %q", ida)
+	}
+	syncBoth(t, a, b)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("divergence: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	todos := apply(t, a, "todo.read")
+	if !strings.Contains(todos, "buy milk") || !strings.Contains(todos, "walk dog") {
+		t.Fatalf("todos lost: %q", todos)
+	}
+}
+
+func TestTodoSequentialIDsClash(t *testing.T) {
+	flags := Flags{SequentialIDs: true}
+	a, b := New("A", flags), New("B", flags)
+	ida := apply(t, a, "todo.create", "buy milk")
+	idb := apply(t, b, "todo.create", "walk dog")
+	if ida != idb {
+		t.Fatalf("misconception #4 seed: both replicas must generate the same ID, got %q %q", ida, idb)
+	}
+	syncBoth(t, a, b)
+	// The clash overwrites one title: only one of the two survives.
+	todos := apply(t, a, "todo.read")
+	if strings.Contains(todos, "buy milk") && strings.Contains(todos, "walk dog") {
+		t.Fatalf("clash must lose one todo, got %q", todos)
+	}
+}
+
+func TestTodoDone(t *testing.T) {
+	w := New("A", Flags{})
+	id := apply(t, w, "todo.create", "task")
+	apply(t, w, "todo.done", id)
+	if got := apply(t, w, "todo.read"); got != "" {
+		t.Fatalf("todo.read = %q", got)
+	}
+	if _, err := w.Apply(replica.Op{Name: "todo.done", Args: []string{"ghost"}}); err != replica.ErrFailedOp {
+		t.Fatalf("done of missing todo = %v, want failed op", err)
+	}
+}
+
+func TestTagsAndCounter(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	apply(t, a, "tag.add", "urgent")
+	apply(t, b, "tag.add", "later")
+	apply(t, a, "counter.inc", "5")
+	apply(t, b, "counter.dec", "2")
+	syncBoth(t, a, b)
+	if got := apply(t, a, "tag.read"); got != "later,urgent" {
+		t.Fatalf("tag.read = %q", got)
+	}
+	if got := apply(t, b, "counter.read"); got != "3" {
+		t.Fatalf("counter.read = %q", got)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("divergence: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	if _, err := a.Apply(replica.Op{Name: "tag.remove", Args: []string{"ghost"}}); err != replica.ErrFailedOp {
+		t.Fatalf("remove of missing tag = %v, want failed op", err)
+	}
+}
+
+func TestListInsertAndMove(t *testing.T) {
+	w := New("A", Flags{})
+	for i, v := range []string{"a", "b", "c"} {
+		apply(t, w, "list.insert", itoa(i), v)
+	}
+	apply(t, w, "list.move", "0", "3")
+	if got := apply(t, w, "list.read"); got != "b,c,a" {
+		t.Fatalf("list.read = %q", got)
+	}
+	if _, err := w.Apply(replica.Op{Name: "list.move", Args: []string{"9", "0"}}); err != replica.ErrFailedOp {
+		t.Fatalf("move out of range = %v, want failed op", err)
+	}
+}
+
+func TestNaiveMoveDuplicatesAcrossReplicas(t *testing.T) {
+	flags := Flags{NaiveMove: true}
+	a, b := New("A", flags), New("B", flags)
+	for i, v := range []string{"x", "y", "z"} {
+		apply(t, a, "list.insert", itoa(i), v)
+	}
+	syncBoth(t, a, b)
+	apply(t, a, "list.move", "0", "3")
+	apply(t, b, "list.move", "0", "2")
+	syncBoth(t, a, b)
+	listA := apply(t, a, "list.read")
+	if strings.Count(listA, "x") != 2 {
+		t.Fatalf("misconception #3 seed: concurrent naive moves must duplicate, got %q", listA)
+	}
+}
+
+func TestMoveWinsNoDuplicateAcrossReplicas(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	for i, v := range []string{"x", "y", "z"} {
+		apply(t, a, "list.insert", itoa(i), v)
+	}
+	syncBoth(t, a, b)
+	apply(t, a, "list.move", "0", "3")
+	apply(t, b, "list.move", "0", "2")
+	syncBoth(t, a, b)
+	syncBoth(t, a, b)
+	listA := apply(t, a, "list.read")
+	if strings.Count(listA, "x") != 1 {
+		t.Fatalf("winner-move must keep one x, got %q", listA)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("divergence: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	w := New("A", Flags{})
+	apply(t, w, "todo.create", "task")
+	apply(t, w, "tag.add", "urgent")
+	apply(t, w, "counter.inc", "3")
+	apply(t, w, "list.insert", "0", "item")
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := w.Fingerprint()
+	apply(t, w, "counter.inc", "100")
+	if err := w.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if w.Fingerprint() != fp {
+		t.Fatalf("restore lost state: %q vs %q", w.Fingerprint(), fp)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	w := New("A", Flags{})
+	if _, err := w.Apply(replica.Op{Name: "bogus"}); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }

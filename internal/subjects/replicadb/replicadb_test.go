@@ -1,0 +1,174 @@
+package replicadb
+
+import (
+	"testing"
+
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+func TestInsertTransferComplete(t *testing.T) {
+	n := New(Flags{})
+	n.Insert("k1", "v1")
+	n.Insert("k2", "v2")
+	n.TransferComplete()
+	if got := n.SinkRows(); got != "k1=v1,k2=v2" {
+		t.Fatalf("SinkRows = %q", got)
+	}
+}
+
+func TestDeletePropagatesInCompleteMode(t *testing.T) {
+	n := New(Flags{})
+	n.Insert("k", "v")
+	n.TransferComplete()
+	if err := n.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	n.TransferComplete()
+	if got := n.SinkRows(); got != "" {
+		t.Fatalf("sink must drop deleted rows, got %q", got)
+	}
+}
+
+func TestDeleteMissingIsFailedOp(t *testing.T) {
+	n := New(Flags{})
+	if err := n.Delete("ghost"); err != replica.ErrFailedOp {
+		t.Fatalf("err = %v, want failed op", err)
+	}
+}
+
+func TestIncrementalPropagatesTombstonesWhenCorrect(t *testing.T) {
+	n := New(Flags{})
+	n.Insert("k", "v")
+	n.TransferComplete()
+	if err := n.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	n.TransferIncremental()
+	if got := n.SinkRows(); got != "" {
+		t.Fatalf("incremental must propagate the delete, got %q", got)
+	}
+}
+
+func TestBugMissTombstones(t *testing.T) {
+	n := New(Flags{BugMissTombstones: true})
+	n.Insert("k", "v")
+	n.TransferComplete()
+	if err := n.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	n.TransferIncremental()
+	if got := n.SinkRows(); got != "k=v" {
+		t.Fatalf("seeded issue #23: deleted record must linger in sink, got %q", got)
+	}
+	// The invariant detector: source and sink disagree.
+	if n.SourceRows() == n.SinkRows() {
+		t.Fatal("source and sink must diverge under the defect")
+	}
+}
+
+func TestFetchBackPressure(t *testing.T) {
+	n := New(Flags{BufferLimit: 2})
+	n.Insert("a", "1")
+	n.Insert("b", "2")
+	n.Insert("c", "3")
+	if err := n.Fetch(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Fetch(2); err != replica.ErrFailedOp {
+		t.Fatalf("over-limit fetch = %v, want back-pressure failed op", err)
+	}
+	n.Drain()
+	if err := n.Fetch(2); err != nil {
+		t.Fatalf("fetch after drain must succeed: %v", err)
+	}
+	if n.PeakBuffer() != 2 {
+		t.Fatalf("PeakBuffer = %d, want 2", n.PeakBuffer())
+	}
+}
+
+func TestBugUnboundedBuffer(t *testing.T) {
+	n := New(Flags{BugUnboundedBuffer: true, BufferLimit: 2})
+	n.Insert("a", "1")
+	n.Insert("b", "2")
+	n.Insert("c", "3")
+	for i := 0; i < 5; i++ {
+		if err := n.Fetch(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.PeakBuffer() <= 2 {
+		t.Fatalf("seeded issue #79: buffer must blow past the limit, peak = %d", n.PeakBuffer())
+	}
+}
+
+func TestApplyOps(t *testing.T) {
+	n := New(Flags{})
+	ops := []replica.Op{
+		{Name: "insert", Args: []string{"k", "v"}},
+		{Name: "fetch", Args: []string{"1"}},
+		{Name: "drain"},
+		{Name: "transferComplete"},
+		{Name: "transferIncremental"},
+	}
+	for _, op := range ops {
+		if _, err := n.Apply(op); err != nil {
+			t.Fatalf("%s: %v", op.Name, err)
+		}
+	}
+	out, err := n.Apply(replica.Op{Name: "readSink"})
+	if err != nil || out != "k=v" {
+		t.Fatalf("readSink = %q, %v", out, err)
+	}
+	out, err = n.Apply(replica.Op{Name: "peakBuffer"})
+	if err != nil || out != "1" {
+		t.Fatalf("peakBuffer = %q, %v", out, err)
+	}
+	if _, err := n.Apply(replica.Op{Name: "nope"}); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+}
+
+func TestSyncLWWMerge(t *testing.T) {
+	a, b := New(Flags{}), New(Flags{})
+	a.Insert("k", "old")
+	b.Insert("k", "newer")
+	b.Insert("k", "newest") // version 2 at b
+	pa, err := a.SyncPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.SyncPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ApplySync(pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ApplySync(pa); err != nil {
+		t.Fatal(err)
+	}
+	if a.SourceRows() != b.SourceRows() {
+		t.Fatalf("sources diverged: %q vs %q", a.SourceRows(), b.SourceRows())
+	}
+	if a.SourceRows() != "k=newest" {
+		t.Fatalf("LWW lost: %q", a.SourceRows())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	n := New(Flags{})
+	n.Insert("k", "v")
+	n.TransferComplete()
+	snap, err := n.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Insert("extra", "x")
+	n.TransferComplete()
+	if err := n.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if n.Fingerprint() != "src{k=v}sink{k=v}" {
+		t.Fatalf("restore lost state: %q", n.Fingerprint())
+	}
+}

@@ -1,0 +1,77 @@
+package roshi
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// TestStrongEventualConsistencyProperty drives the corrected subject with
+// randomized op histories and randomized partial synchronization, then
+// runs two full anti-entropy rounds: all replicas must converge for every
+// seed — the strong-eventual-consistency guarantee the bug detectors rely
+// on for their no-false-positive property.
+func TestStrongEventualConsistencyProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		reps := []string{"A", "B", "C"}
+		states := map[string]replica.State{}
+		for _, r := range reps {
+			states[r] = New(Flags{})
+		}
+		for step := 0; step < 30; step++ {
+			r := reps[rng.Intn(len(reps))]
+			if rng.Intn(4) == 0 { // partial sync to a random peer
+				to := reps[rng.Intn(len(reps))]
+				if to == r {
+					continue
+				}
+				payload, err := states[r].SyncPayload()
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := states[to].ApplySync(payload); err != nil && err != replica.ErrFailedOp {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				continue
+			}
+			op := randomOp(rng, step)
+			if _, err := states[r].Apply(op); err != nil && err != replica.ErrFailedOp {
+				t.Fatalf("seed %d: op %v: %v", seed, op, err)
+			}
+		}
+		for round := 0; round < 2; round++ {
+			for _, from := range reps {
+				payload, err := states[from].SyncPayload()
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for _, to := range reps {
+					if to == from {
+						continue
+					}
+					if err := states[to].ApplySync(payload); err != nil && err != replica.ErrFailedOp {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			}
+		}
+		want := states["A"].Fingerprint()
+		for _, r := range reps {
+			if got := states[r].Fingerprint(); got != want {
+				t.Fatalf("seed %d: replica %s diverged:\n%s\nvs\n%s", seed, r, got, want)
+			}
+		}
+	}
+}
+
+// randomOp picks a random Roshi operation.
+func randomOp(rng *rand.Rand, step int) replica.Op {
+	member := string(rune('a' + rng.Intn(4)))
+	score := []string{"1", "2", "3", "5", "8"}[rng.Intn(5)]
+	if rng.Intn(3) == 0 {
+		return replica.Op{Name: "delete", Args: []string{"k", member, score}}
+	}
+	return replica.Op{Name: "insert", Args: []string{"k", member, score}}
+}

@@ -1,0 +1,309 @@
+// Package yorkie re-implements the replication core of Yorkie (evaluation
+// subject 4): a document store whose JSON-like documents support
+// collaborative editing through CRDTs — nested objects with last-write-wins
+// fields (internal/crdt.JSONDoc) and arrays with RGA semantics
+// (internal/crdt.RGA).
+//
+// Two seedable defects reproduce the paper's Yorkie bug benchmarks:
+//
+//   - BugMoveAfter (issue #676, "Document doesn't converge when using
+//     Array.MoveAfter"): array moves use the naive delete+insert, so
+//     concurrent moves of the same element duplicate it and replicas
+//     disagree.
+//   - BugNestedSet (issue #663, "Modify the set operation to handle
+//     nested object values"): the remote-apply path of a set op flattens
+//     nested object values to a primitive, so replicas that received the
+//     op via sync diverge from the replica that executed it locally.
+package yorkie
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/er-pi/erpi/internal/crdt"
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// Flags seed the known defects.
+type Flags struct {
+	BugMoveAfter bool `json:"bug_move_after"`
+	BugNestedSet bool `json:"bug_nested_set"`
+	// NoStampResolution re-stamps remote ops with the receiver's local
+	// clock, so writes resolve by arrival order instead of their original
+	// causality (misconception #1 seed).
+	NoStampResolution bool `json:"no_stamp_resolution"`
+}
+
+// docOp is one replicated document operation (op-based sync).
+type docOp struct {
+	Kind  string    `json:"kind"` // set, setObject, delete, arrInsert, arrMove
+	Path  []string  `json:"path,omitempty"`
+	Value string    `json:"value,omitempty"`
+	Stamp crdt.Time `json:"stamp"`
+	// Array op fields: element identities resolved at record time, so
+	// remote application is position-independent.
+	ElemID  crdt.Time `json:"elem_id,omitempty"`
+	AfterID crdt.Time `json:"after_id,omitempty"`
+	// Remote marks an op applied via sync (the buggy code path of issue
+	// #663 differs between local and remote application).
+	Remote bool `json:"remote,omitempty"`
+}
+
+// Doc is one replica's document: a JSON tree plus a single shared array
+// (the collaborative list of the document).
+type Doc struct {
+	flags Flags
+	clock *crdt.Clock
+	tree  *crdt.JSONDoc
+	arr   *crdt.RGA
+	// opLog holds every op this replica originated or applied, for
+	// op-based synchronization.
+	opLog []docOp
+	// applied dedups ops by stamp.
+	applied map[crdt.Time]bool
+}
+
+var _ replica.State = (*Doc)(nil)
+
+// New returns an empty document for a replica identity.
+func New(identity string, flags Flags) *Doc {
+	return &Doc{
+		flags:   flags,
+		clock:   crdt.NewClock(identity),
+		tree:    crdt.NewJSONDoc(),
+		arr:     crdt.NewRGA(),
+		applied: make(map[crdt.Time]bool),
+	}
+}
+
+// applyOp executes one doc op against local state.
+func (d *Doc) applyOp(op docOp) error {
+	if d.applied[op.Stamp] {
+		return nil // idempotent
+	}
+	d.applied[op.Stamp] = true
+	d.clock.Witness(op.Stamp)
+	if op.Remote && d.flags.NoStampResolution {
+		// Misconception #1 seed: the receiver re-stamps the op, so the
+		// write wins or loses by arrival order, not causality.
+		op.Stamp = d.clock.Now()
+	}
+	switch op.Kind {
+	case "set":
+		return treeErr(d.tree.Set(op.Path, op.Value, op.Stamp))
+	case "setObject":
+		if op.Remote && d.flags.BugNestedSet && len(op.Path) > 1 && d.tree.Keys(op.Path[:len(op.Path)-1]) == nil {
+			// Defect (issue #663): the remote-apply path handles a nested
+			// object set correctly only when the parent object already
+			// exists; when the op overtakes the parent's creation it
+			// stores a flat primitive placeholder instead, so the
+			// receiving replica's tree diverges from the sender's — but
+			// only in interleavings where the syncs arrive out of causal
+			// order.
+			return treeErr(d.tree.Set(op.Path, "[object]", op.Stamp))
+		}
+		return treeErr(d.tree.SetObject(op.Path, op.Stamp))
+	case "delete":
+		return treeErr(d.tree.Delete(op.Path, op.Stamp))
+	case "arrInsert":
+		d.insertArrWithStamp(op.AfterID, op.Value, op.Stamp)
+		return nil
+	case "arrMove":
+		return d.moveArr(op)
+	default:
+		return fmt.Errorf("yorkie: unknown doc op %q", op.Kind)
+	}
+}
+
+// insertArrWithStamp inserts into the RGA reusing the op's stamp as the
+// element ID so that all replicas allocate identical IDs.
+func (d *Doc) insertArrWithStamp(origin crdt.Time, value string, stamp crdt.Time) {
+	// The RGA allocates IDs from its clock; drive the clock to just below
+	// the stamp so the allocated ID equals the stamp.
+	tmp := crdt.NewClock(stamp.Replica)
+	tmp.SetCounter(stamp.Counter - 1)
+	if _, err := d.arr.InsertAfter(tmp, origin, value); err != nil {
+		// Origin missing (concurrent edits): insert at head, convergent
+		// because the ID is still the stamp.
+		_, _ = d.arr.InsertAfter(tmp, crdt.HeadID, value)
+	}
+}
+
+func (d *Doc) moveArr(op docOp) error {
+	tmp := crdt.NewClock(op.Stamp.Replica)
+	tmp.SetCounter(op.Stamp.Counter - 1)
+	if d.flags.BugMoveAfter {
+		// Defect (issue #676): MoveAfter = delete + fresh insert. A
+		// concurrent move already tombstoned the element, so the remote
+		// op fails and each replica keeps only its own relocation — the
+		// document never converges.
+		if _, err := d.arr.Move(tmp, op.ElemID, op.AfterID); err != nil {
+			return replica.ErrFailedOp
+		}
+		return nil
+	}
+	// Fixed path: MoveWins adds a placement for the element's root and the
+	// highest placement ID wins deterministically, so concurrent moves
+	// reconcile identically at every replica.
+	if _, err := d.arr.MoveWins(tmp, op.ElemID, op.AfterID); err != nil {
+		return replica.ErrFailedOp
+	}
+	return nil
+}
+
+// record runs an op locally and logs it for synchronization.
+func (d *Doc) record(op docOp) error {
+	if err := d.applyOp(op); err != nil {
+		return err
+	}
+	d.opLog = append(d.opLog, op)
+	return nil
+}
+
+// Apply implements replica.State. Ops:
+//
+//	set(path, value)        set a primitive at a dotted path
+//	setObject(path)         set a nested object at a dotted path
+//	deleteKey(path)         delete the entry at a dotted path
+//	arrInsert(index, value) insert into the document array
+//	arrMove(index, to)      move an array element (MoveAfter)
+//	read()                  -> document snapshot
+//	readArr()               -> array contents
+func (d *Doc) Apply(op replica.Op) (string, error) {
+	stamp := d.clock.Now()
+	switch op.Name {
+	case "set":
+		return "", d.record(docOp{Kind: "set", Path: splitPath(op.Args[0]), Value: op.Args[1], Stamp: stamp})
+	case "setObject":
+		return "", d.record(docOp{Kind: "setObject", Path: splitPath(op.Args[0]), Stamp: stamp})
+	case "deleteKey":
+		return "", d.record(docOp{Kind: "delete", Path: splitPath(op.Args[0]), Stamp: stamp})
+	case "arrInsert":
+		idx, err := strconv.Atoi(op.Args[0])
+		if err != nil {
+			return "", fmt.Errorf("yorkie: bad index: %w", err)
+		}
+		after, err := d.originAt(idx)
+		if err != nil {
+			return "", replica.ErrFailedOp
+		}
+		return "", d.record(docOp{Kind: "arrInsert", AfterID: after, Value: op.Args[1], Stamp: stamp})
+	case "arrMove":
+		idx, err := strconv.Atoi(op.Args[0])
+		if err != nil {
+			return "", fmt.Errorf("yorkie: bad index: %w", err)
+		}
+		to, err := strconv.Atoi(op.Args[1])
+		if err != nil {
+			return "", fmt.Errorf("yorkie: bad target: %w", err)
+		}
+		if idx >= d.arr.Len() || d.arr.Len() == 0 {
+			return "", replica.ErrFailedOp
+		}
+		elem, err := d.arr.IDAt(idx)
+		if err != nil {
+			return "", replica.ErrFailedOp
+		}
+		after, err := d.originAt(to)
+		if err != nil || after == elem {
+			after = crdt.HeadID
+		}
+		return "", d.record(docOp{Kind: "arrMove", ElemID: elem, AfterID: after, Stamp: stamp})
+	case "read":
+		return d.tree.Snapshot(), nil
+	case "readArr":
+		return strings.Join(d.arr.Values(), ","), nil
+	default:
+		return "", fmt.Errorf("yorkie: unknown op %s", op.Name)
+	}
+}
+
+func splitPath(s string) []string { return strings.Split(s, ".") }
+
+// treeErr maps JSON-tree path conflicts (e.g. a path blocked by a newer
+// primitive) to failed ops: during exhaustive replay these are legitimate
+// consequences of reordering, not fatal errors.
+func treeErr(err error) error {
+	if err != nil {
+		return replica.ErrFailedOp
+	}
+	return nil
+}
+
+// originAt resolves "insert so the element lands at visible index idx"
+// into the ID of the element it follows (HeadID for the front). Indexes
+// past the end clamp to append-at-tail.
+func (d *Doc) originAt(idx int) (crdt.Time, error) {
+	if idx <= 0 || d.arr.Len() == 0 {
+		return crdt.HeadID, nil
+	}
+	if idx > d.arr.Len() {
+		idx = d.arr.Len()
+	}
+	return d.arr.IDAt(idx - 1)
+}
+
+// SyncPayload implements replica.State: the full op log, marked remote so
+// the receiver runs the remote-apply path.
+func (d *Doc) SyncPayload() ([]byte, error) {
+	ops := make([]docOp, len(d.opLog))
+	copy(ops, d.opLog)
+	for i := range ops {
+		ops[i].Remote = true
+	}
+	return json.Marshal(ops)
+}
+
+// ApplySync implements replica.State: apply the remote ops (idempotently)
+// and adopt them into the local op log for further propagation.
+func (d *Doc) ApplySync(payload []byte) error {
+	var ops []docOp
+	if err := json.Unmarshal(payload, &ops); err != nil {
+		return fmt.Errorf("yorkie: sync payload: %w", err)
+	}
+	for _, op := range ops {
+		if d.applied[op.Stamp] {
+			continue
+		}
+		if err := d.applyOp(op); err != nil && err != replica.ErrFailedOp {
+			return err
+		}
+		d.opLog = append(d.opLog, op)
+	}
+	return nil
+}
+
+type snapshot struct {
+	OpLog []docOp `json:"op_log"`
+	Clock uint64  `json:"clock"`
+}
+
+// Snapshot implements replica.State: the op log replays deterministically.
+func (d *Doc) Snapshot() ([]byte, error) {
+	return json.Marshal(snapshot{OpLog: d.opLog, Clock: d.clock.Counter()})
+}
+
+// Restore implements replica.State.
+func (d *Doc) Restore(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("yorkie: snapshot: %w", err)
+	}
+	fresh := New(d.clock.Replica(), d.flags)
+	for _, op := range snap.OpLog {
+		if err := fresh.applyOp(op); err != nil && err != replica.ErrFailedOp {
+			return fmt.Errorf("yorkie: snapshot replay: %w", err)
+		}
+		fresh.opLog = append(fresh.opLog, op)
+	}
+	fresh.clock.SetCounter(snap.Clock)
+	*d = *fresh
+	return nil
+}
+
+// Fingerprint implements replica.State: tree plus array contents.
+func (d *Doc) Fingerprint() string {
+	return d.tree.Snapshot() + "|[" + strings.Join(d.arr.Values(), ",") + "]"
+}

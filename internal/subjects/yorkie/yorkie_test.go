@@ -1,0 +1,192 @@
+package yorkie
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+func apply(t *testing.T, d *Doc, name string, args ...string) string {
+	t.Helper()
+	out, err := d.Apply(replica.Op{Name: name, Args: args})
+	if err != nil {
+		t.Fatalf("%s(%v): %v", name, args, err)
+	}
+	return out
+}
+
+func syncInto(t *testing.T, dst, src *Doc) {
+	t.Helper()
+	payload, err := src.SyncPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ApplySync(payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetRead(t *testing.T) {
+	d := New("A", Flags{})
+	apply(t, d, "set", "title", "hello")
+	apply(t, d, "set", "meta.author", "alice")
+	got := apply(t, d, "read")
+	for _, want := range []string{`"title":"hello"`, `"meta":{"author":"alice"}`} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("read = %s missing %s", got, want)
+		}
+	}
+}
+
+func TestDeleteKey(t *testing.T) {
+	d := New("A", Flags{})
+	apply(t, d, "set", "k", "v")
+	apply(t, d, "deleteKey", "k")
+	if got := apply(t, d, "read"); strings.Contains(got, "k") {
+		t.Fatalf("delete failed: %s", got)
+	}
+}
+
+func TestConcurrentEditsConverge(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	apply(t, a, "set", "x", "fromA")
+	apply(t, b, "set", "y", "fromB")
+	syncInto(t, a, b)
+	syncInto(t, b, a)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("divergence: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestNestedSetCorrectRemoteApply(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	apply(t, a, "setObject", "profile")
+	apply(t, a, "set", "profile.name", "alice")
+	syncInto(t, b, a)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("correct nested set must converge: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestBugNestedSetDiverges(t *testing.T) {
+	// The defect fires only when the nested setObject overtakes the
+	// creation of its parent: B creates "profile", A creates
+	// "profile.avatar"; C receives A's ops BEFORE B's.
+	flags := Flags{BugNestedSet: true}
+	a, b, c := New("A", flags), New("B", flags), New("C", flags)
+	apply(t, b, "setObject", "profile")
+	// A creates the nested object WITHOUT knowing B's op: A's payload then
+	// carries only its own ops, so the avatar op's parent is implicitly
+	// created locally but missing at a fresh receiver. The leading set
+	// gives A's ops higher Lamport counters than B's profile op, so the
+	// flattened placeholder wins LWW resolution against it.
+	apply(t, a, "set", "title", "doc")
+	apply(t, a, "setObject", "profile.avatar")
+	syncInto(t, c, a) // avatar op arrives at C with no parent: flattened
+	syncInto(t, c, b) // parent arrives too late
+	if !strings.Contains(c.Fingerprint(), "[object]") {
+		t.Fatalf("receiver must hold the flat placeholder: %q", c.Fingerprint())
+	}
+	syncInto(t, a, b)
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("seeded issue #663: out-of-order remote apply must diverge")
+	}
+	// Causal-order delivery stays correct even with the flag.
+	d := New("D", flags)
+	syncInto(t, d, b)
+	syncInto(t, d, a)
+	if !strings.Contains(d.Fingerprint(), `"avatar":{}`) {
+		t.Fatalf("causal-order delivery must nest correctly: %q", d.Fingerprint())
+	}
+}
+
+func TestArrayInsertConverges(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	apply(t, a, "arrInsert", "0", "x")
+	apply(t, a, "arrInsert", "1", "y")
+	syncInto(t, b, a)
+	apply(t, b, "arrInsert", "1", "mid")
+	syncInto(t, a, b)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("divergence: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	if got := apply(t, a, "readArr"); got != "x,mid,y" {
+		t.Fatalf("readArr = %q", got)
+	}
+}
+
+func TestMoveAfterConvergesWhenFixed(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	for i, v := range []string{"x", "y", "z"} {
+		apply(t, a, "arrInsert", itoa(i), v)
+	}
+	syncInto(t, b, a)
+	// Concurrent moves of the same element to different places.
+	apply(t, a, "arrMove", "0", "3") // x to the end
+	apply(t, b, "arrMove", "0", "2") // x after y
+	syncInto(t, a, b)
+	syncInto(t, b, a)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("fixed MoveAfter must converge: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	count := strings.Count(apply(t, a, "readArr"), "x")
+	if count != 1 {
+		t.Fatalf("fixed MoveAfter must keep one x, got %d (%q)", count, apply(t, a, "readArr"))
+	}
+}
+
+func TestBugMoveAfterDiverges(t *testing.T) {
+	flags := Flags{BugMoveAfter: true}
+	a, b := New("A", flags), New("B", flags)
+	for i, v := range []string{"x", "y", "z"} {
+		apply(t, a, "arrInsert", itoa(i), v)
+	}
+	syncInto(t, b, a)
+	apply(t, a, "arrMove", "0", "3")
+	apply(t, b, "arrMove", "0", "2")
+	syncInto(t, a, b)
+	syncInto(t, b, a)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("seeded issue #676: naive MoveAfter must not converge")
+	}
+}
+
+func TestMoveOfMissingElementIsFailedOp(t *testing.T) {
+	d := New("A", Flags{})
+	if _, err := d.Apply(replica.Op{Name: "arrMove", Args: []string{"0", "1"}}); err != replica.ErrFailedOp {
+		t.Fatalf("err = %v, want failed op", err)
+	}
+}
+
+func TestSyncIdempotent(t *testing.T) {
+	a, b := New("A", Flags{}), New("B", Flags{})
+	apply(t, a, "set", "k", "v")
+	syncInto(t, b, a)
+	fp := b.Fingerprint()
+	syncInto(t, b, a)
+	syncInto(t, b, a)
+	if b.Fingerprint() != fp {
+		t.Fatal("repeated sync must be idempotent")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New("A", Flags{})
+	apply(t, d, "set", "k", "v")
+	apply(t, d, "arrInsert", "0", "item")
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := d.Fingerprint()
+	apply(t, d, "set", "k2", "v2")
+	if err := d.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fingerprint() != fp {
+		t.Fatalf("restore lost state: %q vs %q", d.Fingerprint(), fp)
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }

@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/subjects/roshi"
+)
+
+// TestAntiEntropyOverLossyNetwork is a failure-injection integration test:
+// three Roshi replicas gossip their states over the simulated network with
+// message loss, a partition, and heterogeneous delays (the Raspberry Pi
+// stand-in). Despite drops and the partition, repeated anti-entropy rounds
+// after healing must converge all replicas — the eventual-consistency
+// guarantee the subjects build on.
+func TestAntiEntropyOverLossyNetwork(t *testing.T) {
+	stores := map[event.ReplicaID]*roshi.Store{
+		"A":  roshi.New(roshi.Flags{}),
+		"B":  roshi.New(roshi.Flags{}),
+		"pi": roshi.New(roshi.Flags{}),
+	}
+	ids := []event.ReplicaID{"A", "B", "pi"}
+
+	net := NewNetwork(Config{
+		Seed:        11,
+		MinDelay:    1,
+		MaxDelay:    4,
+		DropProb:    0.3,
+		DelayFactor: map[event.ReplicaID]int{"pi": 3},
+	})
+
+	// Divergent writes while A—B is partitioned.
+	net.Partition("A", "B")
+	stores["A"].Insert("k", "fromA", 5)
+	stores["B"].Insert("k", "fromB", 6)
+	stores["pi"].Insert("k", "fromPi", 4)
+	stores["B"].Delete("k", "fromPi", 7)
+
+	gossip := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for _, from := range ids {
+				payload, err := stores[from].SyncPayload()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, to := range ids {
+					if from != to {
+						net.Send(from, to, payload)
+					}
+				}
+			}
+			msgs, err := net.Drain(1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range msgs {
+				if err := stores[m.To].ApplySync(m.Payload); err != nil {
+					t.Fatalf("sync %s->%s: %v", m.From, m.To, err)
+				}
+			}
+		}
+	}
+
+	// Gossip under loss + partition: A and B must stay ignorant of each
+	// other's direct traffic, but can converge via pi once enough rounds
+	// survive the 30% loss.
+	gossip(3)
+
+	// Heal, stop losing messages, and finish anti-entropy over a reliable
+	// network.
+	net.Heal("A", "B")
+	net = NewNetwork(Config{Seed: 12, MinDelay: 1, MaxDelay: 1})
+	gossip(2)
+
+	want := stores["A"].Fingerprint()
+	for _, id := range ids {
+		if got := stores[id].Fingerprint(); got != want {
+			t.Fatalf("replica %s diverged: %q vs %q", id, got, want)
+		}
+	}
+	// The winning record is the delete at the highest score.
+	rows := stores["A"].Select("k", true)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	delivered, dropped := net.Stats()
+	if delivered == 0 {
+		t.Fatal("no messages delivered after heal")
+	}
+	_ = dropped
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+// TCPTransport is a real socket transport: each replica listens on its own
+// port; Send dials the destination and writes one JSON-framed message per
+// line. Received messages are queued for Recv.
+type TCPTransport struct {
+	id       event.ReplicaID
+	listener net.Listener
+
+	mu     sync.Mutex
+	peers  map[event.ReplicaID]string // replica -> address
+	inbox  []Message
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	notify chan struct{}
+}
+
+// NewTCPTransport starts a listener for replica id on addr
+// ("127.0.0.1:0" picks a free port) and returns the transport.
+func NewTCPTransport(id event.ReplicaID, addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		id:       id,
+		listener: ln,
+		peers:    make(map[event.ReplicaID]string),
+		conns:    make(map[net.Conn]struct{}),
+		notify:   make(chan struct{}, 1),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// AddPeer registers the address of another replica.
+func (t *TCPTransport) AddPeer(id event.ReplicaID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		var msg Message
+		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
+			continue // malformed frame: drop
+		}
+		t.mu.Lock()
+		t.inbox = append(t.inbox, msg)
+		t.mu.Unlock()
+		select {
+		case t.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Send dials the destination replica and delivers one message.
+func (t *TCPTransport) Send(to event.ReplicaID, payload []byte) error {
+	t.mu.Lock()
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: unknown peer %s", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	defer conn.Close()
+	frame, err := json.Marshal(Message{From: t.id, To: to, Payload: payload})
+	if err != nil {
+		return err
+	}
+	frame = append(frame, '\n')
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Recv pops the oldest queued message, reporting false when the inbox is
+// empty.
+func (t *TCPTransport) Recv() (Message, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.inbox) == 0 {
+		return Message{}, false
+	}
+	msg := t.inbox[0]
+	t.inbox = t.inbox[1:]
+	return msg, true
+}
+
+// Notify returns a channel that receives a token whenever a message
+// arrives; use it to wait without polling.
+func (t *TCPTransport) Notify() <-chan struct{} { return t.notify }
+
+// Close stops the listener and all connections.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	for conn := range t.conns {
+		_ = conn.Close()
+	}
+	t.mu.Unlock()
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,187 @@
+// Package transport carries synchronization messages between replicas.
+//
+// Two implementations share one interface: Network, a deterministic
+// simulated network with seeded reordering, delay, loss, and partitions
+// (standing in for the paper's physical three-machine testbed), and
+// TCPTransport, a real socket transport used by the live-replay integration
+// tests and examples.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+// Message is one replica-to-replica payload.
+type Message struct {
+	From    event.ReplicaID `json:"from"`
+	To      event.ReplicaID `json:"to"`
+	Payload []byte          `json:"payload"`
+	// Seq is a per-sender sequence number assigned by the transport.
+	Seq uint64 `json:"seq"`
+}
+
+// Config tunes the simulated network.
+type Config struct {
+	// Seed drives all nondeterminism; equal seeds give equal behaviour.
+	Seed int64
+	// MinDelay and MaxDelay bound per-message delivery delay in ticks.
+	// MaxDelay > MinDelay introduces reordering.
+	MinDelay, MaxDelay int
+	// DropProb is the probability a message is silently lost.
+	DropProb float64
+	// DelayFactor scales delays per receiving replica, modelling
+	// heterogeneous node speeds (the paper's Raspberry Pi third replica).
+	DelayFactor map[event.ReplicaID]int
+}
+
+// Network is a deterministic discrete-time simulated network. Send enqueues
+// a message with a seeded random delay; Tick advances time one step and
+// returns the messages due for delivery. Partitions block links until
+// healed.
+type Network struct {
+	mu          sync.Mutex
+	cfg         Config
+	rng         *rand.Rand
+	now         int
+	inFlight    []*pendingMessage
+	partitioned map[linkKey]bool
+	nextSeq     map[event.ReplicaID]uint64
+	dropped     int
+	delivered   int
+}
+
+type pendingMessage struct {
+	msg       Message
+	deliverAt int
+	order     int // FIFO tie-break for equal delivery times
+}
+
+type linkKey struct {
+	a, b event.ReplicaID
+}
+
+func link(a, b event.ReplicaID) linkKey {
+	if b < a {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
+}
+
+// NewNetwork builds a simulated network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	return &Network{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		partitioned: make(map[linkKey]bool),
+		nextSeq:     make(map[event.ReplicaID]uint64),
+	}
+}
+
+// Send enqueues a message. Messages on partitioned links and randomly
+// dropped messages vanish (the sender cannot tell). Returns the assigned
+// sequence number.
+func (n *Network) Send(from, to event.ReplicaID, payload []byte) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextSeq[from]++
+	seq := n.nextSeq[from]
+	if n.partitioned[link(from, to)] {
+		n.dropped++
+		return seq
+	}
+	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
+		n.dropped++
+		return seq
+	}
+	delay := n.cfg.MinDelay
+	if n.cfg.MaxDelay > n.cfg.MinDelay {
+		delay += n.rng.Intn(n.cfg.MaxDelay - n.cfg.MinDelay + 1)
+	}
+	if f, ok := n.cfg.DelayFactor[to]; ok && f > 1 {
+		delay *= f
+	}
+	cp := append([]byte(nil), payload...)
+	n.inFlight = append(n.inFlight, &pendingMessage{
+		msg:       Message{From: from, To: to, Payload: cp, Seq: seq},
+		deliverAt: n.now + delay,
+		order:     len(n.inFlight),
+	})
+	return seq
+}
+
+// Tick advances simulated time one step and returns the messages delivered
+// this step, in deterministic order.
+func (n *Network) Tick() []Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.now++
+	var due []*pendingMessage
+	var rest []*pendingMessage
+	for _, p := range n.inFlight {
+		if p.deliverAt <= n.now {
+			due = append(due, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	n.inFlight = rest
+	sort.Slice(due, func(i, j int) bool { return due[i].order < due[j].order })
+	out := make([]Message, len(due))
+	for i, p := range due {
+		out[i] = p.msg
+	}
+	n.delivered += len(out)
+	return out
+}
+
+// Drain ticks until no messages remain in flight, returning everything
+// delivered. maxTicks guards against infinite loops.
+func (n *Network) Drain(maxTicks int) ([]Message, error) {
+	var out []Message
+	for i := 0; i < maxTicks; i++ {
+		out = append(out, n.Tick()...)
+		n.mu.Lock()
+		empty := len(n.inFlight) == 0
+		n.mu.Unlock()
+		if empty {
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("transport: %d messages still in flight after %d ticks", n.Pending(), maxTicks)
+}
+
+// Partition severs the link between two replicas (both directions).
+func (n *Network) Partition(a, b event.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[link(a, b)] = true
+}
+
+// Heal restores a severed link.
+func (n *Network) Heal(a, b event.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, link(a, b))
+}
+
+// Pending returns the number of in-flight messages.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.inFlight)
+}
+
+// Stats returns (delivered, dropped) message counts.
+func (n *Network) Stats() (delivered, dropped int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered, n.dropped
+}

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+func TestNetworkDeliversInOrderWithoutJitter(t *testing.T) {
+	n := NewNetwork(Config{Seed: 1, MinDelay: 1, MaxDelay: 1})
+	n.Send("A", "B", []byte("m1"))
+	n.Send("A", "B", []byte("m2"))
+	got := n.Tick()
+	if len(got) != 2 || string(got[0].Payload) != "m1" || string(got[1].Payload) != "m2" {
+		t.Fatalf("Tick = %v", got)
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("sequence numbers wrong: %d %d", got[0].Seq, got[1].Seq)
+	}
+}
+
+func TestNetworkReordersWithJitter(t *testing.T) {
+	// With a wide delay window, some seed must reorder two messages.
+	reordered := false
+	for seed := int64(0); seed < 20; seed++ {
+		n := NewNetwork(Config{Seed: seed, MinDelay: 1, MaxDelay: 10})
+		n.Send("A", "B", []byte("first"))
+		n.Send("A", "B", []byte("second"))
+		msgs, err := n.Drain(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != 2 {
+			t.Fatalf("lost messages: %v", msgs)
+		}
+		if string(msgs[0].Payload) == "second" {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("no seed reordered messages — jitter is broken")
+	}
+}
+
+func TestNetworkDeterministicBySeed(t *testing.T) {
+	run := func() []string {
+		n := NewNetwork(Config{Seed: 42, MinDelay: 1, MaxDelay: 5})
+		for _, p := range []string{"a", "b", "c", "d"} {
+			n.Send("A", "B", []byte(p))
+		}
+		msgs, err := n.Drain(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(msgs))
+		for i, m := range msgs {
+			out[i] = string(m.Payload)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("same seed must give same delivery order")
+	}
+}
+
+func TestNetworkDrop(t *testing.T) {
+	n := NewNetwork(Config{Seed: 7, MinDelay: 1, MaxDelay: 1, DropProb: 1.0})
+	n.Send("A", "B", []byte("doomed"))
+	msgs, err := n.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 0 {
+		t.Fatalf("DropProb=1 must drop everything, delivered %v", msgs)
+	}
+	delivered, dropped := n.Stats()
+	if delivered != 0 || dropped != 1 {
+		t.Fatalf("Stats = %d delivered %d dropped", delivered, dropped)
+	}
+}
+
+func TestNetworkPartitionAndHeal(t *testing.T) {
+	n := NewNetwork(Config{Seed: 1, MinDelay: 1, MaxDelay: 1})
+	n.Partition("A", "B")
+	n.Send("A", "B", []byte("blocked"))
+	n.Send("B", "A", []byte("blocked-too")) // partitions are bidirectional
+	n.Send("A", "C", []byte("fine"))
+	msgs, err := n.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Payload) != "fine" {
+		t.Fatalf("partition leak: %v", msgs)
+	}
+	n.Heal("A", "B")
+	n.Send("A", "B", []byte("after-heal"))
+	msgs, err = n.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || string(msgs[0].Payload) != "after-heal" {
+		t.Fatalf("heal failed: %v", msgs)
+	}
+}
+
+func TestNetworkDelayFactorSlowsReplica(t *testing.T) {
+	// Replica "pi" has a 5x delay factor (the Raspberry Pi stand-in): a
+	// message to it arrives later than one to a fast replica sent at the
+	// same instant.
+	n := NewNetwork(Config{
+		Seed:        1,
+		MinDelay:    2,
+		MaxDelay:    2,
+		DelayFactor: map[event.ReplicaID]int{"pi": 5},
+	})
+	n.Send("A", "pi", []byte("slow"))
+	n.Send("A", "B", []byte("fast"))
+	var order []string
+	for i := 0; i < 20 && len(order) < 2; i++ {
+		for _, m := range n.Tick() {
+			order = append(order, string(m.Payload))
+		}
+	}
+	if !reflect.DeepEqual(order, []string{"fast", "slow"}) {
+		t.Fatalf("delivery order = %v, want [fast slow]", order)
+	}
+}
+
+func TestNetworkDrainTimeout(t *testing.T) {
+	n := NewNetwork(Config{Seed: 1, MinDelay: 100, MaxDelay: 100})
+	n.Send("A", "B", []byte("far-future"))
+	if _, err := n.Drain(5); err == nil {
+		t.Fatal("Drain must report messages still in flight")
+	}
+	if n.Pending() != 1 {
+		t.Fatalf("Pending = %d", n.Pending())
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	a, err := NewTCPTransport("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPTransport("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("B", b.Addr())
+	b.AddPeer("A", a.Addr())
+
+	if err := a.Send("B", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Notify():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for message")
+	}
+	msg, ok := b.Recv()
+	if !ok {
+		t.Fatal("inbox empty after notify")
+	}
+	if msg.From != "A" || msg.To != "B" || string(msg.Payload) != "hello" {
+		t.Fatalf("message = %+v", msg)
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("inbox must be empty")
+	}
+	if err := a.Send("Z", nil); err == nil {
+		t.Fatal("send to unknown peer must fail")
+	}
+}
+
+func TestTCPTransportMultipleMessagesOrdered(t *testing.T) {
+	a, err := NewTCPTransport("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPTransport("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("B", b.Addr())
+	const count = 10
+	for i := 0; i < count; i++ {
+		if err := a.Send("B", []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	deadline := time.After(3 * time.Second)
+	for len(got) < count {
+		msg, ok := b.Recv()
+		if ok {
+			got = append(got, string(msg.Payload))
+			continue
+		}
+		select {
+		case <-b.Notify():
+		case <-deadline:
+			t.Fatalf("received %d of %d messages", len(got), count)
+		}
+	}
+	if len(got) != count {
+		t.Fatalf("got %d messages", len(got))
+	}
+}
