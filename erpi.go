@@ -28,13 +28,16 @@
 package erpi
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/er-pi/erpi/internal/check"
 	"github.com/er-pi/erpi/internal/checkpoint"
 	"github.com/er-pi/erpi/internal/constraints"
 	"github.com/er-pi/erpi/internal/datalog"
 	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/fault"
 	"github.com/er-pi/erpi/internal/profile"
 	"github.com/er-pi/erpi/internal/prune"
 	"github.com/er-pi/erpi/internal/replica"
@@ -79,7 +82,42 @@ type (
 	IndependenceSpec = prune.IndependenceSpec
 	// FailedOpsSpec declares doomed-op constraints (Algorithm 4).
 	FailedOpsSpec = prune.FailedOpsSpec
+	// ExecError is one quarantined interleaving: its index, schedule, and
+	// the error that survived all retries.
+	ExecError = runner.ExecError
 )
+
+// Fault injection (chaos replay): a seeded FaultSchedule makes the engine
+// crash replicas, partition links, truncate sync payloads, and take the
+// lock server down at scheduled points — deterministically, so a chaos run
+// reproduces byte-for-byte from its seed.
+type (
+	// FaultSchedule is a seeded set of faults for a run.
+	FaultSchedule = fault.Schedule
+	// Fault is one scheduled fault.
+	Fault = fault.Fault
+	// FaultKind discriminates fault types.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds.
+const (
+	// FaultCrashReplica crashes a replica at an event position, rolling it
+	// back to its durable checkpoint, and keeps it down for Duration events.
+	FaultCrashReplica = fault.CrashReplica
+	// FaultLockOutage makes the lock server unreachable for a window.
+	FaultLockOutage = fault.LockOutage
+	// FaultPartition severs a replica link for a window.
+	FaultPartition = fault.Partition
+	// FaultTruncatePayload cuts a sync payload to KeepBytes in flight.
+	FaultTruncatePayload = fault.TruncatePayload
+)
+
+// ErrReplicaDown marks an event that executed against a crashed replica.
+var ErrReplicaDown = fault.ErrReplicaDown
+
+// ErrLockServerDown marks a lock-server operation during an outage window.
+var ErrLockServerDown = fault.ErrLockServerDown
 
 // Exploration modes.
 const (
@@ -146,6 +184,14 @@ func Run(s Scenario, cfg RunConfig) (*Result, error) {
 	return runner.Run(s, cfg)
 }
 
+// RunContext is Run with cancellation: when ctx is cancelled or its
+// deadline passes, exploration stops promptly and returns the partial
+// Result accumulated so far (Result.Interrupted is set) instead of an
+// error — progress is never discarded.
+func RunContext(ctx context.Context, s Scenario, cfg RunConfig) (*Result, error) {
+	return runner.RunContext(ctx, s, cfg)
+}
+
 // Option configures a Session.
 type Option func(*Session)
 
@@ -195,6 +241,29 @@ func WithFailedOps(spec FailedOpsSpec) Option {
 	return func(s *Session) {
 		s.pruning.FailedOps = append(s.pruning.FailedOps, spec)
 	}
+}
+
+// WithFaults injects a seeded fault schedule into the replay: replica
+// crashes, link partitions, payload truncations, and lock-server outages
+// fire at their scheduled (interleaving, event) coordinates. Interleavings
+// that still fail after retries are quarantined in Result.Quarantined
+// while exploration continues — a fault never aborts the run.
+func WithFaults(schedule FaultSchedule) Option {
+	return func(s *Session) { s.cfg.Faults = &schedule }
+}
+
+// WithDeadline bounds the whole exploration: when it expires the run
+// returns promptly with the partial Result (Result.Interrupted set) rather
+// than hanging or discarding progress.
+func WithDeadline(d time.Duration) Option {
+	return func(s *Session) { s.cfg.Deadline = d }
+}
+
+// WithRetries sets how many times a failing interleaving is retried (with
+// exponential backoff) before being quarantined; negative disables
+// retries.
+func WithRetries(n int) Option {
+	return func(s *Session) { s.cfg.MaxRetries = n }
 }
 
 // WithStore persists explored interleavings in a deductive store.

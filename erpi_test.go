@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	erpi "github.com/er-pi/erpi"
 	"github.com/er-pi/erpi/internal/constraints"
@@ -323,5 +324,53 @@ func TestSessionJournalResume(t *testing.T) {
 	}
 	if second.Resumed != 5 {
 		t.Fatalf("second run resumed %d, want 5", second.Resumed)
+	}
+}
+
+// TestSessionChaosReplay drives the public fault-injection surface: a
+// scheduled replica crash makes some interleavings fail, which must land
+// in Result.Quarantined while exploration continues to the end.
+func TestSessionChaosReplay(t *testing.T) {
+	sess, err := erpi.NewSession(newTwoReplicaCluster,
+		erpi.WithFaults(erpi.FaultSchedule{
+			Seed: 7,
+			Faults: []erpi.Fault{{
+				Kind:     erpi.FaultCrashReplica,
+				Replica:  "B",
+				At:       1,
+				Duration: 10,
+			}},
+		}),
+		erpi.WithRetries(-1),
+		erpi.WithDeadline(30*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sess.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Update("A", "add", "x")
+	rec.Update("B", "add", "y")
+	rec.SyncPair("A", "B")
+	rec.SyncPair("B", "A")
+	res, err := sess.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted {
+		t.Fatal("run must not be interrupted")
+	}
+	if res.Explored == 0 {
+		t.Fatal("chaos must not abort exploration")
+	}
+	if len(res.Quarantined) == 0 {
+		t.Fatal("crashing B for the whole run must quarantine interleavings")
+	}
+	for _, q := range res.Quarantined {
+		if !errors.Is(q.Err, erpi.ErrReplicaDown) {
+			t.Fatalf("quarantine cause = %v; want ErrReplicaDown", q.Err)
+		}
 	}
 }

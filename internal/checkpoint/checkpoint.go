@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 
@@ -71,7 +72,11 @@ func (d *Dir) AppendExplored(il interleave.Interleaving) error {
 	return f.Sync()
 }
 
-// LoadExplored returns the set of explored interleaving keys.
+// LoadExplored returns the set of explored interleaving keys. Lines that
+// are not well-formed keys — the typical artifact of a crash mid-append
+// leaving a truncated or garbage tail — are skipped with a warning rather
+// than poisoning the resume: a skipped key only means that interleaving is
+// re-explored, which is always safe.
 func (d *Dir) LoadExplored() (map[string]bool, error) {
 	out := make(map[string]bool)
 	f, err := os.Open(filepath.Join(d.path, "explored.log"))
@@ -83,15 +88,43 @@ func (d *Dir) LoadExplored() (map[string]bool, error) {
 	}
 	defer f.Close()
 	scanner := bufio.NewScanner(f)
+	lineNo := 0
 	for scanner.Scan() {
-		if line := scanner.Text(); line != "" {
-			out[line] = true
+		lineNo++
+		line := scanner.Text()
+		if line == "" {
+			continue
 		}
+		if !validKey(line) {
+			log.Printf("checkpoint: skipping corrupt journal line %d: %q", lineNo, line)
+			continue
+		}
+		out[line] = true
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("checkpoint: scan journal: %w", err)
 	}
 	return out, nil
+}
+
+// validKey reports whether line has the shape of an interleaving key:
+// comma-separated decimal event IDs (see interleave.Interleaving.Key).
+func validKey(line string) bool {
+	digits := 0
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case c >= '0' && c <= '9':
+			digits++
+		case c == ',':
+			if digits == 0 {
+				return false // empty field: leading comma or ",,"
+			}
+			digits = 0
+		default:
+			return false
+		}
+	}
+	return digits > 0 // non-empty final field, rejects trailing comma
 }
 
 // SaveSnapshot persists a replica state snapshot under a name.

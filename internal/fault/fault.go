@@ -1,0 +1,387 @@
+// Package fault is ER-π's deterministic fault-injection subsystem. The
+// paper's evaluation ran on a physical three-machine testbed where
+// replicas, the lock server, and the network could genuinely fail
+// mid-replay; this package reproduces those failure modes as a seeded,
+// reproducible Schedule keyed to replay progress, so that the engine's
+// graceful degradation is itself testable and every chaotic run can be
+// replayed bit-for-bit.
+//
+// A Schedule declares faults that fire at (exploration index, event
+// position) coordinates:
+//
+//   - CrashReplica: the replica loses all volatile state accumulated since
+//     the interleaving began (restored from its durable checkpoint through
+//     the cluster's Checkpoint/Reset machinery) and optionally stays down
+//     for a window of event positions, during which its events fail with
+//     ErrReplicaDown.
+//   - LockOutage: the lock-server client's requests fail with
+//     ErrLockServerDown for a window, exercising reconnect-with-backoff.
+//   - Partition: the link between two replicas is severed for a window;
+//     synchronizations across it are dropped. When a Partitioner (e.g.
+//     transport.Network) is bound, the window drives its Partition/Heal.
+//   - TruncatePayload: a sync payload is cut to KeepBytes bytes in flight,
+//     modelling a torn message.
+//
+// The executor consults one Injector per run: Begin at each interleaving,
+// At before each event, Finish afterwards. With an empty Schedule every
+// query is a no-op, so a fault-free schedule is observationally identical
+// to running without an injector (a soundness property pinned by the
+// runner's tests).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+// ErrReplicaDown marks an event that could not execute because its replica
+// (or, for a synchronization, its sender) was crashed at that point of the
+// schedule.
+var ErrReplicaDown = errors.New("fault: replica down")
+
+// ErrLockServerDown marks a lock-server request rejected by an injected
+// outage window.
+var ErrLockServerDown = errors.New("fault: lock server unreachable")
+
+// Kind classifies a fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// CrashReplica crashes Replica at position At: state since the
+	// interleaving's checkpoint is lost, and the replica stays down for
+	// Duration further positions before restarting.
+	CrashReplica Kind = iota + 1
+	// LockOutage makes the lock server unreachable for positions
+	// [At, At+Duration].
+	LockOutage
+	// Partition severs the A–B link for positions [At, At+Duration].
+	Partition
+	// TruncatePayload cuts the sync payload executed at position At down
+	// to KeepBytes bytes.
+	TruncatePayload
+)
+
+var kindNames = map[Kind]string{
+	CrashReplica:    "crash",
+	LockOutage:      "lock-outage",
+	Partition:       "partition",
+	TruncatePayload: "truncate",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault declares one fault keyed to replay progress.
+type Fault struct {
+	// Kind selects the failure mode.
+	Kind Kind `json:"kind"`
+	// Interleaving is the 1-based exploration index the fault arms in;
+	// zero arms it in every interleaving.
+	Interleaving int `json:"interleaving,omitempty"`
+	// At is the 0-based event position within the interleaving at which
+	// the fault fires.
+	At int `json:"at"`
+	// Duration extends the fault over [At, At+Duration] event positions.
+	// For CrashReplica, zero means crash-and-restart-immediately: the
+	// state rollback happens but no events are lost to downtime.
+	Duration int `json:"duration,omitempty"`
+	// Replica is the CrashReplica target.
+	Replica event.ReplicaID `json:"replica,omitempty"`
+	// A and B name the Partition link.
+	A event.ReplicaID `json:"a,omitempty"`
+	B event.ReplicaID `json:"b,omitempty"`
+	// KeepBytes is the TruncatePayload surviving prefix length.
+	KeepBytes int `json:"keep_bytes,omitempty"`
+	// Prob arms the fault per interleaving with this probability, rolled
+	// from the schedule's seeded generator; zero or >= 1 arms it always.
+	Prob float64 `json:"prob,omitempty"`
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case CrashReplica:
+		return fmt.Sprintf("crash(%s)@%d+%d", f.Replica, f.At, f.Duration)
+	case LockOutage:
+		return fmt.Sprintf("lock-outage@%d+%d", f.At, f.Duration)
+	case Partition:
+		return fmt.Sprintf("partition(%s,%s)@%d+%d", f.A, f.B, f.At, f.Duration)
+	case TruncatePayload:
+		return fmt.Sprintf("truncate(%d)@%d", f.KeepBytes, f.At)
+	default:
+		return fmt.Sprintf("fault(%d)", int(f.Kind))
+	}
+}
+
+// Validate rejects malformed faults.
+func (f Fault) Validate() error {
+	switch {
+	case f.Kind == CrashReplica && f.Replica == "":
+		return errors.New("fault: crash needs a replica")
+	case f.Kind == Partition && (f.A == "" || f.B == "" || f.A == f.B):
+		return errors.New("fault: partition needs two distinct replicas")
+	case f.Kind == TruncatePayload && f.KeepBytes < 0:
+		return errors.New("fault: negative truncation length")
+	case f.At < 0 || f.Duration < 0 || f.Interleaving < 0:
+		return errors.New("fault: negative schedule coordinate")
+	case f.Kind < CrashReplica || f.Kind > TruncatePayload:
+		return fmt.Errorf("fault: unknown kind %d", int(f.Kind))
+	}
+	return nil
+}
+
+// Schedule is a reproducible set of faults: equal schedules injected into
+// equal runs produce equal behaviour.
+type Schedule struct {
+	// Seed drives probabilistic arming (Fault.Prob).
+	Seed int64 `json:"seed"`
+	// Faults are the declared faults.
+	Faults []Fault `json:"faults"`
+}
+
+// Validate rejects schedules containing malformed faults.
+func (s Schedule) Validate() error {
+	for i, f := range s.Faults {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ActionKind classifies an injector action the executor must apply.
+type ActionKind int
+
+// Action kinds.
+const (
+	// ActionCrash asks the executor to roll Replica back to its durable
+	// checkpoint.
+	ActionCrash ActionKind = iota + 1
+	// ActionRestart reports a crashed replica coming back (no executor
+	// work: the rollback happened at crash time).
+	ActionRestart
+)
+
+// Action is one state change the executor applies at an event position.
+type Action struct {
+	Kind    ActionKind
+	Replica event.ReplicaID
+}
+
+// Partitioner receives partition windows, letting the injector drive a real
+// transport (transport.Network implements it).
+type Partitioner interface {
+	Partition(a, b event.ReplicaID)
+	Heal(a, b event.ReplicaID)
+}
+
+type linkKey struct{ a, b event.ReplicaID }
+
+func link(a, b event.ReplicaID) linkKey {
+	if b < a {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
+}
+
+// Injector evaluates a Schedule against replay progress. Safe for
+// concurrent use (the live replay path queries it from one goroutine per
+// replica). The zero-cost path matters: with no armed faults every query
+// returns immediately.
+type Injector struct {
+	mu    sync.Mutex
+	sched Schedule
+	rng   *rand.Rand
+
+	index int    // current 1-based interleaving index
+	pos   int    // last position handed to At
+	armed []bool // per schedule fault, armed for the current interleaving
+
+	downUntil map[event.ReplicaID]int // position at which a crashed replica restarts
+	healed    map[int]bool            // partition faults already healed this interleaving
+	partner   Partitioner
+}
+
+// NewInjector builds an injector over a schedule. An invalid schedule
+// returns an error; an empty one yields a no-op injector.
+func NewInjector(sched Schedule) (*Injector, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	faults := make([]Fault, len(sched.Faults))
+	copy(faults, sched.Faults)
+	sched.Faults = faults
+	return &Injector{
+		sched:     sched,
+		rng:       rand.New(rand.NewSource(sched.Seed)),
+		armed:     make([]bool, len(sched.Faults)),
+		downUntil: make(map[event.ReplicaID]int),
+		healed:    make(map[int]bool),
+	}, nil
+}
+
+// Bind forwards partition windows to a real transport. Pass nil to detach.
+func (in *Injector) Bind(p Partitioner) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.partner = p
+}
+
+// Begin arms the schedule for one interleaving (1-based exploration index).
+// Probabilistic faults are rolled here, so retries of the same interleaving
+// re-roll deterministically from the seeded stream.
+func (in *Injector) Begin(index int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.index = index
+	in.pos = -1
+	for id := range in.downUntil {
+		delete(in.downUntil, id)
+	}
+	for id := range in.healed {
+		delete(in.healed, id)
+	}
+	for i, f := range in.sched.Faults {
+		armed := f.Interleaving == 0 || f.Interleaving == index
+		if armed && f.Prob > 0 && f.Prob < 1 {
+			armed = in.rng.Float64() < f.Prob
+		}
+		in.armed[i] = armed
+	}
+}
+
+// At advances the injector to event position pos of the current
+// interleaving and returns the actions the executor must apply before
+// executing that event. Partition windows bound via Bind are driven here.
+func (in *Injector) At(pos int) []Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.pos = pos
+	var actions []Action
+	for rep, until := range in.downUntil {
+		if pos >= until {
+			delete(in.downUntil, rep)
+			actions = append(actions, Action{Kind: ActionRestart, Replica: rep})
+		}
+	}
+	for i, f := range in.sched.Faults {
+		if !in.armed[i] {
+			continue
+		}
+		switch f.Kind {
+		case CrashReplica:
+			if pos == f.At {
+				actions = append(actions, Action{Kind: ActionCrash, Replica: f.Replica})
+				if f.Duration > 0 {
+					in.downUntil[f.Replica] = f.At + f.Duration + 1
+				}
+			}
+		case Partition:
+			if in.partner == nil {
+				continue
+			}
+			if pos == f.At {
+				in.partner.Partition(f.A, f.B)
+			} else if pos > f.At+f.Duration && !in.healed[i] {
+				in.healed[i] = true
+				in.partner.Heal(f.A, f.B)
+			}
+		}
+	}
+	return actions
+}
+
+// Finish closes the current interleaving: any partition window still open
+// on a bound transport is healed, so the next interleaving starts clean.
+func (in *Injector) Finish() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.partner != nil {
+		for i, f := range in.sched.Faults {
+			if in.armed[i] && f.Kind == Partition && !in.healed[i] {
+				in.healed[i] = true
+				in.partner.Heal(f.A, f.B)
+			}
+		}
+	}
+	for id := range in.downUntil {
+		delete(in.downUntil, id)
+	}
+}
+
+// ReplicaDown reports whether rep is inside a crash downtime window at the
+// current position.
+func (in *Injector) ReplicaDown(rep event.ReplicaID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	until, ok := in.downUntil[rep]
+	return ok && in.pos < until
+}
+
+// Partitioned reports whether the a–b link is severed at the current
+// position.
+func (in *Injector) Partitioned(a, b event.ReplicaID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	want := link(a, b)
+	for i, f := range in.sched.Faults {
+		if !in.armed[i] || f.Kind != Partition {
+			continue
+		}
+		if link(f.A, f.B) == want && in.pos >= f.At && in.pos <= f.At+f.Duration {
+			return true
+		}
+	}
+	return false
+}
+
+// LockServerDown reports whether a lock-server outage window covers the
+// current position.
+func (in *Injector) LockServerDown() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.sched.Faults {
+		if !in.armed[i] || f.Kind != LockOutage {
+			continue
+		}
+		if in.pos >= f.At && in.pos <= f.At+f.Duration {
+			return true
+		}
+	}
+	return false
+}
+
+// LockHook adapts the injector into a lockserver client fault hook: during
+// an outage window every request fails with ErrLockServerDown.
+func (in *Injector) LockHook() func(op string, args []string) error {
+	return func(op string, args []string) error {
+		if in.LockServerDown() {
+			return ErrLockServerDown
+		}
+		return nil
+	}
+}
+
+// Payload applies any armed truncation at position pos to a sync payload,
+// returning the (possibly shortened) bytes. The input is never mutated.
+func (in *Injector) Payload(pos int, payload []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.sched.Faults {
+		if !in.armed[i] || f.Kind != TruncatePayload || f.At != pos {
+			continue
+		}
+		if f.KeepBytes < len(payload) {
+			payload = payload[:f.KeepBytes:f.KeepBytes]
+		}
+	}
+	return payload
+}

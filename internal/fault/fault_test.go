@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+func TestValidateRejectsMalformedFaults(t *testing.T) {
+	bad := []Fault{
+		{Kind: CrashReplica},                       // no replica
+		{Kind: Partition, A: "A", B: "A"},          // self-link
+		{Kind: Partition, A: "A"},                  // missing peer
+		{Kind: TruncatePayload, KeepBytes: -1},     // negative length
+		{Kind: CrashReplica, Replica: "A", At: -1}, // negative position
+		{Kind: Kind(99)},                           // unknown kind
+		{Kind: LockOutage, Duration: -2},           // negative window
+		{Kind: CrashReplica, Replica: "A", Prob: 0.5, Interleaving: -1},
+	}
+	for i, f := range bad {
+		if err := (Schedule{Faults: []Fault{f}}).Validate(); err == nil {
+			t.Errorf("fault %d (%s) should be rejected", i, f)
+		}
+	}
+	ok := Schedule{Seed: 7, Faults: []Fault{
+		{Kind: CrashReplica, Replica: "A", At: 2, Duration: 3},
+		{Kind: Partition, A: "A", B: "B", At: 0, Duration: 1},
+		{Kind: LockOutage, At: 1},
+		{Kind: TruncatePayload, At: 4, KeepBytes: 8},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if _, err := NewInjector(Schedule{Faults: []Fault{bad[0]}}); err == nil {
+		t.Fatal("NewInjector must reject invalid schedules")
+	}
+}
+
+func TestCrashWindow(t *testing.T) {
+	in, err := NewInjector(Schedule{Faults: []Fault{
+		{Kind: CrashReplica, Replica: "B", At: 2, Duration: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Begin(1)
+	if acts := in.At(0); len(acts) != 0 {
+		t.Fatalf("position 0: unexpected actions %v", acts)
+	}
+	if in.ReplicaDown("B") {
+		t.Fatal("B down before the crash fires")
+	}
+	in.At(1)
+	acts := in.At(2)
+	if len(acts) != 1 || acts[0].Kind != ActionCrash || acts[0].Replica != "B" {
+		t.Fatalf("position 2: actions = %v, want one crash of B", acts)
+	}
+	for pos := 2; pos <= 4; pos++ {
+		if pos > 2 {
+			in.At(pos)
+		}
+		if !in.ReplicaDown("B") {
+			t.Fatalf("position %d: B should be down", pos)
+		}
+		if in.ReplicaDown("A") {
+			t.Fatalf("position %d: A should be up", pos)
+		}
+	}
+	acts = in.At(5)
+	if len(acts) != 1 || acts[0].Kind != ActionRestart || acts[0].Replica != "B" {
+		t.Fatalf("position 5: actions = %v, want one restart of B", acts)
+	}
+	if in.ReplicaDown("B") {
+		t.Fatal("B still down after its window")
+	}
+
+	// An immediate-restart crash rolls back without downtime.
+	in2, err := NewInjector(Schedule{Faults: []Fault{
+		{Kind: CrashReplica, Replica: "A", At: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2.Begin(1)
+	in2.At(0)
+	acts = in2.At(1)
+	if len(acts) != 1 || acts[0].Kind != ActionCrash {
+		t.Fatalf("actions = %v, want one crash", acts)
+	}
+	if in2.ReplicaDown("A") {
+		t.Fatal("duration-0 crash must not leave the replica down")
+	}
+}
+
+func TestInterleavingSelector(t *testing.T) {
+	in, err := NewInjector(Schedule{Faults: []Fault{
+		{Kind: CrashReplica, Replica: "A", At: 0, Interleaving: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for index := 1; index <= 5; index++ {
+		in.Begin(index)
+		acts := in.At(0)
+		if index == 3 && len(acts) != 1 {
+			t.Fatalf("interleaving 3 must crash, got %v", acts)
+		}
+		if index != 3 && len(acts) != 0 {
+			t.Fatalf("interleaving %d must be fault-free, got %v", index, acts)
+		}
+		in.Finish()
+	}
+}
+
+func TestProbabilisticArmingIsSeeded(t *testing.T) {
+	sched := Schedule{Seed: 99, Faults: []Fault{
+		{Kind: LockOutage, At: 0, Duration: 100, Prob: 0.5},
+	}}
+	roll := func() []bool {
+		in, err := NewInjector(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 0, 50)
+		for index := 1; index <= 50; index++ {
+			in.Begin(index)
+			in.At(0)
+			out = append(out, in.LockServerDown())
+		}
+		return out
+	}
+	a, b := roll(), roll()
+	armedCount := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving %d: arming not reproducible", i+1)
+		}
+		if a[i] {
+			armedCount++
+		}
+	}
+	if armedCount == 0 || armedCount == len(a) {
+		t.Fatalf("Prob=0.5 armed %d/%d interleavings — not probabilistic", armedCount, len(a))
+	}
+}
+
+func TestPartitionWindowDrivesPartitioner(t *testing.T) {
+	in, err := NewInjector(Schedule{Faults: []Fault{
+		{Kind: Partition, A: "A", B: "B", At: 1, Duration: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingPartitioner{}
+	in.Bind(rec)
+	in.Begin(1)
+	in.At(0)
+	if in.Partitioned("A", "B") {
+		t.Fatal("partitioned before the window")
+	}
+	in.At(1)
+	if !in.Partitioned("A", "B") || !in.Partitioned("B", "A") {
+		t.Fatal("window must sever both directions")
+	}
+	if in.Partitioned("A", "M") {
+		t.Fatal("unrelated link severed")
+	}
+	in.At(2)
+	if !in.Partitioned("A", "B") {
+		t.Fatal("window spans [At, At+Duration]")
+	}
+	in.At(3)
+	if in.Partitioned("A", "B") {
+		t.Fatal("window must close after At+Duration")
+	}
+	in.Finish()
+	if got := rec.calls; len(got) != 2 || got[0] != "partition(A,B)" || got[1] != "heal(A,B)" {
+		t.Fatalf("partitioner saw %v", got)
+	}
+
+	// A window still open at the end of the interleaving heals on Finish.
+	rec.calls = nil
+	in.Begin(2)
+	in.At(0)
+	in.At(1)
+	in.Finish()
+	if got := rec.calls; len(got) != 2 || got[1] != "heal(A,B)" {
+		t.Fatalf("Finish must heal open windows, partitioner saw %v", got)
+	}
+}
+
+type recordingPartitioner struct{ calls []string }
+
+func (r *recordingPartitioner) Partition(a, b event.ReplicaID) {
+	r.calls = append(r.calls, "partition("+string(a)+","+string(b)+")")
+}
+func (r *recordingPartitioner) Heal(a, b event.ReplicaID) {
+	r.calls = append(r.calls, "heal("+string(a)+","+string(b)+")")
+}
+
+func TestLockHookAndPayloadTruncation(t *testing.T) {
+	in, err := NewInjector(Schedule{Faults: []Fault{
+		{Kind: LockOutage, At: 1, Duration: 1},
+		{Kind: TruncatePayload, At: 2, KeepBytes: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := in.LockHook()
+	in.Begin(1)
+	in.At(0)
+	if err := hook("SET", nil); err != nil {
+		t.Fatalf("outage outside window: %v", err)
+	}
+	in.At(1)
+	if err := hook("SET", nil); !errors.Is(err, ErrLockServerDown) {
+		t.Fatalf("hook inside window = %v, want ErrLockServerDown", err)
+	}
+	payload := []byte("abcdefgh")
+	if got := in.Payload(1, payload); len(got) != 8 {
+		t.Fatalf("truncation fired at the wrong position: %q", got)
+	}
+	in.At(2)
+	if err := hook("SET", nil); !errors.Is(err, ErrLockServerDown) {
+		t.Fatalf("window spans [At, At+Duration]: %v", err)
+	}
+	got := in.Payload(2, payload)
+	if string(got) != "abc" {
+		t.Fatalf("truncated payload = %q, want abc", got)
+	}
+	if string(payload) != "abcdefgh" {
+		t.Fatal("input payload mutated")
+	}
+	in.At(3)
+	if err := hook("SET", nil); err != nil {
+		t.Fatalf("outage past window: %v", err)
+	}
+}

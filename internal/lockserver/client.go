@@ -13,14 +13,43 @@ import (
 	"time"
 )
 
+// ErrLeaseLost marks a distributed-mutex operation that discovered the
+// holder's lease expired (or was taken over) mid-critical-section. It is a
+// typed, checkable condition — the alternative on the paper's physical
+// testbed was a silent hang or a split-brain critical section.
+var ErrLeaseLost = errors.New("lockserver: lease lost")
+
+// FaultHook inspects an outgoing request before it reaches the wire; a
+// non-nil return fails the attempt as if the server were unreachable. The
+// fault package installs outage windows through this seam.
+type FaultHook func(op string, args []string) error
+
 // Client is a minimal RESP client for the lock server. Safe for concurrent
 // use: requests are serialized over one connection.
+//
+// The client heals from connection loss: a failed request is retried with
+// exponential backoff, re-dialing the server between attempts, so a
+// restarting lock server degrades replay throughput instead of killing the
+// run.
 type Client struct {
 	mu   sync.Mutex
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// reconnect policy: maxAttempts tries per request, starting at backoff
+	// and doubling.
+	maxAttempts int
+	backoff     time.Duration
+	hook        FaultHook
 }
+
+// Reconnect policy defaults: 4 attempts starting at 5ms keep a transient
+// server restart invisible while bounding a hard outage to ~35ms per call.
+const (
+	defaultMaxAttempts = 4
+	defaultBackoff     = 5 * time.Millisecond
+)
 
 // Dial connects to a lock server.
 func Dial(addr string) (*Client, error) {
@@ -28,11 +57,49 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lockserver: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{
+		addr:        addr,
+		conn:        conn,
+		r:           bufio.NewReader(conn),
+		w:           bufio.NewWriter(conn),
+		maxAttempts: defaultMaxAttempts,
+		backoff:     defaultBackoff,
+	}, nil
+}
+
+// SetReconnect tunes the per-request retry policy: attempts total tries
+// (minimum 1) with exponential backoff starting at base.
+func (c *Client) SetReconnect(attempts int, base time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	c.maxAttempts = attempts
+	c.backoff = base
+}
+
+// SetFaultHook installs (or, with nil, removes) a fault-injection hook.
+func (c *Client) SetFaultHook(h FaultHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
 }
 
 // Close shuts the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
 // reply is the decoded RESP response.
 type reply struct {
@@ -45,6 +112,44 @@ type reply struct {
 func (c *Client) do(args ...string) (reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	backoff := c.backoff
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if c.hook != nil {
+			if err := c.hook(args[0], args[1:]); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+			c.r = bufio.NewReader(conn)
+			c.w = bufio.NewWriter(conn)
+		}
+		rep, err := c.roundTrip(args)
+		if err == nil {
+			return rep, nil
+		}
+		// The stream may be desynchronized mid-reply: drop the connection
+		// and re-dial on the next attempt.
+		lastErr = err
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	return reply{}, fmt.Errorf("lockserver: %s failed after %d attempts: %w",
+		args[0], c.maxAttempts, lastErr)
+}
+
+func (c *Client) roundTrip(args []string) (reply, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "*%d\r\n", len(args))
 	for _, a := range args {
@@ -178,15 +283,43 @@ func (c *Client) CompareAndDelete(key, expect string) (bool, error) {
 	return rep.n == 1, nil
 }
 
+// CompareAndExpire refreshes key's TTL iff its value equals expect — the
+// lease-renewal primitive: a holder extends its own lock atomically, and a
+// false return proves the lease is gone.
+func (c *Client) CompareAndExpire(key, expect string, ttl time.Duration) (bool, error) {
+	rep, err := c.do("CEX", key, expect, strconv.FormatInt(ttl.Milliseconds(), 10))
+	if err != nil {
+		return false, err
+	}
+	if rep.kind == '-' {
+		return false, errors.New(rep.str)
+	}
+	return rep.n == 1, nil
+}
+
 // DMutex is a distributed mutex over a shared key, in the style of the
 // Redis Redlock pattern the paper uses: acquisition is SET key token NX PX,
 // release is an atomic compare-and-delete of the holder's token.
+//
+// With AutoRenew enabled, a background goroutine extends the lease while
+// the mutex is held; a lease that cannot be extended (expired and possibly
+// taken over) surfaces as ErrLeaseLost from Unlock and closes the Lost
+// channel, so a holder wedged mid-turn learns about the takeover instead
+// of hanging or silently double-holding.
 type DMutex struct {
 	client *Client
 	key    string
 	token  string
 	ttl    time.Duration
 	retry  time.Duration
+
+	renewEvery time.Duration
+
+	mu      sync.Mutex
+	lost    chan struct{}
+	lostErr error
+	stop    chan struct{}
+	done    chan struct{}
 }
 
 // NewDMutex builds a mutex on key with the given token (must be unique per
@@ -195,32 +328,130 @@ func NewDMutex(client *Client, key, token string, ttl, retry time.Duration) *DMu
 	return &DMutex{client: client, key: key, token: token, ttl: ttl, retry: retry}
 }
 
-// Lock blocks until the mutex is acquired or the context is done.
+// AutoRenew enables background lease renewal every `every` while the mutex
+// is held; zero picks ttl/3. Call before Lock.
+func (m *DMutex) AutoRenew(every time.Duration) {
+	if every <= 0 {
+		every = m.ttl / 3
+		if every <= 0 {
+			every = time.Millisecond
+		}
+	}
+	m.renewEvery = every
+}
+
+// Lock blocks until the mutex is acquired or the context is done. Request
+// errors are treated as transient (the client reconnects underneath), so a
+// lock-server outage stalls acquisition until the context expires rather
+// than failing it.
 func (m *DMutex) Lock(ctx context.Context) error {
 	for {
 		ok, err := m.client.SetNX(m.key, m.token, m.ttl)
-		if err != nil {
-			return fmt.Errorf("lockserver: acquire %s: %w", m.key, err)
-		}
-		if ok {
+		if ok && err == nil {
+			m.startRenewal()
 			return nil
+		}
+		if err != nil {
+			// Transient: poll again while the context is alive.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("lockserver: acquire %s: %w (last error: %v)", m.key, ctxErr, err)
+			}
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return fmt.Errorf("lockserver: acquire %s: %w", m.key, ctx.Err())
 		case <-time.After(m.retry):
 		}
 	}
 }
 
-// Unlock releases the mutex if this holder still owns it.
+func (m *DMutex) startRenewal() {
+	if m.renewEvery <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lost = make(chan struct{})
+	m.lostErr = nil
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.renewLoop(m.stop, m.done, m.lost)
+}
+
+func (m *DMutex) renewLoop(stop, done, lost chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(m.renewEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			ok, err := m.client.CompareAndExpire(m.key, m.token, m.ttl)
+			if err != nil {
+				// Transient: the lease may well still be alive; renewing
+				// again next tick is always safe.
+				continue
+			}
+			if !ok {
+				m.mu.Lock()
+				m.lostErr = fmt.Errorf("lockserver: %s: %w", m.key, ErrLeaseLost)
+				m.mu.Unlock()
+				close(lost)
+				return
+			}
+		}
+	}
+}
+
+// stopRenewal halts the renewal goroutine and returns the recorded lease
+// loss, if any.
+func (m *DMutex) stopRenewal() error {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return m.Err()
+	}
+	select {
+	case <-done: // renewal already exited (lease lost)
+	default:
+		close(stop)
+		<-done
+	}
+	return m.Err()
+}
+
+// Lost returns a channel closed when background renewal discovers the
+// lease is gone (nil when AutoRenew is off or the mutex is unheld).
+func (m *DMutex) Lost() <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lost
+}
+
+// Err returns the recorded lease-loss error, if any.
+func (m *DMutex) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lostErr
+}
+
+// Unlock releases the mutex if this holder still owns it. A lease lost
+// while held — detected by renewal or by the release itself — returns an
+// error wrapping ErrLeaseLost.
 func (m *DMutex) Unlock() error {
+	if err := m.stopRenewal(); err != nil {
+		return err
+	}
 	ok, err := m.client.CompareAndDelete(m.key, m.token)
 	if err != nil {
 		return fmt.Errorf("lockserver: release %s: %w", m.key, err)
 	}
 	if !ok {
-		return fmt.Errorf("lockserver: release %s: not the holder (token %s)", m.key, m.token)
+		return fmt.Errorf("lockserver: release %s: not the holder (token %s): %w",
+			m.key, m.token, ErrLeaseLost)
 	}
 	return nil
 }
@@ -243,25 +474,29 @@ func (s *Sequencer) Reset() error {
 	return s.client.Set(s.key, "0")
 }
 
-// WaitTurn blocks until the shared counter equals turn.
+// WaitTurn blocks until the shared counter equals turn. Request errors are
+// transient (the client reconnects underneath): polling continues until
+// the context is done, so a lock-server outage wedges the turn — visibly,
+// bounded by the caller's deadline — instead of crashing the replay.
 func (s *Sequencer) WaitTurn(ctx context.Context, turn int64) error {
 	for {
 		v, ok, err := s.client.Get(s.key)
-		if err != nil {
-			return err
-		}
-		cur := int64(0)
-		if ok {
-			cur, err = strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				return fmt.Errorf("lockserver: sequencer key corrupt: %w", err)
+		if err == nil {
+			cur := int64(0)
+			if ok {
+				cur, err = strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return fmt.Errorf("lockserver: sequencer key corrupt: %w", err)
+				}
 			}
-		}
-		if cur == turn {
-			return nil
-		}
-		if cur > turn {
-			return fmt.Errorf("lockserver: turn %d already passed (at %d)", turn, cur)
+			if cur == turn {
+				return nil
+			}
+			if cur > turn {
+				return fmt.Errorf("lockserver: turn %d already passed (at %d)", turn, cur)
+			}
+		} else if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("lockserver: wait turn %d: %w (last error: %v)", turn, ctxErr, err)
 		}
 		select {
 		case <-ctx.Done():

@@ -1,0 +1,312 @@
+package lockserver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStoreCompareAndExpire(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	s := NewStoreWithClock(clock)
+	s.Set("lock", "tokenA", false, 100*time.Millisecond)
+
+	if s.CompareAndExpire("lock", "tokenB", 100*time.Millisecond) {
+		t.Fatal("CEX with wrong token must fail")
+	}
+	now = now.Add(90 * time.Millisecond)
+	if !s.CompareAndExpire("lock", "tokenA", 100*time.Millisecond) {
+		t.Fatal("CEX with right token must succeed")
+	}
+	// The renewal pushed expiry out: 90ms+100ms > the original 100ms.
+	now = now.Add(90 * time.Millisecond)
+	if _, ok := s.Get("lock"); !ok {
+		t.Fatal("renewed lease must still be live")
+	}
+	now = now.Add(11 * time.Millisecond)
+	if s.CompareAndExpire("lock", "tokenA", 100*time.Millisecond) {
+		t.Fatal("CEX on an expired key must fail")
+	}
+}
+
+func TestClientCompareAndExpire(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if ok, err := c.SetNX("lock", "me", 50*time.Millisecond); err != nil || !ok {
+		t.Fatalf("SetNX = %v, %v", ok, err)
+	}
+	ok, err := c.CompareAndExpire("lock", "me", time.Second)
+	if err != nil || !ok {
+		t.Fatalf("CEX own lease = %v, %v", ok, err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if _, found, _ := c.Get("lock"); !found {
+		t.Fatal("renewed lease expired despite CEX")
+	}
+	if ok, _ := c.CompareAndExpire("lock", "impostor", time.Second); ok {
+		t.Fatal("CEX with wrong token must fail")
+	}
+}
+
+// A server restart between requests must be invisible to the client: the
+// request loop re-dials and retries.
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	srv := NewServer(NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReconnect(10, 5*time.Millisecond)
+	if err := c.Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = srv.Close()
+	srv2 := NewServer(NewStore())
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The old connection is dead; the call must reconnect and succeed
+	// against the restarted server.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after restart: %v", err)
+	}
+	if err := c.Set("k2", "w"); err != nil {
+		t.Fatalf("set after restart: %v", err)
+	}
+}
+
+// A fault hook models a lock-server outage window: requests fail without
+// touching the wire, then heal when the hook clears.
+func TestClientFaultHookOutage(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReconnect(2, time.Millisecond)
+
+	outage := errors.New("injected outage")
+	c.SetFaultHook(func(op string, args []string) error { return outage })
+	if err := c.Ping(); !errors.Is(err, outage) {
+		t.Fatalf("ping during outage = %v; want wrapped injected error", err)
+	}
+	c.SetFaultHook(nil)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after outage heals: %v", err)
+	}
+}
+
+// A hook that fails only the first attempts exercises the retry loop: the
+// request must succeed once the fault clears within the attempt budget.
+func TestClientRetriesThroughTransientFault(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReconnect(5, time.Millisecond)
+
+	fails := 2
+	c.SetFaultHook(func(op string, args []string) error {
+		if fails > 0 {
+			fails--
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping through transient fault: %v", err)
+	}
+}
+
+// AutoRenew keeps a short-TTL lease alive for the whole critical section.
+func TestDMutexAutoRenewKeepsLease(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	m := NewDMutex(c1, "lease", "holder", 60*time.Millisecond, time.Millisecond)
+	m.AutoRenew(10 * time.Millisecond)
+	if err := m.Lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Hold well past the raw TTL; renewal must keep the rival out.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		ok, err := c2.SetNX("lease", "rival", time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("rival acquired the lock while renewal was active")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := m.Unlock(); err != nil {
+		t.Fatalf("unlock after renewed hold: %v", err)
+	}
+}
+
+// A lease lost mid-hold (here: wiped behind the holder's back, as a TTL
+// expiry during a lock-server pause would) surfaces as ErrLeaseLost on the
+// Lost channel and from Unlock — never a silent double-hold.
+func TestDMutexLeaseLostSurfaces(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c1, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	m := NewDMutex(c1, "lease", "holder", time.Second, time.Millisecond)
+	m.AutoRenew(5 * time.Millisecond)
+	if err := m.Lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Del("lease"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-m.Lost():
+	case <-time.After(2 * time.Second):
+		t.Fatal("renewal never noticed the lost lease")
+	}
+	err = m.Unlock()
+	if !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Unlock after lease loss = %v; want ErrLeaseLost", err)
+	}
+}
+
+// Unlock with no renewal also detects loss: the compare-and-delete misses
+// and the error wraps ErrLeaseLost.
+func TestDMutexUnlockDetectsLeaseLoss(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	m := NewDMutex(c, "lease", "holder", time.Second, time.Millisecond)
+	if err := m.Lock(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Del("lease"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("Unlock = %v; want ErrLeaseLost", err)
+	}
+}
+
+// DMutex.Lock treats request errors as transient: an outage during
+// acquisition stalls until it heals (bounded by ctx), then acquires.
+func TestDMutexLockRidesOutOutage(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReconnect(1, time.Millisecond)
+
+	fails := 3
+	c.SetFaultHook(func(op string, args []string) error {
+		if fails > 0 {
+			fails--
+			return errors.New("outage")
+		}
+		return nil
+	})
+	m := NewDMutex(c, "lease", "holder", time.Second, time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := m.Lock(ctx); err != nil {
+		t.Fatalf("lock through outage: %v", err)
+	}
+	if err := m.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequencer.WaitTurn polls through transient request errors instead of
+// aborting the replay; a permanent outage is bounded by the context.
+func TestSequencerWaitTurnToleratesOutage(t *testing.T) {
+	addr, done := startServer(t)
+	defer done()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReconnect(1, time.Millisecond)
+
+	seq := NewSequencer(c, "turn", time.Millisecond)
+	if err := seq.Reset(); err != nil {
+		t.Fatal(err)
+	}
+
+	fails := 3
+	c.SetFaultHook(func(op string, args []string) error {
+		if op == "GET" && fails > 0 {
+			fails--
+			return errors.New("outage")
+		}
+		return nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := seq.WaitTurn(ctx, 0); err != nil {
+		t.Fatalf("WaitTurn through outage: %v", err)
+	}
+
+	// Permanent outage: the wait must return the context error, promptly.
+	c.SetFaultHook(func(op string, args []string) error { return errors.New("down") })
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	err = seq.WaitTurn(ctx2, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitTurn during permanent outage = %v; want deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("WaitTurn took %v to honor its deadline", elapsed)
+	}
+}

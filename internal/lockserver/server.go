@@ -152,6 +152,18 @@ func (s *Server) dispatch(args []string) string {
 			return respInt(1)
 		}
 		return respInt(0)
+	case "CEX":
+		if len(args) != 4 {
+			return respError("CEX requires 3 arguments")
+		}
+		ms, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil || ms < 0 {
+			return respError("invalid CEX ttl")
+		}
+		if s.store.CompareAndExpire(args[1], args[2], time.Duration(ms)*time.Millisecond) {
+			return respInt(1)
+		}
+		return respInt(0)
 	default:
 		return respError("unknown command " + args[0])
 	}

@@ -1,8 +1,9 @@
 // Package lockserver provides the distributed-locking substrate ER-π uses
 // to enforce event order during replay (paper §4.3). It contains a small
 // Redis-compatible key-value server speaking a RESP subset over TCP
-// (SET [NX] [PX], GET, DEL, INCR, CAD, PING), a client, a Redlock-style
-// distributed mutex, and a turn sequencer built on the mutex.
+// (SET [NX] [PX], GET, DEL, INCR, CAD, CEX, PING), a reconnecting client,
+// a Redlock-style distributed mutex with lease renewal, and a turn
+// sequencer built on the mutex.
 //
 // The paper deploys "a mutex with a shared key managed by a Redis server";
 // this package is that server and mutex, built from the standard library.
@@ -119,6 +120,28 @@ func (s *Store) CompareAndDelete(key, expect string) bool {
 		return false
 	}
 	delete(s.data, key)
+	return true
+}
+
+// CompareAndExpire refreshes key's TTL to px only if its current value
+// equals expect: the atomic lease-renewal primitive. A holder can extend
+// its own lock without racing a takeover — if the lease already expired
+// and another holder acquired it, the value no longer matches and the
+// renewal reports false. px<=0 clears the expiry.
+func (s *Store) CompareAndExpire(key, expect string, px time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expiredLocked(key) {
+		return false
+	}
+	if s.data[key].value != expect {
+		return false
+	}
+	e := entry{value: expect}
+	if px > 0 {
+		e.expiresAt = s.now().Add(px)
+	}
+	s.data[key] = e
 	return true
 }
 

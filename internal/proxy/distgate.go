@@ -11,6 +11,11 @@ import (
 // TurnGate, giving replay ordering across OS processes — the paper's
 // "distributed lock … deploys a mutex with a shared key managed by a Redis
 // server" (§4.3).
+//
+// The mutex renews its lease in the background while held, so a turn that
+// outlives the lock TTL keeps its exclusivity; if the lease is lost anyway
+// (e.g. a lock-server wipe), Advance surfaces lockserver.ErrLeaseLost
+// instead of silently double-holding.
 type DistGate struct {
 	seq   *lockserver.Sequencer
 	mutex *lockserver.DMutex
@@ -21,9 +26,17 @@ var _ TurnGate = (*DistGate)(nil)
 // NewDistGate builds a distributed gate for one holder. key namespaces the
 // session; token must be unique per holder (e.g. the replica ID).
 func NewDistGate(client *lockserver.Client, key, token string) *DistGate {
+	return NewDistGateTTL(client, key, token, 30*time.Second)
+}
+
+// NewDistGateTTL is NewDistGate with an explicit lock TTL (tests use short
+// TTLs to exercise lease expiry quickly).
+func NewDistGateTTL(client *lockserver.Client, key, token string, ttl time.Duration) *DistGate {
+	m := lockserver.NewDMutex(client, key+":mutex", token, ttl, time.Millisecond)
+	m.AutoRenew(0)
 	return &DistGate{
 		seq:   lockserver.NewSequencer(client, key+":turn", time.Millisecond),
-		mutex: lockserver.NewDMutex(client, key+":mutex", token, 30*time.Second, time.Millisecond),
+		mutex: m,
 	}
 }
 
@@ -40,7 +53,8 @@ func (g *DistGate) WaitTurn(ctx context.Context, turn int) error {
 	return g.mutex.Lock(ctx)
 }
 
-// Advance implements TurnGate: release the mutex and bump the counter.
+// Advance implements TurnGate: release the mutex and bump the counter. A
+// lease lost mid-turn comes back wrapping lockserver.ErrLeaseLost.
 func (g *DistGate) Advance() error {
 	if err := g.mutex.Unlock(); err != nil {
 		return err

@@ -113,6 +113,40 @@ func (c *Cluster) Checkpoint() error {
 	return nil
 }
 
+// CheckpointNode snapshots a single replica's current state, leaving the
+// other replicas' checkpoints untouched (used by fault injection to model
+// per-replica durable storage).
+func (c *Cluster) CheckpointNode(id event.ReplicaID) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("replica: unknown replica %s", id)
+	}
+	snap, err := n.State.Snapshot()
+	if err != nil {
+		return fmt.Errorf("replica: checkpoint %s: %w", id, err)
+	}
+	c.checkpoints[id] = snap
+	return nil
+}
+
+// ResetNode restores a single replica to its last checkpoint — the
+// crash-recovery primitive: a crashed replica loses its volatile state and
+// restarts from durable storage while the others keep running.
+func (c *Cluster) ResetNode(id event.ReplicaID) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("replica: unknown replica %s", id)
+	}
+	snap, ok := c.checkpoints[id]
+	if !ok {
+		return fmt.Errorf("replica: no checkpoint for %s", id)
+	}
+	if err := n.State.Restore(snap); err != nil {
+		return fmt.Errorf("replica: reset %s: %w", id, err)
+	}
+	return nil
+}
+
 // Reset restores every replica to the last checkpoint.
 func (c *Cluster) Reset() error {
 	for id, n := range c.nodes {

@@ -1,10 +1,12 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/fault"
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/replica"
 )
@@ -20,9 +22,18 @@ import (
 //     for a standalone sync event (recorded without an explicit send),
 //     capture the sender's payload at execution time, modelling a
 //     synchronization whose content depends on when it runs.
+//
+// When a fault injector is attached, it is consulted before every event:
+// crash actions roll the target replica back to its durable checkpoint,
+// events at (or syncs from) a crashed replica fail with
+// fault.ErrReplicaDown, syncs across a partitioned link are dropped and
+// recorded in Outcome.DroppedSyncs, and sync payloads may be truncated in
+// flight.
 type executor struct {
 	log     *event.Log
 	cluster *replica.Cluster
+	// inj, when non-nil, injects scheduled faults into execution.
+	inj *fault.Injector
 	// sendFor maps each SyncExec ID to its paired SyncSend ID.
 	sendFor map[event.ID]event.ID
 	built   bool
@@ -36,9 +47,13 @@ func (x *executor) buildPairs() {
 	x.built = true
 }
 
-func (x *executor) execute(il interleave.Interleaving, index int) (*Outcome, error) {
+func (x *executor) execute(ctx context.Context, il interleave.Interleaving, index int) (*Outcome, error) {
 	if !x.built {
 		x.buildPairs()
+	}
+	if x.inj != nil {
+		x.inj.Begin(index)
+		defer x.inj.Finish()
 	}
 	outcome := &Outcome{
 		Index:        index,
@@ -47,12 +62,26 @@ func (x *executor) execute(il interleave.Interleaving, index int) (*Outcome, err
 	}
 	pending := make(map[event.ID][]byte)
 	for pos, id := range il {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ev := x.log.Event(id)
+		if x.inj != nil {
+			for _, a := range x.inj.At(pos) {
+				if a.Kind == fault.ActionCrash {
+					if err := x.cluster.ResetNode(a.Replica); err != nil {
+						return nil, fmt.Errorf("fault: crash-restore %s: %w", a.Replica, err)
+					}
+				}
+			}
+			if x.inj.ReplicaDown(ev.Replica) {
+				return nil, fmt.Errorf("event %s: %w", ev, fault.ErrReplicaDown)
+			}
+		}
 		node, err := x.cluster.Node(ev.Replica)
 		if err != nil {
 			return nil, err
 		}
-		_ = pos
 		switch ev.Kind {
 		case event.Update, event.Observe:
 			result, err := node.State.Apply(replica.Op{Name: ev.Op, Args: ev.Args})
@@ -71,8 +100,20 @@ func (x *executor) execute(il interleave.Interleaving, index int) (*Outcome, err
 			if err != nil {
 				return nil, fmt.Errorf("event %s: %w", ev, err)
 			}
+			if x.inj != nil {
+				payload = x.inj.Payload(pos, payload)
+			}
 			pending[id] = payload
 		case event.SyncExec:
+			if x.inj != nil {
+				if x.inj.ReplicaDown(ev.From) {
+					return nil, fmt.Errorf("event %s: sender: %w", ev, fault.ErrReplicaDown)
+				}
+				if x.inj.Partitioned(ev.From, ev.Replica) {
+					outcome.DroppedSyncs = append(outcome.DroppedSyncs, id)
+					continue
+				}
+			}
 			payload, ok := x.payloadFor(id, pending)
 			if !ok {
 				// Standalone sync: capture the sender's state now.
@@ -84,6 +125,9 @@ func (x *executor) execute(il interleave.Interleaving, index int) (*Outcome, err
 				if err != nil {
 					return nil, fmt.Errorf("event %s: %w", ev, err)
 				}
+			}
+			if x.inj != nil {
+				payload = x.inj.Payload(pos, payload)
 			}
 			if err := node.State.ApplySync(payload); err != nil {
 				if errors.Is(err, replica.ErrFailedOp) {

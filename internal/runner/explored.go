@@ -1,0 +1,66 @@
+package runner
+
+import "hash/fnv"
+
+// exploredSet deduplicates interleaving keys under a memory bound. Keys are
+// stored as 64-bit FNV-1a fingerprints rather than full strings, so one
+// entry costs a fixed ~8 bytes of payload regardless of event-log size, and
+// the set is capped at limit entries.
+//
+// Trade-offs (documented because both degrade dedup, never soundness):
+//
+//   - A fingerprint collision (~2⁻⁶⁴ per pair) makes a never-executed
+//     interleaving look already explored and it is skipped.
+//   - Once the cap is reached the set stops recording NEW keys — membership
+//     tests still see everything recorded so far, but an order first seen
+//     after saturation may be executed (and counted) again. Re-execution is
+//     idempotent (the cluster resets before every interleaving), so long
+//     ModeRand/ModeFuzz runs degrade to best-effort dedup instead of
+//     growing without limit.
+type exploredSet struct {
+	limit     int
+	keys      map[uint64]struct{}
+	saturated bool
+}
+
+// defaultMaxExploredKeys bounds the dedup set at ~1M entries (tens of MB)
+// unless Config.MaxExploredKeys overrides it.
+const defaultMaxExploredKeys = 1 << 20
+
+// newExploredSet builds a set capped at limit entries; zero means the
+// default cap, negative means unbounded.
+func newExploredSet(limit int) *exploredSet {
+	if limit == 0 {
+		limit = defaultMaxExploredKeys
+	}
+	return &exploredSet{limit: limit, keys: make(map[uint64]struct{})}
+}
+
+func fingerprint(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Has reports whether key was recorded.
+func (e *exploredSet) Has(key string) bool {
+	_, ok := e.keys[fingerprint(key)]
+	return ok
+}
+
+// Add records key, unless the set is saturated. Reports whether the key was
+// actually recorded.
+func (e *exploredSet) Add(key string) bool {
+	if e.limit > 0 && len(e.keys) >= e.limit {
+		e.saturated = true
+		return false
+	}
+	e.keys[fingerprint(key)] = struct{}{}
+	return true
+}
+
+// Len returns the number of recorded fingerprints.
+func (e *exploredSet) Len() int { return len(e.keys) }
+
+// Saturated reports whether the cap was ever hit.
+func (e *exploredSet) Saturated() bool { return e.saturated }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -64,6 +65,54 @@ func TestJournalResume(t *testing.T) {
 	}
 	if loaded.Len() != s.Log.Len() {
 		t.Fatalf("journaled log has %d events, want %d", loaded.Len(), s.Log.Len())
+	}
+}
+
+// TestJournalResumeSurvivesCorruptTail simulates the classic crash
+// artifact — a truncated or garbage trailing line in the append-only
+// journal — and verifies the resume degrades gracefully: the corrupt line
+// is skipped (that interleaving is merely re-explored) and the run still
+// finishes the space.
+func TestJournalResumeSurvivesCorruptTail(t *testing.T) {
+	s := townReportScenario(t)
+	path := filepath.Join(t.TempDir(), "session")
+	dir, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := Run(s, Config{Mode: ModeERPi, MaxInterleavings: 7, Journal: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Explored != 7 {
+		t.Fatalf("first run explored %d, want 7", first.Explored)
+	}
+
+	// A crash mid-append leaves a partial line; tack on binary garbage too.
+	f, err := os.OpenFile(filepath.Join(path, "explored.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("3,1,4,\n\x00\xffgarbage line\n12,,7\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := Run(s, Config{Mode: ModeERPi, Journal: dir})
+	if err != nil {
+		t.Fatalf("resume over corrupt journal: %v", err)
+	}
+	if second.Resumed != 7 {
+		t.Fatalf("second run resumed %d, want 7 (corrupt lines must not count)", second.Resumed)
+	}
+	if second.Explored != 12 {
+		t.Fatalf("second run explored %d, want the remaining 12 of 19", second.Explored)
+	}
+	if !second.Exhausted {
+		t.Fatal("second run must exhaust the pruned space")
 	}
 }
 

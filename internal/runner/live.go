@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/fault"
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/proxy"
 	"github.com/er-pi/erpi/internal/replica"
@@ -25,6 +26,16 @@ import (
 // newGate builds one gate per replica; with proxy.NewLocalGate a single
 // shared gate works, with DistGate each replica passes its own client.
 func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.ReplicaID) proxy.TurnGate) (*Outcome, error) {
+	return ExecuteLiveContext(context.Background(), s, il, newGate, nil)
+}
+
+// ExecuteLiveContext is ExecuteLive with context cancellation and optional
+// fault injection. Cancelling ctx unblocks every replica goroutine waiting
+// on its turn gate (including DMutex.Lock / Sequencer.WaitTurn over a lock
+// server), so a wedged replay returns promptly instead of hanging. A
+// non-nil injector is consulted before every scheduled call, with the same
+// semantics as the sequential executor.
+func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleaving, newGate func(rep event.ReplicaID) proxy.TurnGate, inj *fault.Injector) (*Outcome, error) {
 	if s.Log == nil || len(il) != s.Log.Len() {
 		return nil, fmt.Errorf("runner: live replay needs a complete interleaving")
 	}
@@ -47,6 +58,10 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 	for _, pair := range s.Log.SyncPairs() {
 		sendFor[pair[1]] = pair[0]
 	}
+	if inj != nil {
+		inj.Begin(1)
+		defer inj.Finish()
+	}
 
 	// Per-replica interceptors share the schedule; each replica goroutine
 	// re-issues its recorded calls in program order.
@@ -60,7 +75,28 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 		interceptors[rep] = i
 	}
 
+	position := make(map[event.ID]int, len(il))
+	for turn, id := range il {
+		position[id] = turn
+	}
+
+	// apply runs under the gate's mutual exclusion: exactly one event
+	// executes at a time, in schedule order, so the injector sees strictly
+	// increasing positions just like the sequential executor.
 	apply := func(ev event.Event) error {
+		pos := position[ev.ID]
+		if inj != nil {
+			for _, a := range inj.At(pos) {
+				if a.Kind == fault.ActionCrash {
+					if err := cluster.ResetNode(a.Replica); err != nil {
+						return fmt.Errorf("fault: crash-restore %s: %w", a.Replica, err)
+					}
+				}
+			}
+			if inj.ReplicaDown(ev.Replica) {
+				return fmt.Errorf("event %s: %w", ev, fault.ErrReplicaDown)
+			}
+		}
 		node, err := cluster.Node(ev.Replica)
 		if err != nil {
 			return err
@@ -88,11 +124,25 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 			if err != nil {
 				return fmt.Errorf("event %s: %w", ev, err)
 			}
+			if inj != nil {
+				payload = inj.Payload(pos, payload)
+			}
 			mu.Lock()
 			pending[ev.ID] = payload
 			mu.Unlock()
 			return nil
 		case event.SyncExec:
+			if inj != nil {
+				if inj.ReplicaDown(ev.From) {
+					return fmt.Errorf("event %s: sender: %w", ev, fault.ErrReplicaDown)
+				}
+				if inj.Partitioned(ev.From, ev.Replica) {
+					mu.Lock()
+					outcome.DroppedSyncs = append(outcome.DroppedSyncs, ev.ID)
+					mu.Unlock()
+					return nil
+				}
+			}
 			var payload []byte
 			if sendID, ok := sendFor[ev.ID]; ok {
 				mu.Lock()
@@ -109,6 +159,9 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 				payload, err = sender.State.SyncPayload()
 				if err != nil {
 					return fmt.Errorf("event %s: %w", ev, err)
+				}
+				if inj != nil {
+					payload = inj.Payload(pos, payload)
 				}
 			}
 			if err := node.State.ApplySync(payload); err != nil {
@@ -129,13 +182,11 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 	// Each replica's proxied functions are invoked in the interleaving's
 	// order for that replica (the replay driver drives the proxies; the
 	// schedule may reorder a replica's own recorded events).
-	position := make(map[event.ID]int, len(il))
-	for turn, id := range il {
-		position[id] = turn
-	}
-	// A failing replica cancels the context so the others' turn waits
-	// unblock instead of hanging on a turn that will never come.
-	ctx, cancel := context.WithCancel(context.Background())
+	//
+	// A failing replica cancels the shared context so the others' turn
+	// waits unblock instead of hanging on a turn that will never come;
+	// cancellation of the caller's ctx propagates the same way.
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(replicas))
@@ -164,7 +215,14 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 	}
 	wg.Wait()
 	close(errCh)
+	// Drain every replica's error, not just the first: a multi-replica
+	// failure (e.g. one replica crashing and the others timing out on their
+	// turns) is reported in full.
+	var errs []error
 	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 
@@ -178,15 +236,10 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 	// Failed ops may arrive out of schedule order across goroutines;
 	// normalize for comparison with the sequential executor.
 	sortIDs(outcome.FailedOps)
+	sortIDs(outcome.DroppedSyncs)
 	return outcome, nil
 }
 
 func sortIDs(ids []event.ID) {
-	for i := range ids {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

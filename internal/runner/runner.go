@@ -6,8 +6,10 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"github.com/er-pi/erpi/internal/checkpoint"
 	"github.com/er-pi/erpi/internal/datalog"
 	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/fault"
 	"github.com/er-pi/erpi/internal/fuzz"
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/prune"
@@ -106,6 +109,9 @@ type Outcome struct {
 	Observations map[event.ID]string
 	// FailedOps lists events rejected by data-type constraints.
 	FailedOps []event.ID
+	// DroppedSyncs lists synchronizations dropped by an injected network
+	// partition (empty in fault-free runs).
+	DroppedSyncs []event.ID
 	// Converged reports whether all replicas ended with equal fingerprints.
 	Converged bool
 }
@@ -166,6 +172,35 @@ type Config struct {
 	// journal are skipped, so an interrupted exploration resumes where it
 	// left off (paper §4.2: ER-π persists the interleavings).
 	Journal *checkpoint.Dir
+	// Deadline bounds the whole run's wall-clock time; when it expires
+	// the run stops promptly and returns the partial Result with
+	// Interrupted set (zero = unbounded).
+	Deadline time.Duration
+	// InterleavingTimeout bounds each execution attempt of a single
+	// interleaving; a timed-out attempt counts as an execution error and
+	// goes through the retry/quarantine path (zero = unbounded).
+	InterleavingTimeout time.Duration
+	// MaxRetries is how many times an errored interleaving is re-executed
+	// — with exponential backoff plus seeded jitter — before being
+	// quarantined. Zero means the default of 1 retry; negative disables
+	// retries entirely.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt with ±50% jitter drawn from the run's seeded generator
+	// (default 1ms).
+	RetryBackoff time.Duration
+	// Faults, when set, injects the deterministic fault schedule into
+	// every execution (replica crashes, partitions, payload truncation;
+	// see the fault package). A schedule with no faults is observationally
+	// identical to running without one.
+	Faults *fault.Schedule
+	// MaxExploredKeys caps the in-memory dedup set that prevents
+	// re-executing interleavings (default ~1M entries; negative =
+	// unbounded). Beyond the cap, dedup degrades to best-effort — an
+	// order may run twice — but memory stays bounded, which is what long
+	// ModeRand/ModeFuzz explorations want. See exploredSet for the full
+	// trade-off.
+	MaxExploredKeys int
 }
 
 // DefaultMaxInterleavings is the paper's exploration cap.
@@ -194,10 +229,46 @@ type Result struct {
 	// Resumed counts interleavings skipped because a journal already held
 	// them (0 without a journal).
 	Resumed int
+	// Quarantined lists interleavings whose execution kept failing after
+	// retries. Exploration continues past them, so a faulted run always
+	// yields partial results instead of aborting at the first error.
+	Quarantined []ExecError
+	// Interrupted reports that the run stopped early because the context
+	// was cancelled or Config.Deadline expired; the Result is the partial
+	// progress up to that point.
+	Interrupted bool
+	// InterruptErr holds the context error when Interrupted.
+	InterruptErr error
+}
+
+// ExecError records one quarantined interleaving: an event order whose
+// execution kept failing after Config.MaxRetries retries.
+type ExecError struct {
+	// Index is the 1-based exploration position.
+	Index int
+	// Interleaving is the failing event order.
+	Interleaving interleave.Interleaving
+	// Attempts counts the execution attempts made (1 + retries).
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
+func (e ExecError) String() string {
+	return fmt.Sprintf("interleaving #%d [%s] quarantined after %d attempts: %v",
+		e.Index, e.Interleaving.Key(), e.Attempts, e.Err)
 }
 
 // Run explores a scenario under the config.
 func Run(s Scenario, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), s, cfg)
+}
+
+// RunContext explores a scenario under the config, honoring ctx: when the
+// context is cancelled (or Config.Deadline expires) the run stops promptly
+// and returns the partial Result with Interrupted set, rather than an
+// error — exploration progress is never discarded.
+func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	start := time.Now()
 	if cfg.Mode == "" {
 		cfg.Mode = ModeERPi
@@ -212,11 +283,33 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 	if cfg.PollEvery <= 0 {
 		cfg.PollEvery = 100
 	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 1
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
 	if s.Log == nil || s.Log.Len() == 0 {
 		return nil, errors.New("runner: scenario has no events")
 	}
 	if s.NewCluster == nil {
 		return nil, errors.New("runner: scenario has no cluster factory")
+	}
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		var err error
+		inj, err = fault.NewInjector(*cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("runner: %w", err)
+		}
 	}
 
 	cluster, err := s.NewCluster()
@@ -235,8 +328,11 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Scenario: s.Name, Mode: cfg.Mode}
-	exec := &executor{log: s.Log, cluster: cluster}
-	explored := make(map[string]bool)
+	exec := &executor{log: s.Log, cluster: cluster, inj: inj}
+	// Retry jitter comes from a seeded generator so chaotic runs stay
+	// reproducible end to end.
+	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
+	explored := newExploredSet(cfg.MaxExploredKeys)
 	if cfg.Journal != nil {
 		if err := cfg.Journal.SaveLog(s.Log); err != nil {
 			return nil, err
@@ -246,22 +342,27 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		for key := range prior {
-			explored[key] = true
+			explored.Add(key)
 		}
 		res.Resumed = len(prior)
 	}
 
 	for res.Explored < maxIL {
+		if err := ctx.Err(); err != nil {
+			res.Interrupted = true
+			res.InterruptErr = err
+			break
+		}
 		il, ok := explorer.Next()
 		if !ok {
 			res.Exhausted = true
 			break
 		}
 		key := il.Key()
-		if explored[key] {
+		if explored.Has(key) {
 			continue // journal resume, or re-pruning regenerated the explorer
 		}
-		explored[key] = true
+		explored.Add(key)
 		res.Explored++
 		if cfg.Journal != nil {
 			if err := cfg.Journal.AppendExplored(il); err != nil {
@@ -280,19 +381,22 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 			}
 		}
 
-		if err := cluster.Reset(); err != nil {
-			return nil, err
-		}
-		outcome, err := exec.execute(il, res.Explored)
-		if err != nil {
-			return nil, fmt.Errorf("runner: interleaving %s: %w", key, err)
-		}
-		if s.Finalize != nil {
-			if err := s.Finalize(cluster); err != nil {
-				return nil, fmt.Errorf("runner: finalize %s: %w", key, err)
+		outcome, attempts, execErr := executeWithRetry(ctx, exec, s, cfg, il, res.Explored, jitter)
+		if execErr != nil {
+			if ctx.Err() != nil {
+				res.Interrupted = true
+				res.InterruptErr = ctx.Err()
+				break
 			}
-			outcome.Fingerprints = cluster.Fingerprints()
-			outcome.Converged = cluster.Converged()
+			// Quarantine instead of aborting: exploration continues and the
+			// run yields everything else.
+			res.Quarantined = append(res.Quarantined, ExecError{
+				Index:        res.Explored,
+				Interleaving: il,
+				Attempts:     attempts,
+				Err:          execErr,
+			})
+			continue
 		}
 		if cfg.OnOutcome != nil {
 			cfg.OnOutcome(outcome)
@@ -340,6 +444,61 @@ func Run(s Scenario, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// executeAttempt performs one execution attempt: reset the cluster, run
+// the interleaving (under the per-interleaving timeout, when configured),
+// finalize, and recompute the outcome's post-finalize fields.
+func executeAttempt(ctx context.Context, exec *executor, s Scenario, cfg Config, il interleave.Interleaving, index int) (*Outcome, error) {
+	ilCtx := ctx
+	if cfg.InterleavingTimeout > 0 {
+		var cancel context.CancelFunc
+		ilCtx, cancel = context.WithTimeout(ctx, cfg.InterleavingTimeout)
+		defer cancel()
+	}
+	if err := exec.cluster.Reset(); err != nil {
+		return nil, err
+	}
+	outcome, err := exec.execute(ilCtx, il, index)
+	if err != nil {
+		return nil, err
+	}
+	if s.Finalize != nil {
+		if err := s.Finalize(exec.cluster); err != nil {
+			return nil, fmt.Errorf("finalize: %w", err)
+		}
+		outcome.Fingerprints = exec.cluster.Fingerprints()
+		outcome.Converged = exec.cluster.Converged()
+	}
+	return outcome, nil
+}
+
+// executeWithRetry drives executeAttempt through the retry policy:
+// exponential backoff with seeded ±50% jitter, up to cfg.MaxRetries
+// retries, aborting early when ctx dies. It returns the outcome, the
+// number of attempts made, and the final error when every attempt failed.
+func executeWithRetry(ctx context.Context, exec *executor, s Scenario, cfg Config, il interleave.Interleaving, index int, jitter *rand.Rand) (*Outcome, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		outcome, err := executeAttempt(ctx, exec, s, cfg, il, index)
+		if err == nil {
+			return outcome, attempts, nil
+		}
+		if ctx.Err() != nil {
+			return nil, attempts, ctx.Err()
+		}
+		if attempts > cfg.MaxRetries {
+			return nil, attempts, err
+		}
+		backoff := cfg.RetryBackoff << (attempts - 1)
+		backoff = backoff/2 + time.Duration(jitter.Int63n(int64(backoff)+1))
+		select {
+		case <-ctx.Done():
+			return nil, attempts, ctx.Err()
+		case <-time.After(backoff):
+		}
+	}
+}
+
 // NewPrunedExplorer builds the ER-π explorer for a scenario (grouped
 // units + pruning filters), for callers that drive exploration themselves.
 func NewPrunedExplorer(s Scenario) (interleave.Explorer, error) {
@@ -358,7 +517,7 @@ func ExecuteOnce(s Scenario, il interleave.Interleaving) (*Outcome, error) {
 		return nil, err
 	}
 	exec := &executor{log: s.Log, cluster: cluster}
-	outcome, err := exec.execute(il, 1)
+	outcome, err := exec.execute(context.Background(), il, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +567,14 @@ func behaviorSignature(o *Outcome) string {
 	sort.Ints(failed)
 	for _, id := range failed {
 		fmt.Fprintf(&b, "f%d;", id)
+	}
+	dropped := make([]int, 0, len(o.DroppedSyncs))
+	for _, id := range o.DroppedSyncs {
+		dropped = append(dropped, int(id))
+	}
+	sort.Ints(dropped)
+	for _, id := range dropped {
+		fmt.Fprintf(&b, "d%d;", id)
 	}
 	return b.String()
 }

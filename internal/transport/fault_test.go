@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/er-pi/erpi/internal/event"
+)
+
+func TestNetworkSendHookDropsAndMutates(t *testing.T) {
+	n := NewNetwork(Config{Seed: 1})
+	n.SetFault(func(from, to event.ReplicaID, payload []byte) ([]byte, bool) {
+		if to == "B" {
+			return nil, true // sever everything toward B
+		}
+		return payload[:2], false // truncate the rest in flight
+	})
+	n.Send("A", "B", []byte("hello"))
+	n.Send("A", "C", []byte("hello"))
+	msgs, err := n.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("delivered %d messages; want 1", len(msgs))
+	}
+	if !bytes.Equal(msgs[0].Payload, []byte("he")) {
+		t.Fatalf("payload = %q; want truncated %q", msgs[0].Payload, "he")
+	}
+	delivered, dropped := n.Stats()
+	if delivered != 1 || dropped != 1 {
+		t.Fatalf("stats = (%d delivered, %d dropped); want (1, 1)", delivered, dropped)
+	}
+
+	// Clearing the hook restores normal delivery.
+	n.SetFault(nil)
+	n.Send("A", "B", []byte("again"))
+	msgs, err = n.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || !bytes.Equal(msgs[0].Payload, []byte("again")) {
+		t.Fatalf("after clearing hook: %v", msgs)
+	}
+}
+
+func TestTCPTransportSendHook(t *testing.T) {
+	a, err := NewTCPTransport("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPTransport("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("B", b.Addr())
+
+	drops := 0
+	a.SetFault(func(from, to event.ReplicaID, payload []byte) ([]byte, bool) {
+		if drops == 0 {
+			drops++
+			return nil, true
+		}
+		return payload[:3], false
+	})
+	// First send is dropped silently — Send still reports success.
+	if err := a.Send("B", []byte("lost-message")); err != nil {
+		t.Fatalf("dropped send must look successful, got %v", err)
+	}
+	if err := a.Send("B", []byte("truncate-me")); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-b.Notify():
+	case <-time.After(2 * time.Second):
+		t.Fatal("no message arrived")
+	}
+	msg, ok := b.Recv()
+	if !ok {
+		t.Fatal("inbox empty after notify")
+	}
+	if !bytes.Equal(msg.Payload, []byte("tru")) {
+		t.Fatalf("payload = %q; want truncated %q", msg.Payload, "tru")
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("dropped message was delivered")
+	}
+}

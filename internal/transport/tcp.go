@@ -24,6 +24,7 @@ type TCPTransport struct {
 	closed bool
 	wg     sync.WaitGroup
 	notify chan struct{}
+	hook   SendHook
 }
 
 // NewTCPTransport starts a listener for replica id on addr
@@ -100,13 +101,31 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
-// Send dials the destination replica and delivers one message.
+// SetFault installs (or, with nil, removes) a fault-injection hook applied
+// to every subsequent Send.
+func (t *TCPTransport) SetFault(h SendHook) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hook = h
+}
+
+// Send dials the destination replica and delivers one message. A fault
+// hook may mutate the payload or drop the message entirely (a drop is
+// silent, as on a lossy network: Send reports success).
 func (t *TCPTransport) Send(to event.ReplicaID, payload []byte) error {
 	t.mu.Lock()
 	addr, ok := t.peers[to]
+	hook := t.hook
 	t.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("transport: unknown peer %s", to)
+	}
+	if hook != nil {
+		out, drop := hook(t.id, to, payload)
+		if drop {
+			return nil
+		}
+		payload = out
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {

@@ -39,6 +39,12 @@ type Config struct {
 	DelayFactor map[event.ReplicaID]int
 }
 
+// SendHook is a fault-injection seam consulted on every outgoing message:
+// it may mutate the payload (e.g. truncate it in flight) or report drop to
+// discard the message as silently as a lossy link would. The fault package
+// installs its scheduled transport faults through this hook.
+type SendHook func(from, to event.ReplicaID, payload []byte) (out []byte, drop bool)
+
 // Network is a deterministic discrete-time simulated network. Send enqueues
 // a message with a seeded random delay; Tick advances time one step and
 // returns the messages due for delivery. Partitions block links until
@@ -53,6 +59,7 @@ type Network struct {
 	nextSeq     map[event.ReplicaID]uint64
 	dropped     int
 	delivered   int
+	hook        SendHook
 }
 
 type pendingMessage struct {
@@ -100,6 +107,14 @@ func (n *Network) Send(from, to event.ReplicaID, payload []byte) uint64 {
 	if n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb {
 		n.dropped++
 		return seq
+	}
+	if n.hook != nil {
+		out, drop := n.hook(from, to, payload)
+		if drop {
+			n.dropped++
+			return seq
+		}
+		payload = out
 	}
 	delay := n.cfg.MinDelay
 	if n.cfg.MaxDelay > n.cfg.MinDelay {
@@ -156,6 +171,14 @@ func (n *Network) Drain(maxTicks int) ([]Message, error) {
 		}
 	}
 	return out, fmt.Errorf("transport: %d messages still in flight after %d ticks", n.Pending(), maxTicks)
+}
+
+// SetFault installs (or, with nil, removes) a fault-injection hook applied
+// to every subsequent Send.
+func (n *Network) SetFault(h SendHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hook = h
 }
 
 // Partition severs the link between two replicas (both directions).
