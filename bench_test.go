@@ -9,6 +9,7 @@
 package erpi_test
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/er-pi/erpi/internal/bench"
@@ -190,6 +191,48 @@ func BenchmarkReplayInterleaving(b *testing.B) {
 		if _, err := runner.ExecuteOnce(scenario, il); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelExploration measures the sharded exploration engine's
+// throughput as the worker pool widens: the same DFS slice of Roshi-3's
+// 21-event space is replayed at Workers 1/2/4/8. Each sub-benchmark
+// reports interleavings/s, and the widened runs additionally report their
+// speedup over the sequential baseline (meaningful only on a multi-core
+// runner; on one core the pool degenerates to coordination overhead).
+func BenchmarkParallelExploration(b *testing.B) {
+	bug, ok := bugs.ByName("Roshi-3")
+	if !ok {
+		b.Fatal("Roshi-3 missing from the corpus")
+	}
+	scenario, err := bug.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const slice = 192 // DFS interleavings replayed per exploration
+	throughput := map[int]float64{}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := runner.Run(scenario, runner.Config{
+					Mode:             runner.ModeDFS,
+					Workers:          w,
+					MaxInterleavings: slice,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Explored != slice {
+					b.Fatalf("explored %d, want %d", res.Explored, slice)
+				}
+			}
+			ips := float64(b.N*slice) / b.Elapsed().Seconds()
+			b.ReportMetric(ips, "interleavings/s")
+			throughput[w] = ips
+			if base := throughput[1]; w > 1 && base > 0 {
+				b.ReportMetric(ips/base, "speedup-vs-seq")
+			}
+		})
 	}
 }
 

@@ -207,6 +207,15 @@ func WithMaxInterleavings(n int) Option {
 // WithSeed seeds ModeRand.
 func WithSeed(seed int64) Option { return func(s *Session) { s.cfg.Seed = seed } }
 
+// WithWorkers sets how many interleavings replay concurrently, each
+// against its own cluster from the session's factory (which must then be
+// safe for concurrent calls). Zero or negative means one worker per
+// available CPU; 1 forces the sequential engine. Exploration results are
+// identical at every worker count — only wall-clock time changes.
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.cfg.Workers = n }
+}
+
 // WithStopOnViolation ends exploration at the first violation.
 func WithStopOnViolation() Option {
 	return func(s *Session) { s.cfg.StopOnViolation = true }
@@ -353,6 +362,9 @@ func (s *Session) End(assertions ...Assertion) (*Result, error) {
 			return nil, fmt.Errorf("erpi: journal: %w", err)
 		}
 		cfg.Journal = dir
+		// The journal buffers appends; close it (flushing the tail) once
+		// the run is over, whatever the outcome.
+		defer dir.Close()
 	}
 	return runner.Run(Scenario{
 		Name:       s.name,

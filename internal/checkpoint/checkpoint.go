@@ -11,14 +11,29 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/er-pi/erpi/internal/event"
 	"github.com/er-pi/erpi/internal/interleave"
 )
 
-// Dir is an on-disk session directory.
+// journalSyncEvery is how many journal appends accumulate before the
+// buffered writer is flushed and fsynced. A crash loses at most this many
+// keys — each lost key only means that interleaving is re-explored, which
+// is always safe — while the amortized cost drops from one open+fsync per
+// interleaving to one fsync per batch.
+const journalSyncEvery = 64
+
+// Dir is an on-disk session directory. The progress journal is held open
+// across appends and buffered; call Flush to force durability at a point
+// in time and Close when done with the directory.
 type Dir struct {
 	path string
+
+	mu       sync.Mutex
+	journal  *os.File
+	buf      *bufio.Writer
+	unsynced int
 }
 
 // Open creates (if needed) and opens a session directory.
@@ -59,17 +74,70 @@ func (d *Dir) LoadLog() (*event.Log, error) {
 }
 
 // AppendExplored records an explored interleaving key in the progress
-// journal (append-only, one key per line).
+// journal (append-only, one key per line). Writes are buffered and synced
+// every journalSyncEvery appends; a torn or lost tail is tolerated by
+// LoadExplored's corrupt-line skipping.
 func (d *Dir) AppendExplored(il interleave.Interleaving) error {
-	f, err := os.OpenFile(filepath.Join(d.path, "explored.log"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("checkpoint: open journal: %w", err)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.journal == nil {
+		f, err := os.OpenFile(filepath.Join(d.path, "explored.log"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("checkpoint: open journal: %w", err)
+		}
+		d.journal = f
+		d.buf = bufio.NewWriter(f)
 	}
-	defer f.Close()
-	if _, err := fmt.Fprintln(f, il.Key()); err != nil {
+	if _, err := fmt.Fprintln(d.buf, il.Key()); err != nil {
 		return fmt.Errorf("checkpoint: append journal: %w", err)
 	}
-	return f.Sync()
+	d.unsynced++
+	if d.unsynced >= journalSyncEvery {
+		return d.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces buffered journal appends to stable storage.
+func (d *Dir) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flushLocked()
+}
+
+// Close flushes and closes the journal handle. The Dir stays usable: a
+// later append reopens the journal.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.journal == nil {
+		return nil
+	}
+	flushErr := d.flushLocked()
+	closeErr := d.journal.Close()
+	d.journal = nil
+	d.buf = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("checkpoint: close journal: %w", closeErr)
+	}
+	return nil
+}
+
+func (d *Dir) flushLocked() error {
+	if d.journal == nil {
+		return nil
+	}
+	if err := d.buf.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: flush journal: %w", err)
+	}
+	if err := d.journal.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync journal: %w", err)
+	}
+	d.unsynced = 0
+	return nil
 }
 
 // LoadExplored returns the set of explored interleaving keys. Lines that
@@ -78,6 +146,11 @@ func (d *Dir) AppendExplored(il interleave.Interleaving) error {
 // than poisoning the resume: a skipped key only means that interleaving is
 // re-explored, which is always safe.
 func (d *Dir) LoadExplored() (map[string]bool, error) {
+	// Make same-process appends visible: resume within one process (e.g.
+	// two sessions sharing a Dir) must see keys still in the write buffer.
+	if err := d.Flush(); err != nil {
+		return nil, err
+	}
 	out := make(map[string]bool)
 	f, err := os.Open(filepath.Join(d.path, "explored.log"))
 	if err != nil {

@@ -70,6 +70,83 @@ func TestExploredJournal(t *testing.T) {
 	}
 }
 
+// TestExploredJournalBuffering pins the persistent-handle journal: a
+// batch of appends below the sync threshold lives in the write buffer
+// (invisible to an external reader) until Flush or Close pushes it out,
+// while LoadExplored flushes implicitly so same-process resume never
+// misses buffered keys.
+func TestExploredJournalBuffering(t *testing.T) {
+	d := openDir(t)
+	if err := d.AppendExplored(interleave.Interleaving{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Below journalSyncEvery nothing is flushed yet: a second Dir over the
+	// same path (an external reader) sees an empty journal.
+	ext, err := Open(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, err := ext.LoadExplored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("buffered append already on disk: %v", seen)
+	}
+	// The writing Dir itself must see its own buffered appends.
+	own, err := d.LoadExplored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(own) != 1 || !own["0,1,2"] {
+		t.Fatalf("same-process resume missed buffered keys: %v", own)
+	}
+	// LoadExplored flushed, so the external reader now sees it too.
+	if seen, err = ext.LoadExplored(); err != nil || len(seen) != 1 {
+		t.Fatalf("post-flush external read: %v %v", seen, err)
+	}
+
+	// Crossing the sync threshold flushes without an explicit call.
+	for i := 0; i < journalSyncEvery; i++ {
+		if err := d.AppendExplored(interleave.Interleaving{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen, err = ext.LoadExplored(); err != nil || len(seen) != 1 {
+		t.Fatalf("batch sync did not reach disk: %d keys, %v", len(seen), err)
+	}
+
+	// Close flushes the tail and the Dir stays usable afterwards.
+	if err := d.AppendExplored(interleave.Interleaving{2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seen, err = ext.LoadExplored(); err != nil || len(seen) != 2 {
+		t.Fatalf("Close did not flush the tail: %v %v", seen, err)
+	}
+	if err := d.AppendExplored(interleave.Interleaving{1, 0, 2}); err != nil {
+		t.Fatalf("append after Close must reopen: %v", err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if seen, err = ext.LoadExplored(); err != nil || len(seen) != 3 {
+		t.Fatalf("reopened journal lost the append: %v %v", seen, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flush and Close on a closed Dir are no-ops.
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	d := openDir(t)
 	if err := d.SaveSnapshot("A", []byte("state-bytes")); err != nil {

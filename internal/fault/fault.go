@@ -22,11 +22,15 @@
 //   - TruncatePayload: a sync payload is cut to KeepBytes bytes in flight,
 //     modelling a torn message.
 //
-// The executor consults one Injector per run: Begin at each interleaving,
-// At before each event, Finish afterwards. With an empty Schedule every
-// query is a no-op, so a fault-free schedule is observationally identical
-// to running without an injector (a soundness property pinned by the
-// runner's tests).
+// The executor consults one Injector per executor: Begin at each
+// interleaving, At before each event, Finish afterwards. Arming — including
+// probabilistic arming — is a pure function of (schedule seed, exploration
+// index), never of the order in which interleavings are begun, so the
+// parallel exploration engine can hand every worker its own Injector built
+// from the same Schedule and the injected faults stay bit-identical to a
+// sequential run. With an empty Schedule every query is a no-op, so a
+// fault-free schedule is observationally identical to running without an
+// injector (a soundness property pinned by the runner's tests).
 package fault
 
 import (
@@ -199,7 +203,6 @@ func link(a, b event.ReplicaID) linkKey {
 type Injector struct {
 	mu    sync.Mutex
 	sched Schedule
-	rng   *rand.Rand
 
 	index int    // current 1-based interleaving index
 	pos   int    // last position handed to At
@@ -221,11 +224,26 @@ func NewInjector(sched Schedule) (*Injector, error) {
 	sched.Faults = faults
 	return &Injector{
 		sched:     sched,
-		rng:       rand.New(rand.NewSource(sched.Seed)),
 		armed:     make([]bool, len(sched.Faults)),
 		downUntil: make(map[event.ReplicaID]int),
 		healed:    make(map[int]bool),
 	}, nil
+}
+
+// armSeed mixes the schedule seed with an exploration index (splitmix64
+// finalizer) into the seed of that interleaving's arming stream. Keying the
+// stream by index — rather than drawing from one generator in Begin order —
+// makes arming independent of exploration order and of how many injector
+// clones exist, which is what keeps parallel workers bit-identical to the
+// sequential engine.
+func armSeed(seed int64, index int) int64 {
+	x := uint64(seed) ^ uint64(index)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
 // Bind forwards partition windows to a real transport. Pass nil to detach.
@@ -236,8 +254,10 @@ func (in *Injector) Bind(p Partitioner) {
 }
 
 // Begin arms the schedule for one interleaving (1-based exploration index).
-// Probabilistic faults are rolled here, so retries of the same interleaving
-// re-roll deterministically from the seeded stream.
+// Probabilistic faults are rolled from a stream keyed by (schedule seed,
+// index): arming depends only on the interleaving's index, so injector
+// clones on parallel workers arm identically and retries of the same
+// interleaving re-roll the same values.
 func (in *Injector) Begin(index int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -249,10 +269,14 @@ func (in *Injector) Begin(index int) {
 	for id := range in.healed {
 		delete(in.healed, id)
 	}
+	var rng *rand.Rand
 	for i, f := range in.sched.Faults {
 		armed := f.Interleaving == 0 || f.Interleaving == index
 		if armed && f.Prob > 0 && f.Prob < 1 {
-			armed = in.rng.Float64() < f.Prob
+			if rng == nil {
+				rng = rand.New(rand.NewSource(armSeed(in.sched.Seed, index)))
+			}
+			armed = rng.Float64() < f.Prob
 		}
 		in.armed[i] = armed
 	}

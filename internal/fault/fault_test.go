@@ -145,6 +145,62 @@ func TestProbabilisticArmingIsSeeded(t *testing.T) {
 	}
 }
 
+// TestProbabilisticArmingIsOrderIndependent pins the property the parallel
+// exploration engine depends on: arming for interleaving N is a pure
+// function of (schedule seed, N), not of which interleavings were begun
+// before it, so per-worker injector clones visiting indices in any order
+// arm exactly like a single sequential injector.
+func TestProbabilisticArmingIsOrderIndependent(t *testing.T) {
+	sched := Schedule{Seed: 12345, Faults: []Fault{
+		{Kind: LockOutage, At: 0, Duration: 100, Prob: 0.5},
+	}}
+	armedAt := func(in *Injector, index int) bool {
+		in.Begin(index)
+		in.At(0)
+		down := in.LockServerDown()
+		in.Finish()
+		return down
+	}
+
+	// Sequential reference: one injector visiting 1..32 in order.
+	seq, err := NewInjector(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]bool, 33)
+	for index := 1; index <= 32; index++ {
+		want[index] = armedAt(seq, index)
+	}
+
+	// A clone visiting the same indices in reverse, and another sampling
+	// only the odd ones, must agree everywhere they look.
+	rev, err := NewInjector(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for index := 32; index >= 1; index-- {
+		if got := armedAt(rev, index); got != want[index] {
+			t.Fatalf("index %d: reverse-order clone armed=%v, sequential=%v", index, got, want[index])
+		}
+	}
+	odd, err := NewInjector(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for index := 1; index <= 32; index += 2 {
+		if got := armedAt(odd, index); got != want[index] {
+			t.Fatalf("index %d: sparse clone armed=%v, sequential=%v", index, got, want[index])
+		}
+	}
+
+	// Retrying (re-Begin) the same index re-rolls the same arming.
+	for index := 1; index <= 32; index++ {
+		if got := armedAt(seq, index); got != want[index] {
+			t.Fatalf("index %d: retry re-rolled differently", index)
+		}
+	}
+}
+
 func TestPartitionWindowDrivesPartitioner(t *testing.T) {
 	in, err := NewInjector(Schedule{Faults: []Fault{
 		{Kind: Partition, A: "A", B: "B", At: 1, Duration: 1},

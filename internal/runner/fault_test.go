@@ -312,7 +312,10 @@ func TestRetrySucceedsAfterTransientFault(t *testing.T) {
 			"M": &flakyState{State: newLWWSetState("M"), failures: &failures},
 		}), nil
 	}
-	res, err := Run(s, Config{Mode: ModeERPi, RetryBackoff: 100 * time.Microsecond})
+	// Workers: 1 — the shared failure budget above makes the cluster
+	// factory unsafe for concurrent calls, and which execution trips the
+	// single failure must stay deterministic.
+	res, err := Run(s, Config{Mode: ModeERPi, Workers: 1, RetryBackoff: 100 * time.Microsecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,6 +116,44 @@ func TestJournalResumeSurvivesCorruptTail(t *testing.T) {
 	}
 }
 
+// TestJournalResumeHonorsSessionCap pins the session-wide cap semantics:
+// interleavings resumed from the journal count toward MaxInterleavings,
+// so a killed-and-resumed exploration never executes more than the cap in
+// total (the old engine granted each resume a fresh budget).
+func TestJournalResumeHonorsSessionCap(t *testing.T) {
+	s := townReportScenario(t)
+	dir, err := checkpoint.Open(filepath.Join(t.TempDir(), "session"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := Run(s, Config{Mode: ModeERPi, MaxInterleavings: 7, Journal: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Explored != 7 {
+		t.Fatalf("first run explored %d, want 7", first.Explored)
+	}
+
+	// Raising the cap to 10 grants the resume only the 3 remaining.
+	second, err := Run(s, Config{Mode: ModeERPi, MaxInterleavings: 10, Journal: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Resumed != 7 || second.Explored != 3 {
+		t.Fatalf("second run resumed=%d explored=%d, want 7/3", second.Resumed, second.Explored)
+	}
+
+	// A cap at or below what the journal already holds leaves nothing.
+	third, err := Run(s, Config{Mode: ModeERPi, MaxInterleavings: 7, Journal: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Resumed != 10 || third.Explored != 0 {
+		t.Fatalf("third run resumed=%d explored=%d, want 10/0", third.Resumed, third.Explored)
+	}
+}
+
 // TestConstraintRepruningShrinksExploration verifies the §5.2 runtime
 // constraint path end to end: constraints appearing mid-run regenerate the
 // explorer, and the merged pruning shrinks the total exploration below the

@@ -1,0 +1,414 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/datalog"
+	"github.com/er-pi/erpi/internal/fault"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/prune"
+)
+
+// This file is the parallel exploration engine. Exploration of an
+// interleaving space parallelizes cleanly because every interleaving
+// executes against a private cluster that is reset to the pristine
+// checkpoint first: executing interleaving N is a pure function of
+// (event log, interleaving, fault schedule, exploration index), never of
+// what ran before it on the same worker.
+//
+// Topology: the coordinator (the caller's goroutine) owns the explorer,
+// the dedup set, the journal, the datalog store, and the Result; workers
+// own a private cluster, executor, and fault-injector clone each.
+// Interleavings are pulled from the explorer in its native order, tagged
+// with a stable 1-based index at assignment time, and dispatched over an
+// unbuffered channel; results return on a buffered channel and are parked
+// in a reorder buffer until every lower index has been processed.
+//
+// Deterministic regardless of worker count (identical to Workers == 1):
+//   - which interleavings execute, their indices, and the journal order;
+//   - Outcome delivery order to OnOutcome and to assertions (stateful
+//     assertions see the exact sequential history);
+//   - Violations, Quarantined, FirstViolation, and — on a completed or
+//     StopOnViolation run — Explored;
+//   - probabilistic fault arming (keyed by index, not by execution order).
+//
+// Best-effort (may differ from a sequential run):
+//   - Duration, and retry-backoff jitter timing (per-worker generators);
+//   - on StopOnViolation, work past the violating index may already have
+//     executed; its results are discarded, but journal/store entries for
+//     those indices remain (safe over-approximations: a journal key only
+//     suppresses re-execution on resume, and store facts are monotone);
+//   - on interruption, Explored counts results processed in order before
+//     the cancellation was observed, while the explorer may have been
+//     pulled further ahead (ModeRand's RandShuffles reflects that
+//     ahead-pulling).
+//
+// ConstraintPoll re-pruning quiesces the pool: the poll boundary index is
+// dispatched, the coordinator drains every in-flight execution and
+// processes all results, and only then polls and (maybe) regenerates the
+// explorer — a barrier, matching the sequential engine's poll points
+// exactly at the cost of a bubble in the pipeline every PollEvery
+// interleavings.
+type pool struct {
+	ctx      context.Context
+	s        Scenario
+	cfg      Config
+	res      *Result
+	explorer interleave.Explorer
+	explored *exploredSet
+	pruning  prune.Config
+	maxNew   int
+
+	workCh  chan workItem
+	resCh   chan workResult
+	fatalCh chan error
+
+	// Coordinator-only state (no locking: single goroutine).
+	assigned int                // indices handed out; the highest index that exists
+	nextProc int                // next index to process in order
+	pending  map[int]workResult // reorder buffer: arrived, not yet processed
+	inflight int                // dispatched and not yet returned
+	next     *workItem          // pulled from the explorer, not yet dispatched
+	noMore   bool               // no further assignment (cap/exhausted/crash/halt)
+	halted   bool               // stop processing too; drain and discard (stop/interrupt)
+	stopViol bool               // halted by StopOnViolation
+	pollWait bool               // quiescing for a ConstraintPoll boundary
+	pollIdx  int                // the boundary index being drained
+	pollSkip bool               // boundary index quarantined: skip this poll
+}
+
+// workItem is one interleaving dispatched to a worker, tagged with the
+// stable exploration index assigned by the coordinator.
+type workItem struct {
+	index int
+	il    interleave.Interleaving
+}
+
+// workResult is one executed interleaving flowing back to the coordinator.
+type workResult struct {
+	index    int
+	il       interleave.Interleaving
+	outcome  *Outcome
+	attempts int
+	err      error
+}
+
+// runParallel explores the scenario with a pool of workers, writing into
+// res exactly what the sequential engine would have produced (see the
+// guarantees above).
+func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew, workers int) error {
+	wctx, cancelWorkers := context.WithCancel(ctx)
+	defer cancelWorkers()
+	p := &pool{
+		ctx:      ctx,
+		s:        s,
+		cfg:      cfg,
+		res:      res,
+		explorer: explorer,
+		explored: explored,
+		pruning:  pruning,
+		maxNew:   maxNew,
+		workCh:   make(chan workItem),
+		// resCh and fatalCh hold one slot per worker, so workers always
+		// send without blocking (each worker has at most one outstanding
+		// result) and shutdown can never deadlock.
+		resCh:    make(chan workResult, workers),
+		fatalCh:  make(chan error, workers),
+		pending:  make(map[int]workResult),
+		nextProc: 1,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.worker(wctx, w)
+		}(w)
+	}
+	err := p.coordinate()
+	// Shut the pool down on every exit path: cancel in-flight executions,
+	// unblock workers waiting for work, and wait for them to finish. The
+	// buffered result channel absorbs any final sends.
+	cancelWorkers()
+	close(p.workCh)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	p.finalize()
+	return nil
+}
+
+// worker builds its private execution environment and runs interleavings
+// until the work channel closes. Setup failures are fatal for the whole
+// run (mirroring the sequential engine's cluster-setup error), execution
+// failures are per-interleaving results.
+func (p *pool) worker(ctx context.Context, w int) {
+	var inj *fault.Injector
+	if p.cfg.Faults != nil {
+		var err error
+		inj, err = fault.NewInjector(*p.cfg.Faults)
+		if err != nil {
+			p.fatalCh <- fmt.Errorf("runner: %w", err)
+			return
+		}
+	}
+	cluster, err := p.s.NewCluster()
+	if err != nil {
+		p.fatalCh <- fmt.Errorf("runner: cluster setup: %w", err)
+		return
+	}
+	if err := cluster.Checkpoint(); err != nil {
+		p.fatalCh <- err
+		return
+	}
+	exec := &executor{log: p.s.Log, cluster: cluster, inj: inj}
+	// Per-worker jitter generator: retry timing varies across workers
+	// (contended state would serialize them), but which interleavings run
+	// and what they compute never depends on it.
+	jitter := rand.New(rand.NewSource(p.cfg.Seed ^ 0x5deece66d ^ int64(w+1)<<32))
+	for item := range p.workCh {
+		outcome, attempts, err := executeWithRetry(ctx, exec, p.s, p.cfg, item.il, item.index, jitter)
+		p.resCh <- workResult{index: item.index, il: item.il, outcome: outcome, attempts: attempts, err: err}
+	}
+}
+
+// coordinate is the producer + aggregator loop.
+func (p *pool) coordinate() error {
+	for {
+		if !p.noMore && !p.pollWait && p.next == nil {
+			if err := p.pull(); err != nil {
+				return err
+			}
+		}
+		if p.pollWait && p.inflight == 0 && p.nextProc > p.assigned {
+			// Quiesced: everything assigned is executed and processed.
+			if err := p.poll(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.next == nil && p.inflight == 0 {
+			return nil // nothing to dispatch, nothing in flight: done
+		}
+		if p.next != nil {
+			select {
+			case p.workCh <- *p.next:
+				p.dispatched()
+			case r := <-p.resCh:
+				p.receive(r)
+			case err := <-p.fatalCh:
+				return err
+			}
+		} else {
+			select {
+			case r := <-p.resCh:
+				p.receive(r)
+			case err := <-p.fatalCh:
+				return err
+			}
+		}
+	}
+}
+
+// pull advances the explorer to the next fresh interleaving, assigns its
+// index, and journals/records it — the exact sequential prologue of one
+// loop iteration. It either sets p.next or stops assignment.
+func (p *pool) pull() error {
+	for {
+		if p.assigned >= p.maxNew {
+			p.noMore = true
+			return nil
+		}
+		if err := p.ctx.Err(); err != nil {
+			p.res.Interrupted = true
+			p.res.InterruptErr = err
+			p.stop()
+			return nil
+		}
+		il, ok := p.explorer.Next()
+		if !ok {
+			p.res.Exhausted = true
+			p.noMore = true
+			return nil
+		}
+		key := il.Key()
+		if p.explored.Has(key) {
+			continue // journal resume, or re-pruning regenerated the explorer
+		}
+		p.explored.Add(key)
+		p.assigned++
+		if p.cfg.Journal != nil {
+			if err := p.cfg.Journal.AppendExplored(il); err != nil {
+				return err
+			}
+		}
+		if p.cfg.Store != nil {
+			if err := p.cfg.Store.Record(il); err != nil {
+				if errors.Is(err, datalog.ErrBudgetExhausted) {
+					// The crashing index counts as explored but never
+					// executes, like the sequential engine's break.
+					p.res.Crashed = true
+					p.res.CrashErr = err
+					p.noMore = true
+					return nil
+				}
+				return err
+			}
+		}
+		p.next = &workItem{index: p.assigned, il: il}
+		return nil
+	}
+}
+
+// dispatched notes that p.next went out and arms the poll barrier when
+// the index is a poll boundary.
+func (p *pool) dispatched() {
+	index := p.next.index
+	p.next = nil
+	p.inflight++
+	if p.cfg.ConstraintPoll != nil && p.cfg.Mode == ModeERPi && index%p.cfg.PollEvery == 0 {
+		p.pollWait = true
+		p.pollIdx = index
+	}
+}
+
+// receive parks a result in the reorder buffer and processes every result
+// that is now next in index order.
+func (p *pool) receive(r workResult) {
+	p.inflight--
+	p.pending[r.index] = r
+	for !p.halted {
+		// Observing the context's death here is the parallel analog of the
+		// sequential loop-top check: results already processed stand,
+		// later ones are discarded.
+		if err := p.ctx.Err(); err != nil {
+			p.res.Interrupted = true
+			p.res.InterruptErr = err
+			p.stop()
+			return
+		}
+		next, ok := p.pending[p.nextProc]
+		if !ok {
+			return
+		}
+		delete(p.pending, p.nextProc)
+		p.nextProc++
+		p.process(next)
+	}
+}
+
+// process handles one result in index order: quarantine, outcome hooks,
+// assertions, and the stop-on-violation decision. It runs only on the
+// coordinator, so stateful assertions and OnOutcome observers need no
+// locking and see outcomes in exactly the sequential order.
+func (p *pool) process(r workResult) {
+	if r.err != nil {
+		if p.ctx.Err() != nil {
+			// The execution died with the run's context: interruption,
+			// not a quarantine.
+			p.res.Interrupted = true
+			p.res.InterruptErr = p.ctx.Err()
+			p.stop()
+			return
+		}
+		if p.pollWait && r.index == p.pollIdx {
+			// The sequential engine skips the poll when the boundary
+			// interleaving is quarantined (its `continue` jumps the poll).
+			p.pollSkip = true
+		}
+		p.res.Quarantined = append(p.res.Quarantined, ExecError{
+			Index:        r.index,
+			Interleaving: r.il,
+			Attempts:     r.attempts,
+			Err:          r.err,
+		})
+		return
+	}
+	if p.cfg.OnOutcome != nil {
+		p.cfg.OnOutcome(r.outcome)
+	}
+	if fb, ok := p.explorer.(feedbackExplorer); ok {
+		fb.Report(behaviorSignature(r.outcome))
+	}
+	violated := false
+	for _, a := range p.cfg.Assertions {
+		if err := a.Check(r.outcome); err != nil {
+			p.res.Violations = append(p.res.Violations, Violation{
+				Index:        r.index,
+				Interleaving: r.il,
+				Assertion:    a.Name(),
+				Err:          err,
+			})
+			violated = true
+		}
+	}
+	if violated && p.res.FirstViolation == 0 {
+		p.res.FirstViolation = r.index
+	}
+	if violated && p.cfg.StopOnViolation {
+		p.stopViol = true
+		p.stop()
+	}
+}
+
+// stop halts assignment and processing; in-flight work is drained and
+// discarded.
+func (p *pool) stop() {
+	p.noMore = true
+	p.halted = true
+	p.next = nil
+	p.pollWait = false
+}
+
+// poll runs the quiesced ConstraintPoll and regenerates the explorer over
+// the merged pruning config when new constraints arrived. Interleavings
+// the regenerated explorer re-yields are skipped by the dedup set, as in
+// the sequential engine.
+func (p *pool) poll() error {
+	p.pollWait = false
+	if p.pollSkip {
+		p.pollSkip = false
+		return nil
+	}
+	extra, found, err := p.cfg.ConstraintPoll()
+	if err != nil {
+		return fmt.Errorf("runner: constraints: %w", err)
+	}
+	if found {
+		p.pruning.Merge(extra)
+		explorer, err := newExplorer(p.s, p.cfg, p.pruning)
+		if err != nil {
+			return fmt.Errorf("runner: re-pruning: %w", err)
+		}
+		p.explorer = explorer
+	}
+	return nil
+}
+
+// finalize settles the Result's accounting to match the sequential
+// engine's view of the same run.
+func (p *pool) finalize() {
+	res := p.res
+	switch {
+	case p.stopViol:
+		// The sequential engine never looks past the first violation:
+		// truncate to its horizon and drop flags that only later
+		// (discarded) work could have set.
+		res.Explored = res.FirstViolation
+		res.Exhausted = false
+		res.Crashed = false
+		res.CrashErr = nil
+	case res.Interrupted:
+		res.Explored = p.nextProc - 1 // results processed in order
+	default:
+		res.Explored = p.assigned
+	}
+	if r, ok := p.explorer.(*interleave.RandExplorer); ok {
+		res.RandShuffles = r.Shuffles()
+	}
+}

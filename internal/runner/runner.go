@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -145,10 +146,21 @@ type Config struct {
 	Mode Mode
 	// MaxInterleavings caps exploration (default 10000, the paper's
 	// termination threshold). Zero means the default; negative means
-	// unbounded.
+	// unbounded. The cap is session-wide: interleavings resumed from a
+	// Journal count toward it, so a killed-and-resumed exploration never
+	// executes more than MaxInterleavings in total.
 	MaxInterleavings int
 	// Seed drives ModeRand.
 	Seed int64
+	// Workers is how many interleavings execute concurrently, each against
+	// its own replica cluster built from Scenario.NewCluster (which must
+	// therefore be safe for concurrent calls when Workers > 1). Zero or
+	// negative means runtime.GOMAXPROCS(0); 1 forces the sequential
+	// engine. Exploration order, violation sets, and FirstViolation are
+	// identical at every worker count — see pool.go for the ordering
+	// guarantees. ModeFuzz is inherently sequential (its corpus feedback
+	// loop is order-dependent) and always runs with one worker.
+	Workers int
 	// StopOnViolation ends exploration at the first assertion failure —
 	// the bug-reproduction configuration of §6.3.
 	StopOnViolation bool
@@ -239,6 +251,11 @@ type Result struct {
 	Interrupted bool
 	// InterruptErr holds the context error when Interrupted.
 	InterruptErr error
+	// DedupSaturated reports that the in-memory dedup set hit
+	// Config.MaxExploredKeys and degraded to best-effort: beyond that
+	// point an interleaving may have been executed (and counted) more
+	// than once.
+	DedupSaturated bool
 }
 
 // ExecError records one quarantined interleaving: an event order whose
@@ -292,33 +309,31 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = time.Millisecond
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Mode == ModeFuzz {
+		// The fuzzer's corpus feedback loop is order-dependent: which
+		// mutants get generated depends on the signature of every prior
+		// execution, so it runs sequentially regardless of Workers.
+		workers = 1
+	}
 	if s.Log == nil || s.Log.Len() == 0 {
 		return nil, errors.New("runner: scenario has no events")
 	}
 	if s.NewCluster == nil {
 		return nil, errors.New("runner: scenario has no cluster factory")
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("runner: %w", err)
+		}
+	}
 	if cfg.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
 		defer cancel()
-	}
-	var inj *fault.Injector
-	if cfg.Faults != nil {
-		var err error
-		inj, err = fault.NewInjector(*cfg.Faults)
-		if err != nil {
-			return nil, fmt.Errorf("runner: %w", err)
-		}
-	}
-
-	cluster, err := s.NewCluster()
-	if err != nil {
-		return nil, fmt.Errorf("runner: cluster setup: %w", err)
-	}
-	// Checkpoint the pristine states once; reset before each interleaving.
-	if err := cluster.Checkpoint(); err != nil {
-		return nil, err
 	}
 
 	pruning := s.Pruning
@@ -328,10 +343,6 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Scenario: s.Name, Mode: cfg.Mode}
-	exec := &executor{log: s.Log, cluster: cluster, inj: inj}
-	// Retry jitter comes from a seeded generator so chaotic runs stay
-	// reproducible end to end.
-	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
 	explored := newExploredSet(cfg.MaxExploredKeys)
 	if cfg.Journal != nil {
 		if err := cfg.Journal.SaveLog(s.Log); err != nil {
@@ -346,8 +357,57 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 		}
 		res.Resumed = len(prior)
 	}
+	// The cap is session-wide: what the journal already holds counts
+	// toward it, and this run only gets the remainder.
+	maxNew := maxIL - res.Resumed
+	if maxNew < 0 {
+		maxNew = 0
+	}
 
-	for res.Explored < maxIL {
+	if workers > 1 {
+		err = runParallel(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers)
+	} else {
+		err = runSequential(ctx, s, cfg, res, explorer, explored, pruning, maxNew)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.DedupSaturated = explored.Saturated()
+	if cfg.Journal != nil {
+		if err := cfg.Journal.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// runSequential is the one-worker engine: a single cluster and executor
+// driven directly by the explorer. With Workers == 1 this is the exact
+// pre-parallel code path.
+func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew int) error {
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		var err error
+		inj, err = fault.NewInjector(*cfg.Faults)
+		if err != nil {
+			return fmt.Errorf("runner: %w", err)
+		}
+	}
+	cluster, err := s.NewCluster()
+	if err != nil {
+		return fmt.Errorf("runner: cluster setup: %w", err)
+	}
+	// Checkpoint the pristine states once; reset before each interleaving.
+	if err := cluster.Checkpoint(); err != nil {
+		return err
+	}
+	exec := &executor{log: s.Log, cluster: cluster, inj: inj}
+	// Retry jitter comes from a seeded generator so chaotic runs stay
+	// reproducible end to end.
+	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
+
+	for res.Explored < maxNew {
 		if err := ctx.Err(); err != nil {
 			res.Interrupted = true
 			res.InterruptErr = err
@@ -366,7 +426,7 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 		res.Explored++
 		if cfg.Journal != nil {
 			if err := cfg.Journal.AppendExplored(il); err != nil {
-				return nil, err
+				return err
 			}
 		}
 
@@ -377,7 +437,7 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 					res.CrashErr = err
 					break
 				}
-				return nil, err
+				return err
 			}
 		}
 
@@ -426,13 +486,13 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 		if cfg.ConstraintPoll != nil && cfg.Mode == ModeERPi && res.Explored%cfg.PollEvery == 0 {
 			extra, found, err := cfg.ConstraintPoll()
 			if err != nil {
-				return nil, fmt.Errorf("runner: constraints: %w", err)
+				return fmt.Errorf("runner: constraints: %w", err)
 			}
 			if found {
 				pruning.Merge(extra)
 				explorer, err = newExplorer(s, cfg, pruning)
 				if err != nil {
-					return nil, fmt.Errorf("runner: re-pruning: %w", err)
+					return fmt.Errorf("runner: re-pruning: %w", err)
 				}
 			}
 		}
@@ -440,8 +500,7 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	if r, ok := explorer.(*interleave.RandExplorer); ok {
 		res.RandShuffles = r.Shuffles()
 	}
-	res.Duration = time.Since(start)
-	return res, nil
+	return nil
 }
 
 // executeAttempt performs one execution attempt: reset the cluster, run
@@ -489,14 +548,36 @@ func executeWithRetry(ctx context.Context, exec *executor, s Scenario, cfg Confi
 		if attempts > cfg.MaxRetries {
 			return nil, attempts, err
 		}
-		backoff := cfg.RetryBackoff << (attempts - 1)
-		backoff = backoff/2 + time.Duration(jitter.Int63n(int64(backoff)+1))
 		select {
 		case <-ctx.Done():
 			return nil, attempts, ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(retryDelay(cfg.RetryBackoff, attempts, jitter)):
 		}
 	}
+}
+
+// maxRetryBackoff caps the exponential retry backoff. Without it, doubling
+// the base per attempt overflows time.Duration after ~63 shifts (sooner
+// with large bases), producing a negative delay that panics the jitter
+// draw.
+const maxRetryBackoff = 30 * time.Second
+
+// retryDelay computes the sleep before retry number `attempt` (1-based):
+// exponential backoff from base, clamped to maxRetryBackoff, with seeded
+// ±50% jitter.
+func retryDelay(base time.Duration, attempt int, jitter *rand.Rand) time.Duration {
+	backoff := base
+	for i := 1; i < attempt; i++ {
+		if backoff >= maxRetryBackoff/2 {
+			backoff = maxRetryBackoff
+			break
+		}
+		backoff <<= 1
+	}
+	if backoff > maxRetryBackoff {
+		backoff = maxRetryBackoff
+	}
+	return backoff/2 + time.Duration(jitter.Int63n(int64(backoff)+1))
 }
 
 // NewPrunedExplorer builds the ER-π explorer for a scenario (grouped

@@ -3,8 +3,10 @@ package runner
 import (
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/er-pi/erpi/internal/crdt"
 	"github.com/er-pi/erpi/internal/datalog"
@@ -243,6 +245,54 @@ func TestRunValidation(t *testing.T) {
 	s2.NewCluster = nil
 	if _, err := Run(s2, Config{}); err == nil {
 		t.Fatal("missing cluster factory must be rejected")
+	}
+}
+
+// TestRetryBackoffDoesNotOverflow is the MaxRetries: 100 regression: the
+// old `RetryBackoff << (attempts-1)` overflowed to a negative Duration
+// around 63 doublings (far sooner for millisecond-scale bases), and the
+// negative bound made the jitter draw panic. The delay must stay positive
+// and capped for every attempt number a MaxRetries: 100 run can reach.
+func TestRetryBackoffDoesNotOverflow(t *testing.T) {
+	jitter := rand.New(rand.NewSource(1))
+	for _, base := range []time.Duration{time.Millisecond, time.Second, time.Minute} {
+		for attempt := 1; attempt <= 101; attempt++ {
+			d := retryDelay(base, attempt, jitter)
+			if d <= 0 {
+				t.Fatalf("base %v attempt %d: non-positive delay %v", base, attempt, d)
+			}
+			if max := maxRetryBackoff + maxRetryBackoff/2; d > max {
+				t.Fatalf("base %v attempt %d: delay %v beyond the jittered cap %v", base, attempt, d, max)
+			}
+		}
+	}
+	// The first few doublings below the cap keep the original schedule.
+	noJitter := rand.New(rand.NewSource(1))
+	for attempt, want := range map[int]time.Duration{1: time.Millisecond, 4: 8 * time.Millisecond} {
+		got := retryDelay(time.Millisecond, attempt, noJitter)
+		if got < want/2 || got > want+want/2 {
+			t.Fatalf("attempt %d: delay %v outside ±50%% of %v", attempt, got, want)
+		}
+	}
+}
+
+// TestDedupSaturationSurfaces: a run whose dedup set hits its cap must
+// say so in the Result instead of silently degrading.
+func TestDedupSaturationSurfaces(t *testing.T) {
+	s := townReportScenario(t)
+	saturated, err := Run(s, Config{Mode: ModeRand, Seed: 7, MaxInterleavings: 30, MaxExploredKeys: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !saturated.DedupSaturated {
+		t.Fatal("a run past MaxExploredKeys must report DedupSaturated")
+	}
+	clean, err := Run(s, Config{Mode: ModeRand, Seed: 7, MaxInterleavings: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.DedupSaturated {
+		t.Fatal("an unsaturated run must not report DedupSaturated")
 	}
 }
 
