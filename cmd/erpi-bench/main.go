@@ -7,6 +7,7 @@
 //	erpi-bench -fig8          # Figure 8a+8b: interleavings & time per bug/mode
 //	erpi-bench -fig9          # Figure 9: per-algorithm pruning contribution
 //	erpi-bench -fig10         # Figure 10: succeed-or-crash micro-benchmark
+//	erpi-bench -pool          # pool throughput sweep -> BENCH_pool.json
 package main
 
 import (
@@ -23,21 +24,24 @@ func main() {
 
 func run() int {
 	var (
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		table1 = flag.Bool("table1", false, "Table 1: bug benchmarks")
-		table2 = flag.Bool("table2", false, "Table 2: misconception detection")
-		fig8   = flag.Bool("fig8", false, "Figure 8a/8b: reproduction cost per bug and mode")
-		fig9   = flag.Bool("fig9", false, "Figure 9: pruning ablation")
-		fig10  = flag.Bool("fig10", false, "Figure 10: succeed-or-crash")
-		fuzzx  = flag.Bool("fuzzext", false, "extension: fuzzing vs Rand on the Rand-hard bugs")
-		cap    = flag.Int("cap", bench.Cap, "exploration cap (Figure 8)")
-		seed   = flag.Int64("seed", 1, "seed for the Rand baseline and sampling")
-		runs   = flag.Int("runs", 5, "runs per mode (Figure 10)")
-		budget = flag.Int("budget", bench.DefaultFig10Budget, "store fact budget (Figure 10)")
-		sample = flag.Int("sample", 20000, "sampling size for Figure 9 estimates")
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		table1  = flag.Bool("table1", false, "Table 1: bug benchmarks")
+		table2  = flag.Bool("table2", false, "Table 2: misconception detection")
+		fig8    = flag.Bool("fig8", false, "Figure 8a/8b: reproduction cost per bug and mode")
+		fig9    = flag.Bool("fig9", false, "Figure 9: pruning ablation")
+		fig10   = flag.Bool("fig10", false, "Figure 10: succeed-or-crash")
+		fuzzx   = flag.Bool("fuzzext", false, "extension: fuzzing vs Rand on the Rand-hard bugs")
+		cap     = flag.Int("cap", bench.Cap, "exploration cap (Figure 8)")
+		seed    = flag.Int64("seed", 1, "seed for the Rand baseline and sampling")
+		runs    = flag.Int("runs", 5, "runs per mode (Figure 10)")
+		budget  = flag.Int("budget", bench.DefaultFig10Budget, "store fact budget (Figure 10)")
+		sample  = flag.Int("sample", 20000, "sampling size for Figure 9 estimates")
+		pool    = flag.Bool("pool", false, "pool throughput sweep over worker counts")
+		poolN   = flag.Int("pool-slice", bench.DefaultPoolSlice, "interleavings per pool run")
+		poolOut = flag.String("pool-out", "BENCH_pool.json", "machine-readable pool report path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool {
 		flag.Usage()
 		return 2
 	}
@@ -91,6 +95,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Println()
+	}
+	if *all || *pool {
+		report, err := bench.RunPool(*poolN, nil)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WritePoolJSON(*poolOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *poolOut)
 	}
 	if *all || *fuzzx {
 		rows, err := bench.RunFuzzExt(3, *cap)

@@ -16,6 +16,7 @@ import (
 	"github.com/er-pi/erpi/internal/checkpoint"
 	"github.com/er-pi/erpi/internal/miscon"
 	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +33,9 @@ func run() int {
 		capN       = flag.Int("cap", runner.DefaultMaxInterleavings, "max interleavings to explore")
 		verbose    = flag.Bool("v", false, "print every violation, not just the first")
 		session    = flag.String("session", "", "journal directory: persist progress and resume interrupted runs")
+		workers    = flag.Int("workers", 1, "concurrent executors (0 = one per CPU); results are identical at every count")
+		statusAddr = flag.String("status-addr", "", "serve live progress, metrics, pprof, and a Chrome trace on this host:port")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file after the run (open in about://tracing)")
 	)
 	flag.Parse()
 
@@ -99,6 +103,7 @@ func run() int {
 		Mode:             runner.Mode(*mode),
 		Seed:             *seed,
 		MaxInterleavings: *capN,
+		Workers:          *workers,
 		StopOnViolation:  !*verbose,
 		Assertions:       asserts,
 	}
@@ -109,6 +114,17 @@ func run() int {
 		}
 		cfg.Journal = dir
 	}
+	if *statusAddr != "" || *traceOut != "" {
+		cfg.Telemetry = telemetry.New()
+	}
+	if *statusAddr != "" {
+		srv, err := telemetry.NewStatusServer(*statusAddr, cfg.Telemetry)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("status: http://%s/progress (metrics, trace, debug/vars, debug/pprof)\n", srv.Addr())
+	}
 	res, err := runner.Run(scenario, cfg)
 	if err != nil {
 		return fail(err)
@@ -118,6 +134,26 @@ func run() int {
 		label, scenario.Log.Len(), res.Mode, res.Explored, res.Duration.Round(1000))
 	if res.Resumed > 0 {
 		fmt.Printf("resumed past %d journaled interleavings\n", res.Resumed)
+	}
+	if len(res.Quarantined) > 0 {
+		fmt.Printf("quarantined %d interleavings (kept failing after retries)\n", len(res.Quarantined))
+		if *verbose {
+			for _, q := range res.Quarantined {
+				fmt.Println(" ", q)
+			}
+		}
+	}
+	if res.DedupSaturated {
+		fmt.Println("warning: dedup set saturated; some interleavings may have run twice")
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, cfg.Telemetry); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("trace: %s\n", *traceOut)
+	}
+	if cfg.Telemetry != nil {
+		fmt.Print(cfg.Telemetry.Snapshot().Summary())
 	}
 	if res.FirstViolation > 0 {
 		fmt.Printf("REPRODUCED at interleaving #%d\n", res.FirstViolation)
@@ -132,4 +168,18 @@ func run() int {
 	}
 	fmt.Printf("not reproduced within %d interleavings (exhausted=%v)\n", *capN, res.Exhausted)
 	return 3
+}
+
+// writeTrace dumps the registry's retained spans as Chrome trace_event
+// JSON at path.
+func writeTrace(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

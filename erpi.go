@@ -42,6 +42,7 @@ import (
 	"github.com/er-pi/erpi/internal/prune"
 	"github.com/er-pi/erpi/internal/replica"
 	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // Core type aliases: the public API surfaces the internal engine types
@@ -171,6 +172,38 @@ func NewProfiler() *Profiler { return profile.New() }
 // WithProfiler hooks a profiler into the session's exploration.
 func WithProfiler(p *Profiler) Option {
 	return func(s *Session) { s.cfg.OnOutcome = p.OnOutcome }
+}
+
+// Telemetry is the engine-wide metrics registry: atomic counters, gauges,
+// latency histograms, live run progress, and per-stage spans exportable as
+// a Chrome trace (load it in about://tracing or https://ui.perfetto.dev).
+// Attach one with WithTelemetry; it is strictly observational — exploration
+// results are identical with or without it.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// StatusServer serves a run's live observability surface over HTTP: a JSON
+// progress snapshot at /progress (explored/total, rate, ETA, per-worker
+// state), the registry at /metrics, a Chrome trace at /trace, expvar at
+// /debug/vars, and net/http/pprof under /debug/pprof/.
+type StatusServer = telemetry.StatusServer
+
+// WithTelemetry attaches a metrics registry to the session's exploration:
+// the engine records counters, stage-latency histograms, spans, and live
+// progress into it.
+func WithTelemetry(reg *Telemetry) Option {
+	return func(s *Session) { s.cfg.Telemetry = reg }
+}
+
+// WithStatusServer starts an HTTP status server on addr (host:port; port 0
+// picks a free port) when the session starts, serving the session's
+// telemetry registry — the one given to WithTelemetry, or a fresh registry
+// otherwise. The server outlives End so the final state stays inspectable;
+// close it via Session.Status().Close(). Listen errors surface from Start.
+func WithStatusServer(addr string) Option {
+	return func(s *Session) { s.statusAddr = addr }
 }
 
 // NewCluster builds a replica cluster from per-replica states.
@@ -313,6 +346,8 @@ type Session struct {
 	cfg        RunConfig
 	journalDir string
 	rec        *Recorder
+	statusAddr string
+	status     *StatusServer
 }
 
 // NewSession prepares a session over a cluster factory. The factory is
@@ -335,6 +370,16 @@ func (s *Session) Start() (*Recorder, error) {
 	if s.rec != nil {
 		return nil, fmt.Errorf("erpi: session already started")
 	}
+	if s.statusAddr != "" && s.status == nil {
+		if s.cfg.Telemetry == nil {
+			s.cfg.Telemetry = telemetry.New()
+		}
+		srv, err := telemetry.NewStatusServer(s.statusAddr, s.cfg.Telemetry)
+		if err != nil {
+			return nil, fmt.Errorf("erpi: %w", err)
+		}
+		s.status = srv
+	}
 	cluster, err := s.newCluster()
 	if err != nil {
 		return nil, fmt.Errorf("erpi: recording cluster: %w", err)
@@ -342,6 +387,16 @@ func (s *Session) Start() (*Recorder, error) {
 	s.rec = runner.NewRecorder(cluster)
 	return s.rec, nil
 }
+
+// Status returns the session's status server (nil unless WithStatusServer
+// was used and Start has run). The server keeps serving after End; callers
+// close it when done inspecting.
+func (s *Session) Status() *StatusServer { return s.status }
+
+// Metrics returns the session's telemetry registry: the one given to
+// WithTelemetry, or the registry WithStatusServer created at Start (nil if
+// neither applies).
+func (s *Session) Metrics() *Telemetry { return s.cfg.Telemetry }
 
 // End stops recording, generates and prunes the interleavings, replays
 // them, and checks the assertions — the paper's ER-π.End([tests...]).

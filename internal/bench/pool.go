@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// Pool benchmark: the sharded exploration engine's throughput as the
+// worker pool widens, captured machine-readably so CI can archive and
+// trend it. Each run replays the same DFS slice of Roshi-3's 21-event
+// space at a worker count, with a telemetry registry attached; the
+// per-stage span histograms break the wall-clock down into where the
+// engine actually spent it.
+
+// DefaultPoolSlice is how many DFS interleavings each pool run replays.
+const DefaultPoolSlice = 192
+
+// PoolStage is one exploration stage's latency aggregate for a run.
+type PoolStage struct {
+	Stage  string  `json:"stage"`
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+// PoolRun is one worker-count measurement.
+type PoolRun struct {
+	Workers   int     `json:"workers"`
+	Explored  int     `json:"explored"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"interleavings_per_second"`
+	// Speedup is the throughput ratio against the sequential run (1.0 for
+	// workers=1; meaningful only on a multi-core host).
+	Speedup float64     `json:"speedup_vs_sequential"`
+	Stages  []PoolStage `json:"stage_means"`
+}
+
+// PoolReport is the BENCH_pool.json shape.
+type PoolReport struct {
+	Benchmark     string    `json:"benchmark"`
+	Mode          string    `json:"mode"`
+	Interleavings int       `json:"interleavings"`
+	Runs          []PoolRun `json:"runs"`
+}
+
+// RunPool measures pool throughput at each worker count (default 1/2/4/8)
+// over a DFS slice of the Roshi-3 space. slice <= 0 uses DefaultPoolSlice.
+func RunPool(slice int, workers []int) (*PoolReport, error) {
+	if slice <= 0 {
+		slice = DefaultPoolSlice
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	bug, ok := bugs.ByName("Roshi-3")
+	if !ok {
+		return nil, fmt.Errorf("bench: Roshi-3 missing from the corpus")
+	}
+	scenario, err := bug.Build()
+	if err != nil {
+		return nil, err
+	}
+	report := &PoolReport{
+		Benchmark:     bug.Name,
+		Mode:          string(runner.ModeDFS),
+		Interleavings: slice,
+	}
+	var base float64
+	for _, w := range workers {
+		reg := telemetry.New()
+		start := time.Now()
+		res, err := runner.Run(scenario, runner.Config{
+			Mode:             runner.ModeDFS,
+			Workers:          w,
+			MaxInterleavings: slice,
+			Telemetry:        reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if res.Explored != slice {
+			return nil, fmt.Errorf("bench: pool workers=%d explored %d, want %d", w, res.Explored, slice)
+		}
+		run := PoolRun{
+			Workers:   w,
+			Explored:  res.Explored,
+			Seconds:   elapsed.Seconds(),
+			PerSecond: float64(res.Explored) / elapsed.Seconds(),
+			Stages:    stageMeans(reg.Snapshot()),
+		}
+		if base == 0 {
+			base = run.PerSecond
+		}
+		run.Speedup = run.PerSecond / base
+		report.Runs = append(report.Runs, run)
+	}
+	return report, nil
+}
+
+// stageMeans extracts the per-stage latency means from a registry
+// snapshot's stage.<name>_ns histograms, sorted by stage name.
+func stageMeans(snap telemetry.Snapshot) []PoolStage {
+	var out []PoolStage
+	for name, h := range snap.Histograms {
+		stage, ok := strings.CutPrefix(name, "stage.")
+		if !ok {
+			continue
+		}
+		stage, ok = strings.CutSuffix(stage, "_ns")
+		if !ok || h.Count == 0 {
+			continue
+		}
+		out = append(out, PoolStage{Stage: stage, Count: h.Count, MeanNs: h.Mean()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// WritePoolJSON writes the report as indented JSON to path (the CI
+// artifact BENCH_pool.json).
+func (r *PoolReport) WritePoolJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as a human-readable table.
+func (r *PoolReport) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "pool throughput: %s, %s x %d interleavings\n", r.Benchmark, r.Mode, r.Interleavings)
+	fmt.Fprintln(tw, "workers\tinterleavings/s\tspeedup\texecute mean")
+	for _, run := range r.Runs {
+		var execMean time.Duration
+		for _, st := range run.Stages {
+			if st.Stage == "execute" {
+				execMean = time.Duration(st.MeanNs)
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%.0f\t%.2fx\t%v\n", run.Workers, run.PerSecond, run.Speedup, execMean.Round(time.Microsecond))
+	}
+	return tw.Flush()
+}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"github.com/er-pi/erpi/internal/event"
 	"github.com/er-pi/erpi/internal/interleave"
@@ -24,6 +25,11 @@ import (
 // interleaving to one fsync per batch.
 const journalSyncEvery = 64
 
+// FsyncObserver is notified after each durable journal flush with the
+// number of appends the batch covered and how long the flush+fsync took.
+// It runs under the Dir's lock and must not call back into the Dir.
+type FsyncObserver func(appends int, took time.Duration)
+
 // Dir is an on-disk session directory. The progress journal is held open
 // across appends and buffered; call Flush to force durability at a point
 // in time and Close when done with the directory.
@@ -34,6 +40,14 @@ type Dir struct {
 	journal  *os.File
 	buf      *bufio.Writer
 	unsynced int
+	onFsync  FsyncObserver
+}
+
+// SetFsyncObserver installs (or, with nil, removes) the flush callback.
+func (d *Dir) SetFsyncObserver(fn FsyncObserver) {
+	d.mu.Lock()
+	d.onFsync = fn
+	d.mu.Unlock()
 }
 
 // Open creates (if needed) and opens a session directory.
@@ -130,6 +144,8 @@ func (d *Dir) flushLocked() error {
 	if d.journal == nil {
 		return nil
 	}
+	appends := d.unsynced
+	start := time.Now()
 	if err := d.buf.Flush(); err != nil {
 		return fmt.Errorf("checkpoint: flush journal: %w", err)
 	}
@@ -137,6 +153,9 @@ func (d *Dir) flushLocked() error {
 		return fmt.Errorf("checkpoint: sync journal: %w", err)
 	}
 	d.unsynced = 0
+	if d.onFsync != nil && appends > 0 {
+		d.onFsync(appends, time.Since(start))
+	}
 	return nil
 }
 

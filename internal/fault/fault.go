@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // ErrReplicaDown marks an event that could not execute because its replica
@@ -211,6 +212,22 @@ type Injector struct {
 	downUntil map[event.ReplicaID]int // position at which a crashed replica restarts
 	healed    map[int]bool            // partition faults already healed this interleaving
 	partner   Partitioner
+
+	// Telemetry counters (nil-safe; strictly observational — incrementing
+	// them must never influence arming or firing decisions).
+	ctrArmed *telemetry.Counter // faults armed across interleavings
+	ctrFired *telemetry.Counter // fault effects applied
+}
+
+// SetCounters attaches telemetry counters for faults armed per
+// interleaving and fault effects actually applied (crashes, partition
+// cuts, payload truncations, lock-outage rejections). Nil counters (or
+// never calling SetCounters) keep the injector unobserved.
+func (in *Injector) SetCounters(armed, fired *telemetry.Counter) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ctrArmed = armed
+	in.ctrFired = fired
 }
 
 // NewInjector builds an injector over a schedule. An invalid schedule
@@ -279,6 +296,9 @@ func (in *Injector) Begin(index int) {
 			armed = rng.Float64() < f.Prob
 		}
 		in.armed[i] = armed
+		if armed {
+			in.ctrArmed.Inc()
+		}
 	}
 }
 
@@ -304,6 +324,7 @@ func (in *Injector) At(pos int) []Action {
 		case CrashReplica:
 			if pos == f.At {
 				actions = append(actions, Action{Kind: ActionCrash, Replica: f.Replica})
+				in.ctrFired.Inc()
 				if f.Duration > 0 {
 					in.downUntil[f.Replica] = f.At + f.Duration + 1
 				}
@@ -314,6 +335,7 @@ func (in *Injector) At(pos int) []Action {
 			}
 			if pos == f.At {
 				in.partner.Partition(f.A, f.B)
+				in.ctrFired.Inc()
 			} else if pos > f.At+f.Duration && !in.healed[i] {
 				in.healed[i] = true
 				in.partner.Heal(f.A, f.B)
@@ -388,6 +410,9 @@ func (in *Injector) LockServerDown() bool {
 func (in *Injector) LockHook() func(op string, args []string) error {
 	return func(op string, args []string) error {
 		if in.LockServerDown() {
+			in.mu.Lock()
+			in.ctrFired.Inc()
+			in.mu.Unlock()
 			return ErrLockServerDown
 		}
 		return nil
@@ -405,6 +430,7 @@ func (in *Injector) Payload(pos int, payload []byte) []byte {
 		}
 		if f.KeepBytes < len(payload) {
 			payload = payload[:f.KeepBytes:f.KeepBytes]
+			in.ctrFired.Inc()
 		}
 	}
 	return payload

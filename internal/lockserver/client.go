@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // ErrLeaseLost marks a distributed-mutex operation that discovered the
@@ -315,11 +317,23 @@ type DMutex struct {
 
 	renewEvery time.Duration
 
+	// Telemetry (nil-safe): acquire records time spent blocked in Lock,
+	// renew records each CompareAndExpire round trip.
+	histAcquire *telemetry.Histogram
+	histRenew   *telemetry.Histogram
+
 	mu      sync.Mutex
 	lost    chan struct{}
 	lostErr error
 	stop    chan struct{}
 	done    chan struct{}
+}
+
+// SetMetrics attaches latency histograms for lock acquisition waits and
+// lease renewals. Call before Lock; nil histograms record nothing.
+func (m *DMutex) SetMetrics(acquire, renew *telemetry.Histogram) {
+	m.histAcquire = acquire
+	m.histRenew = renew
 }
 
 // NewDMutex builds a mutex on key with the given token (must be unique per
@@ -345,9 +359,11 @@ func (m *DMutex) AutoRenew(every time.Duration) {
 // lock-server outage stalls acquisition until the context expires rather
 // than failing it.
 func (m *DMutex) Lock(ctx context.Context) error {
+	started := time.Now()
 	for {
 		ok, err := m.client.SetNX(m.key, m.token, m.ttl)
 		if ok && err == nil {
+			m.histAcquire.ObserveDuration(time.Since(started))
 			m.startRenewal()
 			return nil
 		}
@@ -387,7 +403,9 @@ func (m *DMutex) renewLoop(stop, done, lost chan struct{}) {
 		case <-stop:
 			return
 		case <-ticker.C:
+			renewStart := time.Now()
 			ok, err := m.client.CompareAndExpire(m.key, m.token, m.ttl)
+			m.histRenew.ObserveDuration(time.Since(renewStart))
 			if err != nil {
 				// Transient: the lease may well still be alive; renewing
 				// again next tick is always safe.
@@ -462,11 +480,19 @@ type Sequencer struct {
 	client *Client
 	key    string
 	retry  time.Duration
+
+	histTurnWait *telemetry.Histogram // nil-safe: time blocked in WaitTurn
 }
 
 // NewSequencer builds a sequencer on the given counter key.
 func NewSequencer(client *Client, key string, retry time.Duration) *Sequencer {
 	return &Sequencer{client: client, key: key, retry: retry}
+}
+
+// SetMetrics attaches a latency histogram recording how long each
+// successful WaitTurn blocked. Call before use; nil records nothing.
+func (s *Sequencer) SetMetrics(turnWait *telemetry.Histogram) {
+	s.histTurnWait = turnWait
 }
 
 // Reset sets the counter to zero.
@@ -479,6 +505,7 @@ func (s *Sequencer) Reset() error {
 // the context is done, so a lock-server outage wedges the turn — visibly,
 // bounded by the caller's deadline — instead of crashing the replay.
 func (s *Sequencer) WaitTurn(ctx context.Context, turn int64) error {
+	started := time.Now()
 	for {
 		v, ok, err := s.client.Get(s.key)
 		if err == nil {
@@ -490,6 +517,7 @@ func (s *Sequencer) WaitTurn(ctx context.Context, turn int64) error {
 				}
 			}
 			if cur == turn {
+				s.histTurnWait.ObserveDuration(time.Since(started))
 				return nil
 			}
 			if cur > turn {

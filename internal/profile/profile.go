@@ -5,6 +5,13 @@
 // sizes — and aggregates the distribution across an exploration, so that
 // order-dependent resource blow-ups (like ReplicaDB's issue-#79 buffer
 // growth) show up as outliers even before they violate an assertion.
+//
+// Since the telemetry layer landed, the profiler is a thin veneer over a
+// telemetry.Registry: every figure it tracks is an atomic counter or
+// running-max gauge under the profile.* namespace, so profiling shares the
+// engine's export surface (expvar, /metrics, snapshot merging) and is safe
+// for a single Profiler shared across a multi-worker pool, where every
+// worker's cluster wraps states against the same instance.
 package profile
 
 import (
@@ -15,35 +22,57 @@ import (
 
 	"github.com/er-pi/erpi/internal/replica"
 	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // Profiler accumulates resource metrics. Wrap the replica states at
 // cluster construction and pass OnOutcome to the runner config; both hooks
-// are safe for the runner's sequential executor and the live replayer.
+// are lock-free and safe from concurrent pool workers.
 type Profiler struct {
-	mu sync.Mutex
+	reg *telemetry.Registry
 
-	// ops counts RDL operations by name.
-	ops map[string]int
-	// syncBytesOut / syncBytesIn total the payload bytes produced and
-	// applied.
-	syncBytesOut int64
-	syncBytesIn  int64
-	// maxPayload is the largest single sync payload seen.
-	maxPayload int
-	// snapshotBytes totals checkpoint traffic.
-	snapshotBytes int64
+	// opCounters caches op-name → counter so Apply never re-derives the
+	// metric name or takes the registry's registration lock.
+	opCounters sync.Map // string → *telemetry.Counter
 
-	// interleavings counts outcomes observed; failedOps totals rejections.
-	interleavings int
-	failedOps     int
-	// maxFailedPerIL is the worst single interleaving by rejections.
-	maxFailedPerIL int
+	syncBytesOut  *telemetry.Counter
+	syncBytesIn   *telemetry.Counter
+	snapshotBytes *telemetry.Counter
+	interleavings *telemetry.Counter
+	failedOps     *telemetry.Counter
+	maxPayload    *telemetry.Gauge
+	maxFailed     *telemetry.Gauge
 }
 
-// New returns an empty profiler.
-func New() *Profiler {
-	return &Profiler{ops: make(map[string]int)}
+// New returns a profiler backed by a private registry.
+func New() *Profiler { return NewWith(telemetry.New()) }
+
+// NewWith returns a profiler that registers its metrics on reg, so resource
+// figures export through the same status server and snapshots as the
+// engine's own telemetry. Metric names: profile.op.<name>,
+// profile.sync_bytes_{out,in}, profile.snapshot_bytes,
+// profile.interleavings, profile.failed_ops, and the running maxima
+// profile.max_payload_bytes and profile.max_failed_per_interleaving.
+func NewWith(reg *telemetry.Registry) *Profiler {
+	return &Profiler{
+		reg:           reg,
+		syncBytesOut:  reg.Counter("profile.sync_bytes_out"),
+		syncBytesIn:   reg.Counter("profile.sync_bytes_in"),
+		snapshotBytes: reg.Counter("profile.snapshot_bytes"),
+		interleavings: reg.Counter("profile.interleavings"),
+		failedOps:     reg.Counter("profile.failed_ops"),
+		maxPayload:    reg.Gauge("profile.max_payload_bytes"),
+		maxFailed:     reg.Gauge("profile.max_failed_per_interleaving"),
+	}
+}
+
+// Registry exposes the backing registry (to attach a status server or merge
+// snapshots). Nil when the profiler itself is nil.
+func (p *Profiler) Registry() *telemetry.Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
 }
 
 // Wrap instruments a replica state; all resource flows through the state
@@ -54,32 +83,38 @@ func (p *Profiler) Wrap(inner replica.State) replica.State {
 
 // OnOutcome is the runner hook counting per-interleaving outcomes.
 func (p *Profiler) OnOutcome(o *runner.Outcome) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.interleavings++
-	p.failedOps += len(o.FailedOps)
-	if len(o.FailedOps) > p.maxFailedPerIL {
-		p.maxFailedPerIL = len(o.FailedOps)
+	p.interleavings.Inc()
+	p.failedOps.Add(int64(len(o.FailedOps)))
+	p.maxFailed.Max(int64(len(o.FailedOps)))
+}
+
+// opCounter returns the cached counter for an op name.
+func (p *Profiler) opCounter(name string) *telemetry.Counter {
+	if c, ok := p.opCounters.Load(name); ok {
+		return c.(*telemetry.Counter)
 	}
+	c, _ := p.opCounters.LoadOrStore(name, p.reg.Counter("profile.op."+name))
+	return c.(*telemetry.Counter)
 }
 
 // Snapshot returns a copy of the current metrics.
 func (p *Profiler) Snapshot() Report {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ops := make(map[string]int, len(p.ops))
-	for k, v := range p.ops {
-		ops[k] = v
+	snap := p.reg.Snapshot()
+	ops := make(map[string]int)
+	for name, v := range snap.Counters {
+		if op, ok := strings.CutPrefix(name, "profile.op."); ok {
+			ops[op] = int(v)
+		}
 	}
 	return Report{
 		Ops:            ops,
-		SyncBytesOut:   p.syncBytesOut,
-		SyncBytesIn:    p.syncBytesIn,
-		MaxPayload:     p.maxPayload,
-		SnapshotBytes:  p.snapshotBytes,
-		Interleavings:  p.interleavings,
-		FailedOps:      p.failedOps,
-		MaxFailedPerIL: p.maxFailedPerIL,
+		SyncBytesOut:   p.syncBytesOut.Value(),
+		SyncBytesIn:    p.syncBytesIn.Value(),
+		MaxPayload:     int(p.maxPayload.Value()),
+		SnapshotBytes:  p.snapshotBytes.Value(),
+		Interleavings:  int(p.interleavings.Value()),
+		FailedOps:      int(p.failedOps.Value()),
+		MaxFailedPerIL: int(p.maxFailed.Value()),
 	}
 }
 
@@ -123,38 +158,28 @@ type profiledState struct {
 var _ replica.State = (*profiledState)(nil)
 
 func (s *profiledState) Apply(op replica.Op) (string, error) {
-	s.p.mu.Lock()
-	s.p.ops[op.Name]++
-	s.p.mu.Unlock()
+	s.p.opCounter(op.Name).Inc()
 	return s.inner.Apply(op)
 }
 
 func (s *profiledState) SyncPayload() ([]byte, error) {
 	payload, err := s.inner.SyncPayload()
 	if err == nil {
-		s.p.mu.Lock()
-		s.p.syncBytesOut += int64(len(payload))
-		if len(payload) > s.p.maxPayload {
-			s.p.maxPayload = len(payload)
-		}
-		s.p.mu.Unlock()
+		s.p.syncBytesOut.Add(int64(len(payload)))
+		s.p.maxPayload.Max(int64(len(payload)))
 	}
 	return payload, err
 }
 
 func (s *profiledState) ApplySync(payload []byte) error {
-	s.p.mu.Lock()
-	s.p.syncBytesIn += int64(len(payload))
-	s.p.mu.Unlock()
+	s.p.syncBytesIn.Add(int64(len(payload)))
 	return s.inner.ApplySync(payload)
 }
 
 func (s *profiledState) Snapshot() ([]byte, error) {
 	snap, err := s.inner.Snapshot()
 	if err == nil {
-		s.p.mu.Lock()
-		s.p.snapshotBytes += int64(len(snap))
-		s.p.mu.Unlock()
+		s.p.snapshotBytes.Add(int64(len(snap)))
 	}
 	return snap, err
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/er-pi/erpi/internal/replica"
 	"github.com/er-pi/erpi/internal/runner"
 	"github.com/er-pi/erpi/internal/subjects/roshi"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // profiledScenario builds a Roshi workload whose replicas are wrapped by
@@ -72,6 +73,66 @@ func TestProfilerAccountsExploration(t *testing.T) {
 		if !strings.Contains(rendered, want) {
 			t.Errorf("render missing %q:\n%s", want, rendered)
 		}
+	}
+}
+
+// TestProfilerAggregatesAcrossWorkers: one Profiler shared by every pool
+// worker's cluster totals resources exactly as the sequential run does —
+// the hooks are atomic, and the pool explores the identical interleaving
+// set. Snapshot bytes are excluded: each worker owns a cluster, so
+// checkpoint traffic legitimately scales with the pool.
+func TestProfilerAggregatesAcrossWorkers(t *testing.T) {
+	run := func(workers int) (*Profiler, Report) {
+		t.Helper()
+		reg := telemetry.New()
+		p := NewWith(reg)
+		s := profiledScenario(t, p)
+		res, err := runner.Run(s, runner.Config{
+			Mode:      runner.ModeDFS,
+			Workers:   workers,
+			OnOutcome: p.OnOutcome,
+			Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exhausted || res.Explored != 24 {
+			t.Fatalf("workers=%d explored %d, want all 24", workers, res.Explored)
+		}
+		return p, p.Snapshot()
+	}
+
+	_, seq := run(1)
+	p, par := run(8)
+
+	if par.Interleavings != seq.Interleavings || par.Interleavings != 24 {
+		t.Fatalf("interleavings: parallel %d, sequential %d", par.Interleavings, seq.Interleavings)
+	}
+	for name, want := range seq.Ops {
+		if got := par.Ops[name]; got != want {
+			t.Fatalf("op %s: parallel %d, sequential %d", name, got, want)
+		}
+	}
+	if par.SyncBytesOut != seq.SyncBytesOut || par.SyncBytesIn != seq.SyncBytesIn {
+		t.Fatalf("sync traffic: parallel %d/%d, sequential %d/%d",
+			par.SyncBytesOut, par.SyncBytesIn, seq.SyncBytesOut, seq.SyncBytesIn)
+	}
+	if par.MaxPayload != seq.MaxPayload || par.FailedOps != seq.FailedOps {
+		t.Fatalf("maxima: parallel payload=%d failed=%d, sequential payload=%d failed=%d",
+			par.MaxPayload, par.FailedOps, seq.MaxPayload, seq.FailedOps)
+	}
+	if par.SnapshotBytes < seq.SnapshotBytes {
+		t.Fatalf("snapshot traffic shrank under the pool: %d < %d", par.SnapshotBytes, seq.SnapshotBytes)
+	}
+
+	// The profile rides the shared registry: its counters sit next to the
+	// engine's own metrics in one snapshot.
+	snap := p.Registry().Snapshot()
+	if snap.Counters["profile.interleavings"] != 24 {
+		t.Fatalf("profile.interleavings = %d on the shared registry", snap.Counters["profile.interleavings"])
+	}
+	if snap.Counters["runner.explored"] != 24 {
+		t.Fatalf("runner.explored = %d on the shared registry", snap.Counters["runner.explored"])
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/er-pi/erpi/internal/fault"
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // executor applies one interleaving's events to the cluster.
@@ -37,6 +38,10 @@ type executor struct {
 	// sendFor maps each SyncExec ID to its paired SyncSend ID.
 	sendFor map[event.ID]event.ID
 	built   bool
+	// tel (nil when telemetry is off) records stage spans; worker is the
+	// pool worker id this executor belongs to (0 for the sequential engine).
+	tel    *runTelemetry
+	worker int
 }
 
 func (x *executor) buildPairs() {
@@ -52,7 +57,9 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 		x.buildPairs()
 	}
 	if x.inj != nil {
+		injSpan := x.tel.span(telemetry.StageFaultInject, index, x.worker)
 		x.inj.Begin(index)
+		injSpan.End()
 		defer x.inj.Finish()
 	}
 	outcome := &Outcome{

@@ -385,7 +385,7 @@ func TestLiveReportsAllReplicaErrors(t *testing.T) {
 	}
 	gate := proxy.NewLocalGate()
 	_, liveErr := ExecuteLiveContext(context.Background(), s, il,
-		func(event.ReplicaID) proxy.TurnGate { return gate }, inj)
+		func(event.ReplicaID) proxy.TurnGate { return gate }, inj, nil)
 	if liveErr == nil {
 		t.Fatal("crashed live replay must error")
 	}
@@ -440,7 +440,7 @@ func TestLiveCancellationUnblocksSequencer(t *testing.T) {
 		}
 		clients = append(clients, c)
 		return proxy.NewDistGate(c, "wedged", string(rep))
-	}, nil)
+	}, nil, nil)
 	elapsed := time.Since(start)
 	if liveErr == nil {
 		t.Fatal("wedged replay must error on context expiry")

@@ -12,6 +12,7 @@ import (
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/proxy"
 	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // ExecuteLive replays one interleaving the way a deployed ER-π session
@@ -26,19 +27,24 @@ import (
 // newGate builds one gate per replica; with proxy.NewLocalGate a single
 // shared gate works, with DistGate each replica passes its own client.
 func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.ReplicaID) proxy.TurnGate) (*Outcome, error) {
-	return ExecuteLiveContext(context.Background(), s, il, newGate, nil)
+	return ExecuteLiveContext(context.Background(), s, il, newGate, nil, nil)
 }
 
-// ExecuteLiveContext is ExecuteLive with context cancellation and optional
-// fault injection. Cancelling ctx unblocks every replica goroutine waiting
-// on its turn gate (including DMutex.Lock / Sequencer.WaitTurn over a lock
-// server), so a wedged replay returns promptly instead of hanging. A
-// non-nil injector is consulted before every scheduled call, with the same
-// semantics as the sequential executor.
-func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleaving, newGate func(rep event.ReplicaID) proxy.TurnGate, inj *fault.Injector) (*Outcome, error) {
+// ExecuteLiveContext is ExecuteLive with context cancellation, optional
+// fault injection, and optional telemetry. Cancelling ctx unblocks every
+// replica goroutine waiting on its turn gate (including DMutex.Lock /
+// Sequencer.WaitTurn over a lock server), so a wedged replay returns
+// promptly instead of hanging. A non-nil injector is consulted before
+// every scheduled call, with the same semantics as the sequential
+// executor. A non-nil registry records the replay as one execute span plus
+// a live.events counter of scheduled calls applied.
+func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleaving, newGate func(rep event.ReplicaID) proxy.TurnGate, inj *fault.Injector, reg *telemetry.Registry) (*Outcome, error) {
 	if s.Log == nil || len(il) != s.Log.Len() {
 		return nil, fmt.Errorf("runner: live replay needs a complete interleaving")
 	}
+	liveSpan := reg.StartSpan(telemetry.StageExecute, 1, telemetry.CoordinatorWorker)
+	defer liveSpan.End()
+	liveEvents := reg.Counter("live.events")
 	cluster, err := s.NewCluster()
 	if err != nil {
 		return nil, fmt.Errorf("runner: cluster setup: %w", err)
@@ -84,6 +90,7 @@ func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleav
 	// executes at a time, in schedule order, so the injector sees strictly
 	// increasing positions just like the sequential executor.
 	apply := func(ev event.Event) error {
+		liveEvents.Inc()
 		pos := position[ev.ID]
 		if inj != nil {
 			for _, a := range inj.At(pos) {

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/er-pi/erpi/internal/datalog"
 	"github.com/er-pi/erpi/internal/fault"
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/prune"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // This file is the parallel exploration engine. Exploration of an
@@ -67,6 +69,13 @@ type pool struct {
 	resCh   chan workResult
 	fatalCh chan error
 
+	// tel is nil when telemetry is off; all uses are nil-safe.
+	tel *runTelemetry
+	// nextSince / pollSince anchor the dispatch-wait and quiesce-gap spans
+	// (coordinator-only, valid only while tel is non-nil).
+	nextSince time.Time
+	pollSince time.Time
+
 	// Coordinator-only state (no locking: single goroutine).
 	assigned int                // indices handed out; the highest index that exists
 	nextProc int                // next index to process in order
@@ -100,7 +109,7 @@ type workResult struct {
 // runParallel explores the scenario with a pool of workers, writing into
 // res exactly what the sequential engine would have produced (see the
 // guarantees above).
-func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew, workers int) error {
+func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew, workers int, tel *runTelemetry) error {
 	wctx, cancelWorkers := context.WithCancel(ctx)
 	defer cancelWorkers()
 	p := &pool{
@@ -112,6 +121,7 @@ func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explo
 		explored: explored,
 		pruning:  pruning,
 		maxNew:   maxNew,
+		tel:      tel,
 		workCh:   make(chan workItem),
 		// resCh and fatalCh hold one slot per worker, so workers always
 		// send without blocking (each worker has at most one outstanding
@@ -156,6 +166,7 @@ func (p *pool) worker(ctx context.Context, w int) {
 			p.fatalCh <- fmt.Errorf("runner: %w", err)
 			return
 		}
+		p.tel.instrument(inj)
 	}
 	cluster, err := p.s.NewCluster()
 	if err != nil {
@@ -166,13 +177,17 @@ func (p *pool) worker(ctx context.Context, w int) {
 		p.fatalCh <- err
 		return
 	}
-	exec := &executor{log: p.s.Log, cluster: cluster, inj: inj}
+	exec := &executor{log: p.s.Log, cluster: cluster, inj: inj, tel: p.tel, worker: w}
 	// Per-worker jitter generator: retry timing varies across workers
 	// (contended state would serialize them), but which interleavings run
 	// and what they compute never depends on it.
 	jitter := rand.New(rand.NewSource(p.cfg.Seed ^ 0x5deece66d ^ int64(w+1)<<32))
 	for item := range p.workCh {
+		p.tel.setWorker(w, item.index)
+		execSpan := p.tel.span(telemetry.StageExecute, item.index, w)
 		outcome, attempts, err := executeWithRetry(ctx, exec, p.s, p.cfg, item.il, item.index, jitter)
+		execSpan.End()
+		p.tel.setWorker(w, 0)
 		p.resCh <- workResult{index: item.index, il: item.il, outcome: outcome, attempts: attempts, err: err}
 	}
 }
@@ -230,18 +245,27 @@ func (p *pool) pull() error {
 			p.stop()
 			return nil
 		}
+		genSpan := p.tel.span(telemetry.StageGenerate, p.assigned+1, telemetry.CoordinatorWorker)
 		il, ok := p.explorer.Next()
+		genSpan.End()
 		if !ok {
 			p.res.Exhausted = true
 			p.noMore = true
 			return nil
 		}
 		key := il.Key()
-		if p.explored.Has(key) {
+		dedupSpan := p.tel.span(telemetry.StageDedup, p.assigned+1, telemetry.CoordinatorWorker)
+		dup := p.explored.Has(key)
+		if !dup {
+			p.explored.Add(key)
+		}
+		dedupSpan.End()
+		if dup {
+			p.tel.onDedupSkipped()
 			continue // journal resume, or re-pruning regenerated the explorer
 		}
-		p.explored.Add(key)
 		p.assigned++
+		p.tel.onExplored()
 		if p.cfg.Journal != nil {
 			if err := p.cfg.Journal.AppendExplored(il); err != nil {
 				return err
@@ -261,6 +285,9 @@ func (p *pool) pull() error {
 			}
 		}
 		p.next = &workItem{index: p.assigned, il: il}
+		if p.tel != nil {
+			p.nextSince = time.Now()
+		}
 		return nil
 	}
 }
@@ -271,9 +298,18 @@ func (p *pool) dispatched() {
 	index := p.next.index
 	p.next = nil
 	p.inflight++
+	if p.tel != nil {
+		// Dispatch span: how long the pulled interleaving waited for a free
+		// worker — back-pressure from a saturated pool shows up here.
+		p.tel.observeSpan(telemetry.StageDispatch, index, telemetry.CoordinatorWorker,
+			p.nextSince, time.Since(p.nextSince))
+	}
 	if p.cfg.ConstraintPoll != nil && p.cfg.Mode == ModeERPi && index%p.cfg.PollEvery == 0 {
 		p.pollWait = true
 		p.pollIdx = index
+		if p.tel != nil {
+			p.pollSince = time.Now()
+		}
 	}
 }
 
@@ -321,6 +357,7 @@ func (p *pool) process(r workResult) {
 			// interleaving is quarantined (its `continue` jumps the poll).
 			p.pollSkip = true
 		}
+		p.tel.onQuarantined()
 		p.res.Quarantined = append(p.res.Quarantined, ExecError{
 			Index:        r.index,
 			Interleaving: r.il,
@@ -336,6 +373,8 @@ func (p *pool) process(r workResult) {
 		fb.Report(behaviorSignature(r.outcome))
 	}
 	violated := false
+	assertSpan := p.tel.span(telemetry.StageAssert, r.index, telemetry.CoordinatorWorker)
+	newViolations := 0
 	for _, a := range p.cfg.Assertions {
 		if err := a.Check(r.outcome); err != nil {
 			p.res.Violations = append(p.res.Violations, Violation{
@@ -344,9 +383,12 @@ func (p *pool) process(r workResult) {
 				Assertion:    a.Name(),
 				Err:          err,
 			})
+			newViolations++
 			violated = true
 		}
 	}
+	assertSpan.End()
+	p.tel.onViolations(newViolations)
 	if violated && p.res.FirstViolation == 0 {
 		p.res.FirstViolation = r.index
 	}
@@ -371,6 +413,14 @@ func (p *pool) stop() {
 // the sequential engine.
 func (p *pool) poll() error {
 	p.pollWait = false
+	if p.tel != nil {
+		// Quiesce span: from arming the poll barrier at dispatch of the
+		// boundary index until the pool fully drained — the pipeline bubble
+		// each ConstraintPoll costs, visible as a coordinator-lane gap in
+		// the Chrome trace.
+		p.tel.observeSpan(telemetry.StageQuiesce, p.pollIdx, telemetry.CoordinatorWorker,
+			p.pollSince, time.Since(p.pollSince))
+	}
 	if p.pollSkip {
 		p.pollSkip = false
 		return nil
@@ -381,7 +431,9 @@ func (p *pool) poll() error {
 	}
 	if found {
 		p.pruning.Merge(extra)
+		repruneSpan := p.tel.span(telemetry.StagePrune, p.pollIdx, telemetry.CoordinatorWorker)
 		explorer, err := newExplorer(p.s, p.cfg, p.pruning)
+		repruneSpan.End()
 		if err != nil {
 			return fmt.Errorf("runner: re-pruning: %w", err)
 		}

@@ -23,6 +23,7 @@ import (
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/prune"
 	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // Mode names an exploration strategy.
@@ -213,6 +214,12 @@ type Config struct {
 	// ModeRand/ModeFuzz explorations want. See exploredSet for the full
 	// trade-off.
 	MaxExploredKeys int
+	// Telemetry, when set, receives the run's metrics, live progress, and
+	// per-stage spans (see the telemetry package). Strictly observational:
+	// a run with telemetry attached explores the same interleavings, in
+	// the same order, with the same results as one without, and a nil
+	// registry costs nothing on the hot path.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultMaxInterleavings is the paper's exploration cap.
@@ -336,8 +343,11 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 		defer cancel()
 	}
 
+	tel := newRunTelemetry(cfg.Telemetry)
 	pruning := s.Pruning
+	pruneSpan := tel.span(telemetry.StagePrune, 0, telemetry.CoordinatorWorker)
 	explorer, err := newExplorer(s, cfg, pruning)
+	pruneSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +366,10 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 			explored.Add(key)
 		}
 		res.Resumed = len(prior)
+		if tel != nil {
+			cfg.Journal.SetFsyncObserver(tel.fsyncObserver())
+			defer cfg.Journal.SetFsyncObserver(nil)
+		}
 	}
 	// The cap is session-wide: what the journal already holds counts
 	// toward it, and this run only gets the remainder.
@@ -363,11 +377,13 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	if maxNew < 0 {
 		maxNew = 0
 	}
+	tel.beginRun(maxNew, workers, res.Resumed)
+	defer tel.endRun()
 
 	if workers > 1 {
-		err = runParallel(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers)
+		err = runParallel(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers, tel)
 	} else {
-		err = runSequential(ctx, s, cfg, res, explorer, explored, pruning, maxNew)
+		err = runSequential(ctx, s, cfg, res, explorer, explored, pruning, maxNew, tel)
 	}
 	if err != nil {
 		return nil, err
@@ -385,7 +401,7 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 // runSequential is the one-worker engine: a single cluster and executor
 // driven directly by the explorer. With Workers == 1 this is the exact
 // pre-parallel code path.
-func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew int) error {
+func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew int, tel *runTelemetry) error {
 	var inj *fault.Injector
 	if cfg.Faults != nil {
 		var err error
@@ -393,6 +409,7 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 		if err != nil {
 			return fmt.Errorf("runner: %w", err)
 		}
+		tel.instrument(inj)
 	}
 	cluster, err := s.NewCluster()
 	if err != nil {
@@ -402,7 +419,9 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 	if err := cluster.Checkpoint(); err != nil {
 		return err
 	}
-	exec := &executor{log: s.Log, cluster: cluster, inj: inj}
+	// The sequential engine executes on its own goroutine; spans attribute
+	// that work to worker 0, matching a one-worker pool's timeline.
+	exec := &executor{log: s.Log, cluster: cluster, inj: inj, tel: tel, worker: 0}
 	// Retry jitter comes from a seeded generator so chaotic runs stay
 	// reproducible end to end.
 	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
@@ -413,17 +432,26 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 			res.InterruptErr = err
 			break
 		}
+		genSpan := tel.span(telemetry.StageGenerate, res.Explored+1, telemetry.CoordinatorWorker)
 		il, ok := explorer.Next()
+		genSpan.End()
 		if !ok {
 			res.Exhausted = true
 			break
 		}
 		key := il.Key()
-		if explored.Has(key) {
+		dedupSpan := tel.span(telemetry.StageDedup, res.Explored+1, telemetry.CoordinatorWorker)
+		dup := explored.Has(key)
+		if !dup {
+			explored.Add(key)
+		}
+		dedupSpan.End()
+		if dup {
+			tel.onDedupSkipped()
 			continue // journal resume, or re-pruning regenerated the explorer
 		}
-		explored.Add(key)
 		res.Explored++
+		tel.onExplored()
 		if cfg.Journal != nil {
 			if err := cfg.Journal.AppendExplored(il); err != nil {
 				return err
@@ -441,7 +469,11 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 			}
 		}
 
+		tel.setWorker(0, res.Explored)
+		execSpan := tel.span(telemetry.StageExecute, res.Explored, 0)
 		outcome, attempts, execErr := executeWithRetry(ctx, exec, s, cfg, il, res.Explored, jitter)
+		execSpan.End()
+		tel.setWorker(0, 0)
 		if execErr != nil {
 			if ctx.Err() != nil {
 				res.Interrupted = true
@@ -450,6 +482,7 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 			}
 			// Quarantine instead of aborting: exploration continues and the
 			// run yields everything else.
+			tel.onQuarantined()
 			res.Quarantined = append(res.Quarantined, ExecError{
 				Index:        res.Explored,
 				Interleaving: il,
@@ -465,6 +498,8 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 			fb.Report(behaviorSignature(outcome))
 		}
 		violated := false
+		assertSpan := tel.span(telemetry.StageAssert, res.Explored, telemetry.CoordinatorWorker)
+		newViolations := 0
 		for _, a := range cfg.Assertions {
 			if err := a.Check(outcome); err != nil {
 				res.Violations = append(res.Violations, Violation{
@@ -473,9 +508,12 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 					Assertion:    a.Name(),
 					Err:          err,
 				})
+				newViolations++
 				violated = true
 			}
 		}
+		assertSpan.End()
+		tel.onViolations(newViolations)
 		if violated && res.FirstViolation == 0 {
 			res.FirstViolation = res.Explored
 		}
@@ -490,7 +528,9 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 			}
 			if found {
 				pruning.Merge(extra)
+				repruneSpan := tel.span(telemetry.StagePrune, res.Explored, telemetry.CoordinatorWorker)
 				explorer, err = newExplorer(s, cfg, pruning)
+				repruneSpan.End()
 				if err != nil {
 					return fmt.Errorf("runner: re-pruning: %w", err)
 				}
@@ -513,7 +553,10 @@ func executeAttempt(ctx context.Context, exec *executor, s Scenario, cfg Config,
 		ilCtx, cancel = context.WithTimeout(ctx, cfg.InterleavingTimeout)
 		defer cancel()
 	}
-	if err := exec.cluster.Reset(); err != nil {
+	resetSpan := exec.tel.span(telemetry.StageCheckpointReset, index, exec.worker)
+	err := exec.cluster.Reset()
+	resetSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	outcome, err := exec.execute(ilCtx, il, index)
@@ -548,6 +591,7 @@ func executeWithRetry(ctx context.Context, exec *executor, s Scenario, cfg Confi
 		if attempts > cfg.MaxRetries {
 			return nil, attempts, err
 		}
+		exec.tel.onRetry()
 		select {
 		case <-ctx.Done():
 			return nil, attempts, ctx.Err()

@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"time"
+
+	"github.com/er-pi/erpi/internal/checkpoint"
+	"github.com/er-pi/erpi/internal/fault"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// runTelemetry pre-resolves every metric the engine touches so the hot
+// loop never performs a registry lookup. A nil *runTelemetry (telemetry
+// off) makes every method a zero-allocation no-op — the invariant pinned
+// by TestTelemetryNilPathZeroAllocs and BenchmarkTelemetryOverhead.
+//
+// Metric names written by the engine:
+//
+//	runner.explored        interleavings assigned an exploration index
+//	runner.dedup_skipped   explorer yields suppressed by the explored set
+//	runner.retries         execution attempts beyond the first
+//	runner.quarantined     interleavings that failed all retries
+//	runner.violations      assertion failures
+//	journal.fsync_batches  durable journal flushes
+//	journal.fsync_keys     appends covered by those flushes
+//	fault.armed            faults armed across interleavings
+//	fault.fired            fault effects applied (crashes, drops, ...)
+//	stage.<stage>_ns       per-stage latency histograms (see telemetry.Stage)
+type runTelemetry struct {
+	reg *telemetry.Registry
+
+	explored     *telemetry.Counter
+	dedupSkipped *telemetry.Counter
+	retries      *telemetry.Counter
+	quarantined  *telemetry.Counter
+	violations   *telemetry.Counter
+	fsyncBatches *telemetry.Counter
+	fsyncKeys    *telemetry.Counter
+}
+
+func newRunTelemetry(reg *telemetry.Registry) *runTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &runTelemetry{
+		reg:          reg,
+		explored:     reg.Counter("runner.explored"),
+		dedupSkipped: reg.Counter("runner.dedup_skipped"),
+		retries:      reg.Counter("runner.retries"),
+		quarantined:  reg.Counter("runner.quarantined"),
+		violations:   reg.Counter("runner.violations"),
+		fsyncBatches: reg.Counter("journal.fsync_batches"),
+		fsyncKeys:    reg.Counter("journal.fsync_keys"),
+	}
+}
+
+// span opens a stage span (inert when telemetry is off).
+func (t *runTelemetry) span(stage telemetry.Stage, index, worker int) telemetry.SpanStart {
+	if t == nil {
+		return telemetry.SpanStart{}
+	}
+	return t.reg.StartSpan(stage, index, worker)
+}
+
+// beginRun initializes progress for one exploration.
+func (t *runTelemetry) beginRun(total, workers, resumed int) {
+	if t == nil {
+		return
+	}
+	p := t.reg.Progress()
+	p.BeginRun(total, workers)
+	p.SetResumed(int64(resumed))
+}
+
+func (t *runTelemetry) endRun() {
+	if t == nil {
+		return
+	}
+	t.reg.Progress().EndRun()
+}
+
+// onExplored counts one interleaving assigned an exploration index.
+func (t *runTelemetry) onExplored() {
+	if t == nil {
+		return
+	}
+	t.explored.Inc()
+	t.reg.Progress().AddExplored(1)
+}
+
+func (t *runTelemetry) onDedupSkipped() {
+	if t == nil {
+		return
+	}
+	t.dedupSkipped.Inc()
+}
+
+func (t *runTelemetry) onRetry() {
+	if t == nil {
+		return
+	}
+	t.retries.Inc()
+}
+
+func (t *runTelemetry) onQuarantined() {
+	if t == nil {
+		return
+	}
+	t.quarantined.Inc()
+	t.reg.Progress().AddQuarantined()
+}
+
+func (t *runTelemetry) onViolations(n int) {
+	if t == nil {
+		return
+	}
+	t.violations.Add(int64(n))
+	t.reg.Progress().AddViolations(int64(n))
+}
+
+// setWorker publishes what worker w is executing (0 = idle).
+func (t *runTelemetry) setWorker(w, index int) {
+	if t == nil {
+		return
+	}
+	t.reg.Progress().SetWorker(w, index)
+}
+
+// observeSpan records a span measured after the fact.
+func (t *runTelemetry) observeSpan(stage telemetry.Stage, index, worker int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.reg.ObserveSpan(stage, index, worker, start, dur)
+}
+
+// fsyncObserver adapts the checkpoint journal's flush callback into a
+// journal-fsync span plus batch counters.
+func (t *runTelemetry) fsyncObserver() checkpoint.FsyncObserver {
+	if t == nil {
+		return nil
+	}
+	return func(appends int, took time.Duration) {
+		t.fsyncBatches.Inc()
+		t.fsyncKeys.Add(int64(appends))
+		t.reg.ObserveSpan(telemetry.StageJournalFsync, 0, telemetry.CoordinatorWorker,
+			time.Now().Add(-took), took)
+	}
+}
+
+// instrument attaches the fault armed/fired counters to an injector.
+func (t *runTelemetry) instrument(inj *fault.Injector) {
+	if t == nil || inj == nil {
+		return
+	}
+	inj.SetCounters(t.reg.Counter("fault.armed"), t.reg.Counter("fault.fired"))
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live view of one exploration run: how much of the space
+// is done, how fast it is moving, and what every worker is doing right
+// now. The runner updates it with lock-free atomics; the status server
+// snapshots it on demand. All methods are nil-safe no-ops.
+type Progress struct {
+	start       atomic.Int64 // run start, unix nanos (0 = no run yet)
+	doneAt      atomic.Int64 // run end, unix nanos (0 = still running)
+	total       atomic.Int64 // exploration budget (cap), 0 = unknown
+	explored    atomic.Int64
+	resumed     atomic.Int64
+	quarantined atomic.Int64
+	violations  atomic.Int64
+
+	mu      sync.Mutex
+	workers []atomic.Int64 // per worker: interleaving index in flight, 0 = idle
+}
+
+// BeginRun marks the run started with an exploration budget and a worker
+// count; it resets per-run state so a registry can observe several runs.
+func (p *Progress) BeginRun(total, workers int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.workers = make([]atomic.Int64, workers)
+	p.mu.Unlock()
+	p.total.Store(int64(total))
+	p.explored.Store(0)
+	p.resumed.Store(0)
+	p.quarantined.Store(0)
+	p.violations.Store(0)
+	p.doneAt.Store(0)
+	p.start.Store(time.Now().UnixNano())
+}
+
+// EndRun marks the run finished, freezing the rate and ETA.
+func (p *Progress) EndRun() {
+	if p == nil {
+		return
+	}
+	p.doneAt.Store(time.Now().UnixNano())
+}
+
+// SetWorker records what worker w is executing (0 = idle).
+func (p *Progress) SetWorker(w, index int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if w >= 0 && w < len(p.workers) {
+		p.workers[w].Store(int64(index))
+	}
+	p.mu.Unlock()
+}
+
+// AddExplored counts n newly assigned interleavings.
+func (p *Progress) AddExplored(n int64) {
+	if p == nil {
+		return
+	}
+	p.explored.Add(n)
+}
+
+// SetResumed records interleavings skipped via journal resume.
+func (p *Progress) SetResumed(n int64) {
+	if p == nil {
+		return
+	}
+	p.resumed.Store(n)
+}
+
+// AddQuarantined counts one quarantined interleaving.
+func (p *Progress) AddQuarantined() {
+	if p == nil {
+		return
+	}
+	p.quarantined.Add(1)
+}
+
+// AddViolations counts n assertion failures.
+func (p *Progress) AddViolations(n int64) {
+	if p == nil {
+		return
+	}
+	p.violations.Add(n)
+}
+
+// WorkerSnapshot is one worker's instantaneous state.
+type WorkerSnapshot struct {
+	ID int `json:"id"`
+	// Interleaving is the index in flight (0 when idle).
+	Interleaving int64  `json:"interleaving"`
+	State        string `json:"state"`
+}
+
+// ProgressSnapshot is the JSON shape served at /progress.
+type ProgressSnapshot struct {
+	Running        bool             `json:"running"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	Explored       int64            `json:"explored"`
+	Total          int64            `json:"total"`
+	Resumed        int64            `json:"resumed"`
+	Quarantined    int64            `json:"quarantined"`
+	Violations     int64            `json:"violations"`
+	PerSecond      float64          `json:"per_second"`
+	ETASeconds     float64          `json:"eta_seconds"`
+	Workers        []WorkerSnapshot `json:"workers"`
+}
+
+// Snapshot captures the current progress. Rate is explored/elapsed; ETA
+// extrapolates the remaining budget at that rate (0 when unknowable).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Explored:    p.explored.Load(),
+		Total:       p.total.Load(),
+		Resumed:     p.resumed.Load(),
+		Quarantined: p.quarantined.Load(),
+		Violations:  p.violations.Load(),
+	}
+	start := p.start.Load()
+	if start == 0 {
+		return s
+	}
+	end := p.doneAt.Load()
+	s.Running = end == 0
+	if end == 0 {
+		end = time.Now().UnixNano()
+	}
+	elapsed := time.Duration(end - start)
+	s.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		s.PerSecond = float64(s.Explored) / elapsed.Seconds()
+	}
+	if s.Running && s.PerSecond > 0 && s.Total > s.Explored {
+		s.ETASeconds = float64(s.Total-s.Explored) / s.PerSecond
+	}
+	p.mu.Lock()
+	for w := range p.workers {
+		idx := p.workers[w].Load()
+		state := "idle"
+		if idx > 0 {
+			state = "executing"
+		}
+		s.Workers = append(s.Workers, WorkerSnapshot{ID: w, Interleaving: idx, State: state})
+	}
+	p.mu.Unlock()
+	return s
+}

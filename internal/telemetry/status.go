@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry is exported to the process-global expvar namespace under
+// one name. expvar.Publish panics on duplicates, so the Func is published
+// once and reads whichever registry was bound most recently — sequential
+// runs (and tests) can each bind their own registry without conflict.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar binds reg to the global expvar variable "erpi" (replacing
+// any previously bound registry), so /debug/vars serves its live snapshot.
+func PublishExpvar(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("erpi", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// StatusServer serves a run's live observability surface over HTTP:
+//
+//	/progress      JSON progress snapshot (explored/total, rate, ETA,
+//	               quarantined, per-worker state)
+//	/metrics       JSON registry snapshot (counters, gauges, histograms)
+//	/trace         Chrome trace_event dump of the retained spans
+//	/debug/vars    expvar (includes the registry under "erpi")
+//	/debug/pprof/  net/http/pprof profiles
+type StatusServer struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewStatusServer binds addr (host:port; port 0 picks a free port) and
+// starts serving reg immediately in a background goroutine.
+func NewStatusServer(addr string, reg *Registry) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: status server listen %s: %w", addr, err)
+	}
+	PublishExpvar(reg)
+	s := &StatusServer{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (resolving a requested port 0).
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *StatusServer) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and releases the port.
+func (s *StatusServer) Close() error { return s.srv.Close() }
+
+func (s *StatusServer) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.reg.Progress().Snapshot())
+}
+
+func (s *StatusServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.reg.Snapshot())
+}
+
+func (s *StatusServer) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="erpi-trace.json"`)
+	if err := s.reg.WriteTrace(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the tracer's spans serialize to the Trace
+// Event Format (JSON object form) understood by about://tracing and
+// https://ui.perfetto.dev, with one trace thread per engine worker —
+// coordinator work on tid 0, worker w on tid w+1 — so pool shard occupancy
+// and quiesce barriers are visible as gaps on the timeline.
+
+// traceEvent is one Trace Event Format record.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object form of the format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// spanTid maps a span's worker id onto a trace thread id.
+func spanTid(worker int32) int { return int(worker) + 1 }
+
+// WriteTrace exports spans as Chrome trace_event JSON.
+func WriteTrace(w io.Writer, spans []Span) error {
+	file := traceFile{DisplayTimeUnit: "ms"}
+	tids := make(map[int]int32) // tid -> worker
+	for _, sp := range spans {
+		tid := spanTid(sp.Worker)
+		tids[tid] = sp.Worker
+		file.TraceEvents = append(file.TraceEvents, traceEvent{
+			Name: sp.Stage.String(),
+			Cat:  "stage",
+			Ph:   "X",
+			Ts:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"interleaving": sp.Index},
+		})
+	}
+	// Thread-name metadata rows label the timeline lanes.
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		name := "coordinator"
+		if tids[tid] != CoordinatorWorker {
+			name = fmt.Sprintf("worker %d", tids[tid])
+		}
+		file.TraceEvents = append(file.TraceEvents, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// WriteTrace exports the registry's retained spans as Chrome trace_event
+// JSON. A nil registry writes an empty trace.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	return WriteTrace(w, r.Tracer().Spans())
+}
