@@ -8,6 +8,7 @@
 //	erpi-bench -fig9          # Figure 9: per-algorithm pruning contribution
 //	erpi-bench -fig10         # Figure 10: succeed-or-crash micro-benchmark
 //	erpi-bench -pool          # pool throughput sweep -> BENCH_pool.json
+//	erpi-bench -prefix        # incremental-replay sweep -> BENCH_prefix.json
 package main
 
 import (
@@ -39,9 +40,12 @@ func run() int {
 		pool    = flag.Bool("pool", false, "pool throughput sweep over worker counts")
 		poolN   = flag.Int("pool-slice", bench.DefaultPoolSlice, "interleavings per pool run")
 		poolOut = flag.String("pool-out", "BENCH_pool.json", "machine-readable pool report path")
+		prefix  = flag.Bool("prefix", false, "incremental-replay sweep over prefix-cache budgets")
+		prefN   = flag.Int("prefix-slice", bench.DefaultPrefixSlice, "interleavings per prefix run")
+		prefOut = flag.String("prefix-out", "BENCH_prefix.json", "machine-readable prefix report path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix {
 		flag.Usage()
 		return 2
 	}
@@ -108,6 +112,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *poolOut)
+	}
+	if *all || *prefix {
+		report, err := bench.RunPrefix(*prefN, nil)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WritePrefixJSON(*prefOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *prefOut)
 	}
 	if *all || *fuzzx {
 		rows, err := bench.RunFuzzExt(3, *cap)

@@ -249,6 +249,17 @@ func WithWorkers(n int) Option {
 	return func(s *Session) { s.cfg.Workers = n }
 }
 
+// WithPrefixCache enables incremental replay: each worker keeps a
+// private bounded trie of mid-run cluster snapshots keyed by executed
+// event-prefix, restores the deepest cached prefix of every interleaving,
+// and replays only the suffix. bytes bounds the cached snapshot memory
+// per worker. Strictly an accelerator — results are byte-identical with
+// the cache on or off, and fault-carrying interleavings always replay
+// from a clean genesis checkpoint. Non-positive bytes disables the cache.
+func WithPrefixCache(bytes int64) Option {
+	return func(s *Session) { s.cfg.PrefixCacheBytes = bytes }
+}
+
 // WithStopOnViolation ends exploration at the first violation.
 func WithStopOnViolation() Option {
 	return func(s *Session) { s.cfg.StopOnViolation = true }

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// Prefix benchmark: the incremental replay engine's effect on exhaustive
+// exploration. Lexicographic DFS enumerates interleavings in an order
+// where consecutive ones share long prefixes; the snapshot trie restores
+// the deepest cached prefix and executes only the suffix. Each run
+// replays the same DFS slice of Roshi-3's space at one cache byte budget
+// and reports how many events were executed vs. skipped, the resulting
+// throughput against the cache-off baseline, and — the safety half — a
+// digest proving the outcome stream is byte-identical to the baseline's.
+
+// DefaultPrefixSlice is how many DFS interleavings each prefix run
+// replays.
+const DefaultPrefixSlice = DefaultPoolSlice
+
+// DefaultPrefixBudgets are the cache byte budgets swept by RunPrefix.
+var DefaultPrefixBudgets = []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// PrefixRun is one cache-budget measurement.
+type PrefixRun struct {
+	// BudgetBytes is the prefix-cache byte budget (0 = cache off).
+	BudgetBytes    int64   `json:"budget_bytes"`
+	Explored       int     `json:"explored"`
+	EventsExecuted int64   `json:"events_executed"`
+	EventsSkipped  int64   `json:"events_skipped"`
+	Hits           int64   `json:"prefix_cache_hits"`
+	Misses         int64   `json:"prefix_cache_misses"`
+	Evictions      int64   `json:"prefix_evictions"`
+	Seconds        float64 `json:"seconds"`
+	PerSecond      float64 `json:"interleavings_per_second"`
+	// Speedup is the throughput ratio against the cache-off baseline.
+	Speedup float64 `json:"speedup_vs_off"`
+	// EventReduction is baseline executed events over this run's executed
+	// events — the paper-facing "events not re-executed" factor.
+	EventReduction float64 `json:"event_reduction"`
+	// IdenticalResult reports whether the outcome-stream digest matches
+	// the cache-off baseline exactly.
+	IdenticalResult bool   `json:"identical_result"`
+	Digest          string `json:"outcome_digest"`
+}
+
+// PrefixReport is the BENCH_prefix.json shape.
+type PrefixReport struct {
+	Benchmark     string      `json:"benchmark"`
+	Mode          string      `json:"mode"`
+	Interleavings int         `json:"interleavings"`
+	Baseline      PrefixRun   `json:"baseline"`
+	Runs          []PrefixRun `json:"runs"`
+}
+
+// RunPrefix measures incremental-replay gains over a DFS slice of the
+// Roshi-3 space: one cache-off baseline, then one run per byte budget.
+// slice <= 0 uses DefaultPrefixSlice; empty budgets use
+// DefaultPrefixBudgets. All runs are sequential (Workers: 1) so the
+// executed-event counts are deterministic.
+func RunPrefix(slice int, budgets []int64) (*PrefixReport, error) {
+	if slice <= 0 {
+		slice = DefaultPrefixSlice
+	}
+	if len(budgets) == 0 {
+		budgets = DefaultPrefixBudgets
+	}
+	bug, ok := bugs.ByName("Roshi-3")
+	if !ok {
+		return nil, fmt.Errorf("bench: Roshi-3 missing from the corpus")
+	}
+	report := &PrefixReport{
+		Benchmark:     bug.Name,
+		Mode:          string(runner.ModeDFS),
+		Interleavings: slice,
+	}
+	baseline, err := prefixRun(bug, slice, 0)
+	if err != nil {
+		return nil, err
+	}
+	baseline.Speedup = 1
+	baseline.EventReduction = 1
+	baseline.IdenticalResult = true
+	report.Baseline = *baseline
+	for _, budget := range budgets {
+		run, err := prefixRun(bug, slice, budget)
+		if err != nil {
+			return nil, err
+		}
+		run.Speedup = run.PerSecond / baseline.PerSecond
+		if run.EventsExecuted > 0 {
+			run.EventReduction = float64(baseline.EventsExecuted) / float64(run.EventsExecuted)
+		}
+		run.IdenticalResult = run.Digest == baseline.Digest
+		report.Runs = append(report.Runs, *run)
+	}
+	return report, nil
+}
+
+func prefixRun(bug *bugs.Benchmark, slice int, budget int64) (*PrefixRun, error) {
+	scenario, err := bug.Build()
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.New()
+	digest := sha256.New()
+	start := time.Now()
+	res, err := runner.Run(scenario, runner.Config{
+		Mode:             runner.ModeDFS,
+		Workers:          1,
+		MaxInterleavings: slice,
+		PrefixCacheBytes: budget,
+		Telemetry:        reg,
+		OnOutcome: func(o *runner.Outcome) {
+			raw, err := json.Marshal(o)
+			if err != nil {
+				panic(err) // outcomes marshal by construction
+			}
+			digest.Write(raw)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if res.Explored != slice {
+		return nil, fmt.Errorf("bench: prefix budget=%d explored %d, want %d", budget, res.Explored, slice)
+	}
+	snap := reg.Snapshot()
+	return &PrefixRun{
+		BudgetBytes:    budget,
+		Explored:       res.Explored,
+		EventsExecuted: snap.Counters["runner.events_executed"],
+		EventsSkipped:  snap.Counters["runner.events_skipped"],
+		Hits:           snap.Counters["runner.prefix_cache_hits"],
+		Misses:         snap.Counters["runner.prefix_cache_misses"],
+		Evictions:      snap.Counters["runner.prefix_evictions"],
+		Seconds:        elapsed.Seconds(),
+		PerSecond:      float64(res.Explored) / elapsed.Seconds(),
+		Digest:         hex.EncodeToString(digest.Sum(nil)),
+	}, nil
+}
+
+// WritePrefixJSON writes the report as indented JSON to path (the CI
+// artifact BENCH_prefix.json).
+func (r *PrefixReport) WritePrefixJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the report as a human-readable table.
+func (r *PrefixReport) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "incremental replay: %s, %s x %d interleavings\n", r.Benchmark, r.Mode, r.Interleavings)
+	fmt.Fprintln(tw, "budget\texecuted\tskipped\tevent reduction\tinterleavings/s\tspeedup\tidentical")
+	row := func(label string, run PrefixRun) {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2fx\t%.0f\t%.2fx\t%v\n",
+			label, run.EventsExecuted, run.EventsSkipped, run.EventReduction,
+			run.PerSecond, run.Speedup, run.IdenticalResult)
+	}
+	row("off", r.Baseline)
+	for _, run := range r.Runs {
+		row(fmt.Sprintf("%dKiB", run.BudgetBytes>>10), run)
+	}
+	return tw.Flush()
+}

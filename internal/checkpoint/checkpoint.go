@@ -25,9 +25,18 @@ import (
 // interleaving to one fsync per batch.
 const journalSyncEvery = 64
 
+// journalSyncAge bounds how long an unsynced append may sit in the buffer
+// before a flush fires anyway. The count trigger alone is tuned for fast
+// scenarios; on slow ones (seconds per interleaving) 63 keys could sit
+// volatile for minutes. Group commit is count-OR-age: whichever trips
+// first flushes the batch.
+const journalSyncAge = 5 * time.Millisecond
+
 // FsyncObserver is notified after each durable journal flush with the
 // number of appends the batch covered and how long the flush+fsync took.
 // It runs under the Dir's lock and must not call back into the Dir.
+// Age-triggered flushes invoke it on a background timer goroutine, so
+// implementations must be safe for concurrent use.
 type FsyncObserver func(appends int, took time.Duration)
 
 // Dir is an on-disk session directory. The progress journal is held open
@@ -41,6 +50,17 @@ type Dir struct {
 	buf      *bufio.Writer
 	unsynced int
 	onFsync  FsyncObserver
+
+	// Group-commit policy: flush after syncEvery appends OR syncAge after
+	// the first unsynced append, whichever comes first (syncAge <= 0
+	// disables the age trigger). ageTimer is armed on the 0 -> 1 unsynced
+	// transition and cleared by every flush; a flush error from the timer
+	// goroutine is stashed in asyncErr and surfaced by the next
+	// AppendExplored or Flush call.
+	syncEvery int
+	syncAge   time.Duration
+	ageTimer  *time.Timer
+	asyncErr  error
 }
 
 // SetFsyncObserver installs (or, with nil, removes) the flush callback.
@@ -50,12 +70,30 @@ func (d *Dir) SetFsyncObserver(fn FsyncObserver) {
 	d.mu.Unlock()
 }
 
+// SetSyncPolicy tunes the journal's group commit: flush after `every`
+// appends or once `maxAge` has elapsed since the first unsynced append,
+// whichever trips first. every <= 0 restores the default count
+// (journalSyncEvery); maxAge < 0 restores the default age
+// (journalSyncAge); maxAge == 0 disables the age trigger entirely.
+func (d *Dir) SetSyncPolicy(every int, maxAge time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if every <= 0 {
+		every = journalSyncEvery
+	}
+	if maxAge < 0 {
+		maxAge = journalSyncAge
+	}
+	d.syncEvery = every
+	d.syncAge = maxAge
+}
+
 // Open creates (if needed) and opens a session directory.
 func Open(path string) (*Dir, error) {
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: create %s: %w", path, err)
 	}
-	return &Dir{path: path}, nil
+	return &Dir{path: path, syncEvery: journalSyncEvery, syncAge: journalSyncAge}, nil
 }
 
 // Path returns the directory path.
@@ -88,12 +126,15 @@ func (d *Dir) LoadLog() (*event.Log, error) {
 }
 
 // AppendExplored records an explored interleaving key in the progress
-// journal (append-only, one key per line). Writes are buffered and synced
-// every journalSyncEvery appends; a torn or lost tail is tolerated by
-// LoadExplored's corrupt-line skipping.
+// journal (append-only, one key per line). Writes are buffered and group
+// committed under the count-or-age policy (see SetSyncPolicy); a torn or
+// lost tail is tolerated by LoadExplored's corrupt-line skipping.
 func (d *Dir) AppendExplored(il interleave.Interleaving) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.takeAsyncErr(); err != nil {
+		return err
+	}
 	if d.journal == nil {
 		f, err := os.OpenFile(filepath.Join(d.path, "explored.log"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
@@ -106,16 +147,44 @@ func (d *Dir) AppendExplored(il interleave.Interleaving) error {
 		return fmt.Errorf("checkpoint: append journal: %w", err)
 	}
 	d.unsynced++
-	if d.unsynced >= journalSyncEvery {
+	if d.unsynced >= d.syncEvery {
 		return d.flushLocked()
 	}
+	if d.unsynced == 1 && d.syncAge > 0 {
+		d.ageTimer = time.AfterFunc(d.syncAge, d.ageFlush)
+	}
 	return nil
+}
+
+// ageFlush is the age-trigger timer callback: flush whatever accumulated
+// since the first unsynced append. It runs on the timer goroutine, so a
+// flush failure is parked in asyncErr for the next foreground call.
+func (d *Dir) ageFlush() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.unsynced == 0 {
+		return
+	}
+	if err := d.flushLocked(); err != nil && d.asyncErr == nil {
+		d.asyncErr = err
+	}
+}
+
+// takeAsyncErr returns (and clears) a pending background flush error.
+// Callers must hold d.mu.
+func (d *Dir) takeAsyncErr() error {
+	err := d.asyncErr
+	d.asyncErr = nil
+	return err
 }
 
 // Flush forces buffered journal appends to stable storage.
 func (d *Dir) Flush() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.takeAsyncErr(); err != nil {
+		return err
+	}
 	return d.flushLocked()
 }
 
@@ -141,6 +210,10 @@ func (d *Dir) Close() error {
 }
 
 func (d *Dir) flushLocked() error {
+	if d.ageTimer != nil {
+		d.ageTimer.Stop()
+		d.ageTimer = nil
+	}
 	if d.journal == nil {
 		return nil
 	}

@@ -2,7 +2,9 @@ package checkpoint
 
 import (
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/er-pi/erpi/internal/event"
 	"github.com/er-pi/erpi/internal/interleave"
@@ -77,6 +79,9 @@ func TestExploredJournal(t *testing.T) {
 // misses buffered keys.
 func TestExploredJournalBuffering(t *testing.T) {
 	d := openDir(t)
+	// Count-only policy: this test pins the buffering behavior, which the
+	// default age trigger would flush out from under the assertions below.
+	d.SetSyncPolicy(0, 0)
 	if err := d.AppendExplored(interleave.Interleaving{0, 1, 2}); err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +149,89 @@ func TestExploredJournalBuffering(t *testing.T) {
 	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// journalBatches collects FsyncObserver batch sizes thread-safely (age
+// flushes arrive on a timer goroutine).
+type journalBatches struct {
+	mu      sync.Mutex
+	batches []int
+}
+
+func (b *journalBatches) observe(appends int, _ time.Duration) {
+	b.mu.Lock()
+	b.batches = append(b.batches, appends)
+	b.mu.Unlock()
+}
+
+func (b *journalBatches) snapshot() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.batches...)
+}
+
+// TestJournalGroupCommitCountTrigger pins the count half of the
+// group-commit policy: with the age trigger off, exactly the Nth append
+// flushes, as one batch of N.
+func TestJournalGroupCommitCountTrigger(t *testing.T) {
+	d := openDir(t)
+	defer d.Close()
+	var obs journalBatches
+	d.SetFsyncObserver(obs.observe)
+	d.SetSyncPolicy(4, 0)
+	for i := 0; i < 3; i++ {
+		if err := d.AppendExplored(interleave.Interleaving{event.ID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := obs.snapshot(); len(got) != 0 {
+		t.Fatalf("flushed before the count trigger: %v", got)
+	}
+	if err := d.AppendExplored(interleave.Interleaving{3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.snapshot(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("count trigger batches = %v, want [4]", got)
+	}
+}
+
+// TestJournalGroupCommitAgeTrigger pins the age half: a single append —
+// far below the count threshold — reaches disk within the configured age
+// bound, as a batch of 1, without any explicit Flush.
+func TestJournalGroupCommitAgeTrigger(t *testing.T) {
+	d := openDir(t)
+	defer d.Close()
+	var obs journalBatches
+	d.SetFsyncObserver(obs.observe)
+	d.SetSyncPolicy(64, 10*time.Millisecond)
+	if err := d.AppendExplored(interleave.Interleaving{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := obs.snapshot(); len(got) > 0 {
+			if len(got) != 1 || got[0] != 1 {
+				t.Fatalf("age trigger batches = %v, want [1]", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("age trigger never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The flush was durable: an external reader sees the key.
+	ext, err := Open(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, err := ext.LoadExplored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || !seen["0,1,2"] {
+		t.Fatalf("age-triggered flush not on disk: %v", seen)
 	}
 }
 

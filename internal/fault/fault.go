@@ -302,6 +302,26 @@ func (in *Injector) Begin(index int) {
 	}
 }
 
+// AnyArmed reports whether any fault in the schedule is armed for the
+// current interleaving (i.e. since the last Begin). The prefix cache
+// uses this to bypass snapshot reuse entirely on fault-carrying
+// interleavings: a crash or truncation mid-run makes cached prefix
+// states unrepresentative, so those interleavings replay from a clean
+// genesis checkpoint.
+func (in *Injector) AnyArmed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, a := range in.armed {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
 // At advances the injector to event position pos of the current
 // interleaving and returns the actions the executor must apply before
 // executing that event. Partition windows bound via Bind are driven here.

@@ -60,7 +60,7 @@ func countExact(n int, filters []Filter) *big.Int {
 		if canonicalAll(perm, filters) {
 			count++
 		}
-		if !nextPermutation(perm) {
+		if _, ok := nextPermutation(perm); !ok {
 			return big.NewInt(count)
 		}
 	}

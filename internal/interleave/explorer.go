@@ -18,6 +18,24 @@ type Filter interface {
 	Canonical(perm []int) (ok bool, prefixLen int)
 }
 
+// IncrementalFilter is an optional Filter extension for filters whose
+// canonicity test is a prefix scan. CanonicalFrom(perm, from) must return
+// exactly what Canonical(perm) would, but may assume perm[:from] is
+// unchanged since this instance's previous CanonicalFrom call, reusing
+// any per-prefix state it kept (from == 0 makes no assumption and
+// rebuilds everything). Lexicographic enumeration advances permutations
+// mostly near the tail, so the DFS explorer tracks the first index it
+// changed since each filter last ran and hands it in as from, turning the
+// per-permutation filter cost from O(n) into O(n - from) amortized.
+//
+// Implementations are stateful and therefore not safe for concurrent use
+// or for sharing between explorers; calls to the plain Canonical must not
+// disturb the incremental state.
+type IncrementalFilter interface {
+	Filter
+	CanonicalFrom(perm []int, from int) (ok bool, prefixLen int)
+}
+
 // Explorer yields interleavings one at a time.
 type Explorer interface {
 	// Next returns the next interleaving, or ok=false when the space is
@@ -36,6 +54,8 @@ type Explorer interface {
 type DFSExplorer struct {
 	space    *Space
 	filters  []Filter
+	inc      []IncrementalFilter // inc[i] is filters[i] or nil (parallel)
+	dirty    []int               // per filter: first index changed since it last ran
 	perm     []int
 	done     bool
 	started  bool
@@ -53,12 +73,20 @@ func NewDFS(space *Space) *DFSExplorer {
 // NewPruned returns ER-π's pruned explorer: DFS over units yielding only
 // permutations accepted as canonical by every filter.
 func NewPruned(space *Space, filters ...Filter) *DFSExplorer {
-	return &DFSExplorer{
+	d := &DFSExplorer{
 		space:   space,
 		filters: filters,
+		inc:     make([]IncrementalFilter, len(filters)),
+		dirty:   make([]int, len(filters)), // zero: nothing validated yet
 		perm:    identityPerm(space.NumUnits()),
 		mode:    "erpi",
 	}
+	for i, f := range filters {
+		if incf, ok := f.(IncrementalFilter); ok {
+			d.inc[i] = incf
+		}
+	}
+	return d
 }
 
 // Mode implements Explorer.
@@ -74,18 +102,22 @@ func (d *DFSExplorer) Next() (Interleaving, bool) {
 			return nil, false
 		}
 		if d.started {
-			if !nextPermutation(d.perm) {
+			changed, ok := nextPermutation(d.perm)
+			if !ok {
 				d.done = true
 				return nil, false
 			}
+			d.touched(changed)
 		}
 		d.started = true
 		if skip, prefix := d.rejected(); skip {
 			if prefix > 0 && prefix < len(d.perm) {
-				if !skipPrefix(d.perm, prefix) {
+				changed, ok := skipPrefix(d.perm, prefix)
+				if !ok {
 					d.done = true
 					return nil, false
 				}
+				d.touched(changed)
 				// skipPrefix already advanced to a fresh permutation;
 				// re-evaluate it without another nextPermutation step.
 				d.started = false
@@ -105,9 +137,30 @@ func (d *DFSExplorer) Perm() []int {
 	return out
 }
 
+// touched records that perm[changed:] may differ from what each filter
+// last validated. Filters the current rejected() pass never reached keep
+// accumulating the minimum, so their next evaluation rescans far enough.
+func (d *DFSExplorer) touched(changed int) {
+	for i := range d.dirty {
+		if changed < d.dirty[i] {
+			d.dirty[i] = changed
+		}
+	}
+}
+
 func (d *DFSExplorer) rejected() (skip bool, prefixLen int) {
-	for _, f := range d.filters {
-		if ok, prefix := f.Canonical(d.perm); !ok {
+	for fi, f := range d.filters {
+		var ok bool
+		var prefix int
+		if incf := d.inc[fi]; incf != nil {
+			ok, prefix = incf.CanonicalFrom(d.perm, d.dirty[fi])
+			// The filter's prefix state now covers the whole permutation,
+			// whether it accepted or rejected.
+			d.dirty[fi] = len(d.perm)
+		} else {
+			ok, prefix = f.Canonical(d.perm)
+		}
+		if !ok {
 			return true, prefix
 		}
 	}

@@ -61,7 +61,7 @@ func TestNextPermutationOrderAndCount(t *testing.T) {
 		seen[key] = true
 		prevKey = key
 		count++
-		if !nextPermutation(p) {
+		if _, ok := nextPermutation(p); !ok {
 			break
 		}
 	}
@@ -74,8 +74,12 @@ func TestSkipPrefix(t *testing.T) {
 	// From [0 1 2 3], skipping all perms with prefix [0 1] should land on
 	// the first perm with prefix [0 2].
 	p := []int{0, 1, 2, 3}
-	if !skipPrefix(p, 2) {
+	changed, ok := skipPrefix(p, 2)
+	if !ok {
 		t.Fatal("skipPrefix returned false with permutations remaining")
+	}
+	if changed != 1 {
+		t.Fatalf("skipPrefix changedFrom = %d, want 1 (p[0] kept, p[1] bumped)", changed)
 	}
 	want := []int{0, 2, 1, 3}
 	for i := range want {
@@ -85,7 +89,7 @@ func TestSkipPrefix(t *testing.T) {
 	}
 	// Skipping the last prefix exhausts the space.
 	p = []int{3, 2, 1, 0}
-	if skipPrefix(p, 1) {
+	if _, ok := skipPrefix(p, 1); ok {
 		t.Fatalf("skipPrefix past final prefix should report exhaustion, got %v", p)
 	}
 }
@@ -364,8 +368,19 @@ func TestNextPermutationProperty(t *testing.T) {
 			}
 			seen[key] = true
 			count++
-			if !nextPermutation(p) {
+			changed, ok := nextPermutation(p)
+			if !ok {
 				break
+			}
+			// The pivot contract incremental filters rely on: everything
+			// before changedFrom is untouched, and p[changedFrom] differs.
+			for i := 0; i < changed; i++ {
+				if key[i] != byte('0'+p[i]) {
+					return false
+				}
+			}
+			if key[changed] == byte('0'+p[changed]) {
+				return false
 			}
 		}
 		want := Factorial(n)

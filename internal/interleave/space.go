@@ -190,15 +190,19 @@ func identityPerm(n int) []int {
 }
 
 // nextPermutation advances p to the next lexicographic permutation,
-// returning false when p was the last one (descending order).
-func nextPermutation(p []int) bool {
+// returning ok=false when p was the last one (descending order). On
+// success, changedFrom is the pivot index: the smallest index whose value
+// differs from the previous permutation — p[:changedFrom] is untouched,
+// which lets incremental filters reuse prefix scans (see
+// IncrementalFilter).
+func nextPermutation(p []int) (changedFrom int, ok bool) {
 	n := len(p)
 	i := n - 2
 	for i >= 0 && p[i] >= p[i+1] {
 		i--
 	}
 	if i < 0 {
-		return false
+		return 0, false
 	}
 	j := n - 1
 	for p[j] <= p[i] {
@@ -206,15 +210,20 @@ func nextPermutation(p []int) bool {
 	}
 	p[i], p[j] = p[j], p[i]
 	reverse(p[i+1:])
-	return true
+	return i, true
 }
 
 // skipPrefix advances p past every permutation sharing p's first `keep`
-// positions, returning false when no later permutation exists. keep must be
-// in [1, len(p)).
-func skipPrefix(p []int, keep int) bool {
+// positions, returning ok=false when no later permutation exists. keep
+// must be in [1, len(p)). On success, changedFrom is the smallest index
+// whose value differs from p's value before the call; it is always < keep
+// (the whole point is to change the prefix), so the suffix reshuffling
+// below never widens it.
+func skipPrefix(p []int, keep int) (changedFrom int, ok bool) {
 	// Arranging the suffix in descending order makes p the last permutation
 	// with this prefix; the next lexicographic step changes the prefix.
+	// nextPermutation's pivot scan walks through the now-descending suffix
+	// into the prefix, so its changedFrom lands in [0, keep).
 	suffix := p[keep:]
 	sort.Sort(sort.Reverse(sort.IntSlice(suffix)))
 	return nextPermutation(p)

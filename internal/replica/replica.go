@@ -48,9 +48,14 @@ type State interface {
 	SyncPayload() ([]byte, error)
 	// ApplySync executes a received synchronization request.
 	ApplySync(payload []byte) error
-	// Snapshot serializes the state for checkpointing.
+	// Snapshot serializes the state for checkpointing. The snapshot must
+	// capture ALL behavior-relevant state — logical clocks, arrival
+	// counters, tombstones — not just the observable value: the engine
+	// relies on Restore(Snapshot()) resuming execution mid-interleaving
+	// with byte-identical behavior (prefix-cache suffix replay, §4.9).
 	Snapshot() ([]byte, error)
-	// Restore resets the state from a snapshot.
+	// Restore resets the state from a snapshot. After Restore the state
+	// must behave exactly as it did when the snapshot was taken.
 	Restore(snapshot []byte) error
 	// Fingerprint returns a canonical digest of the observable state, used
 	// by divergence assertions. Equal states must produce equal
@@ -156,6 +161,40 @@ func (c *Cluster) Reset() error {
 		}
 		if err := n.State.Restore(snap); err != nil {
 			return fmt.Errorf("replica: reset %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// SnapshotAll serializes every replica's current (possibly mid-run)
+// state without touching the genesis checkpoints. It returns the
+// per-replica snapshots and their total size in bytes — the unit the
+// prefix cache's byte budget accounts in.
+func (c *Cluster) SnapshotAll() (map[event.ReplicaID][]byte, int64, error) {
+	out := make(map[event.ReplicaID][]byte, len(c.nodes))
+	var bytes int64
+	for id, n := range c.nodes {
+		snap, err := n.State.Snapshot()
+		if err != nil {
+			return nil, 0, fmt.Errorf("replica: snapshot %s: %w", id, err)
+		}
+		out[id] = snap
+		bytes += int64(len(snap))
+	}
+	return out, bytes, nil
+}
+
+// RestoreAll restores every replica from the given mid-run snapshots
+// (as produced by SnapshotAll). Every node in the cluster must be
+// covered; the genesis checkpoints are left untouched.
+func (c *Cluster) RestoreAll(snaps map[event.ReplicaID][]byte) error {
+	for id, n := range c.nodes {
+		snap, ok := snaps[id]
+		if !ok {
+			return fmt.Errorf("replica: no snapshot for %s", id)
+		}
+		if err := n.State.Restore(snap); err != nil {
+			return fmt.Errorf("replica: restore %s: %w", id, err)
 		}
 	}
 	return nil

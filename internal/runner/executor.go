@@ -42,6 +42,15 @@ type executor struct {
 	// pool worker id this executor belongs to (0 for the sequential engine).
 	tel    *runTelemetry
 	worker int
+	// cache, when non-nil, is this executor's private prefix-snapshot trie
+	// (DESIGN.md §4.9): execute restores the deepest cached prefix of each
+	// interleaving and replays only the suffix. Never shared across
+	// executors.
+	cache *prefixCache
+	// prevIL is the last interleaving this executor ran with the cache
+	// engaged; its common prefix with the next interleaving selects the
+	// divergence-point snapshot depth.
+	prevIL interleave.Interleaving
 }
 
 func (x *executor) buildPairs() {
@@ -56,10 +65,12 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 	if !x.built {
 		x.buildPairs()
 	}
+	armed := false
 	if x.inj != nil {
 		injSpan := x.tel.span(telemetry.StageFaultInject, index, x.worker)
 		x.inj.Begin(index)
 		injSpan.End()
+		armed = x.inj.AnyArmed()
 		defer x.inj.Finish()
 	}
 	outcome := &Outcome{
@@ -68,10 +79,47 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 		Observations: make(map[event.ID]string),
 	}
 	pending := make(map[event.ID][]byte)
-	for pos, id := range il {
+	// Prepare the cluster: restore the deepest cached prefix and replay
+	// only the suffix, or reset to the genesis checkpoint and replay from
+	// event 0. Fault-carrying interleavings always take the clean genesis
+	// path — a crash or truncation makes cached prefix states wrong — and
+	// neither read nor populate the cache.
+	start, divergence := 0, 0
+	useCache := x.cache != nil && !armed
+	if useCache {
+		divergence = commonPrefixLen(x.prevIL, il)
+		span := x.tel.span(telemetry.StageRestorePrefix, index, x.worker)
+		var err error
+		if snap, depth := x.cache.lookup(il); snap != nil {
+			err = x.restorePrefix(snap, pending, outcome)
+			start = depth
+			x.tel.onPrefixHit(depth)
+		} else {
+			err = x.cluster.Reset()
+			x.tel.onPrefixMiss()
+		}
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		span := x.tel.span(telemetry.StageCheckpointReset, index, x.worker)
+		err := x.cluster.Reset()
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for pos := start; pos < len(il); pos++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if useCache && pos > start && x.cache.wantSnapshot(pos, divergence) {
+			if err := x.snapshotPrefix(il, pos, pending, outcome); err != nil {
+				return nil, err
+			}
+		}
+		id := il[pos]
 		ev := x.log.Event(id)
 		if x.inj != nil {
 			for _, a := range x.inj.At(pos) {
@@ -147,9 +195,62 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 			return nil, fmt.Errorf("event %s: unsupported kind", ev)
 		}
 	}
+	x.tel.onEvents(len(il)-start, start)
 	outcome.Fingerprints = x.cluster.Fingerprints()
 	outcome.Converged = x.cluster.Converged()
+	if useCache {
+		x.prevIL = il
+	}
 	return outcome, nil
+}
+
+// restorePrefix rewinds the execution context to a cached prefix: replica
+// states, captured sync payloads, and the outcome fields accumulated by
+// the prefix's events. Payload slices are shared with the cache — they
+// are immutable once captured.
+func (x *executor) restorePrefix(snap *prefixSnapshot, pending map[event.ID][]byte, outcome *Outcome) error {
+	if err := x.cluster.RestoreAll(snap.states); err != nil {
+		return err
+	}
+	for id, p := range snap.pending {
+		pending[id] = p
+	}
+	for id, v := range snap.obs {
+		outcome.Observations[id] = v
+	}
+	outcome.FailedOps = append(outcome.FailedOps, snap.failed...)
+	return nil
+}
+
+// snapshotPrefix captures the execution context after il[:depth] into the
+// cache (a no-op when that prefix is already cached).
+func (x *executor) snapshotPrefix(il interleave.Interleaving, depth int, pending map[event.ID][]byte, outcome *Outcome) error {
+	if x.cache.cached(il, depth) {
+		return nil
+	}
+	states, size, err := x.cluster.SnapshotAll()
+	if err != nil {
+		return err
+	}
+	snap := &prefixSnapshot{
+		states:  states,
+		pending: make(map[event.ID][]byte, len(pending)),
+		obs:     make(map[event.ID]string, len(outcome.Observations)),
+		failed:  append([]event.ID(nil), outcome.FailedOps...),
+	}
+	for id, p := range pending {
+		snap.pending[id] = p
+		size += int64(len(p)) + 8
+	}
+	for id, v := range outcome.Observations {
+		snap.obs[id] = v
+		size += int64(len(v)) + 8
+	}
+	size += int64(len(snap.failed)) * 8
+	snap.size = size
+	delta, evicted := x.cache.insert(il, depth, snap)
+	x.tel.onSnapshot(delta, evicted)
+	return nil
 }
 
 func (x *executor) payloadFor(execID event.ID, pending map[event.ID][]byte) ([]byte, bool) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/er-pi/erpi/internal/datalog"
@@ -71,6 +72,12 @@ type pool struct {
 
 	// tel is nil when telemetry is off; all uses are nil-safe.
 	tel *runTelemetry
+	// cacheGen increments whenever re-pruning regenerates the explorer;
+	// workers compare it before each item and flush their private prefix
+	// caches when it moved, mirroring the sequential engine's
+	// invalidate-on-re-prune. The quiesce barrier guarantees no execution
+	// is in flight while it changes.
+	cacheGen atomic.Uint64
 	// nextSince / pollSince anchor the dispatch-wait and quiesce-gap spans
 	// (coordinator-only, valid only while tel is non-nil).
 	nextSince time.Time
@@ -178,11 +185,24 @@ func (p *pool) worker(ctx context.Context, w int) {
 		return
 	}
 	exec := &executor{log: p.s.Log, cluster: cluster, inj: inj, tel: p.tel, worker: w}
+	if p.cfg.PrefixCacheBytes > 0 {
+		// Private per-worker cache: no cross-worker sharing, so what a
+		// worker computes never depends on what other workers ran.
+		exec.cache = newPrefixCache(p.cfg.PrefixCacheBytes, p.cfg.PrefixSnapshotEvery)
+	}
 	// Per-worker jitter generator: retry timing varies across workers
 	// (contended state would serialize them), but which interleavings run
 	// and what they compute never depends on it.
 	jitter := rand.New(rand.NewSource(p.cfg.Seed ^ 0x5deece66d ^ int64(w+1)<<32))
+	var cacheGen uint64
 	for item := range p.workCh {
+		if exec.cache != nil {
+			if g := p.cacheGen.Load(); g != cacheGen {
+				cacheGen = g
+				p.tel.onSnapshot(-exec.cache.invalidate(), 0)
+				exec.prevIL = nil
+			}
+		}
 		p.tel.setWorker(w, item.index)
 		execSpan := p.tel.span(telemetry.StageExecute, item.index, w)
 		outcome, attempts, err := executeWithRetry(ctx, exec, p.s, p.cfg, item.il, item.index, jitter)
@@ -438,6 +458,7 @@ func (p *pool) poll() error {
 			return fmt.Errorf("runner: re-pruning: %w", err)
 		}
 		p.explorer = explorer
+		p.cacheGen.Add(1)
 	}
 	return nil
 }

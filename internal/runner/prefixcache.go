@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// prefixCache is a bounded snapshot trie keyed by executed event-prefix
+// (DESIGN.md §4.9). The DFS/pruned explorers emit interleavings in
+// lexicographic order, so consecutive interleavings share long common
+// prefixes; instead of resetting to the genesis checkpoint and replaying
+// from event 0, the executor restores the deepest cached snapshot whose
+// prefix matches the next interleaving and executes only the suffix.
+//
+// The trie's edges are event IDs: the node reached by walking
+// il[0], il[1], ..., il[d-1] from the root represents the prefix il[:d],
+// and may carry a snapshot of the full execution context after those d
+// events. Snapshots hang off an LRU list and are accounted against a
+// byte budget; eviction removes the least-recently-used snapshot and
+// prunes any trie branch left empty.
+//
+// A prefixCache is owned by exactly one executor (per worker in the
+// pool) and is not safe for concurrent use — per-worker ownership is
+// what keeps pool results byte-identical to the sequential engine.
+type prefixCache struct {
+	budget int64 // max total snapshot bytes (> 0)
+	every  int   // snapshot insertion stride in events (> 0)
+
+	root  *prefixNode
+	bytes int64
+
+	// LRU list of snapshot-bearing nodes; head is most recently used.
+	head, tail *prefixNode
+}
+
+// prefixNode is one trie node: the prefix formed by the edge labels from
+// the root down to it.
+type prefixNode struct {
+	parent   *prefixNode
+	id       event.ID // edge label from parent (zero value at the root)
+	children map[event.ID]*prefixNode
+	depth    int
+
+	snap *prefixSnapshot // nil for structural (pass-through) nodes
+
+	prev, next *prefixNode // LRU links, set only while snap != nil
+}
+
+// prefixSnapshot captures the full execution context after a prefix:
+// the serialized replica states plus the executor-side bookkeeping that
+// the remaining suffix can observe (captured sync payloads, recorded
+// observations, failed ops). DroppedSyncs are absent by construction —
+// they only occur under armed faults, and fault-carrying interleavings
+// bypass the cache entirely.
+type prefixSnapshot struct {
+	states  map[event.ReplicaID][]byte
+	pending map[event.ID][]byte
+	obs     map[event.ID]string
+	failed  []event.ID
+	size    int64
+}
+
+func newPrefixCache(budget int64, every int) *prefixCache {
+	if every <= 0 {
+		every = defaultPrefixSnapshotEvery
+	}
+	return &prefixCache{budget: budget, every: every, root: &prefixNode{}}
+}
+
+// lookup walks the trie along il and returns the deepest cached snapshot
+// whose prefix strictly precedes the full interleaving (depth < len(il);
+// a full-length restore would skip the execution whose outcome the
+// caller needs). The returned snapshot is marked most recently used.
+func (c *prefixCache) lookup(il interleave.Interleaving) (*prefixSnapshot, int) {
+	node := c.root
+	var best *prefixNode
+	for d := 0; d < len(il)-1; d++ {
+		child, ok := node.children[il[d]]
+		if !ok {
+			break
+		}
+		node = child
+		if node.snap != nil {
+			best = node
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	c.touch(best)
+	return best.snap, best.depth
+}
+
+// cached reports whether the prefix il[:depth] already carries a
+// snapshot, refreshing its recency if so. The executor checks this
+// before serializing the cluster, so re-walking a hot prefix costs a
+// map-walk rather than a snapshot.
+func (c *prefixCache) cached(il interleave.Interleaving, depth int) bool {
+	node := c.root
+	for d := 0; d < depth; d++ {
+		child, ok := node.children[il[d]]
+		if !ok {
+			return false
+		}
+		node = child
+	}
+	if node.snap == nil {
+		return false
+	}
+	c.touch(node)
+	return true
+}
+
+// wantSnapshot reports whether the executor should snapshot at depth
+// while executing il: every K events, plus the divergence depth against
+// the previous interleaving (the deepest prefix the next lexicographic
+// interleaving can possibly share).
+func (c *prefixCache) wantSnapshot(depth, divergence int) bool {
+	return depth%c.every == 0 || depth == divergence
+}
+
+// insert stores a snapshot for the prefix il[:depth], evicting
+// least-recently-used snapshots until the byte budget holds. It returns
+// the net change in cached bytes (insertion minus evictions) and the
+// number of snapshots evicted. A snapshot larger than the whole budget
+// is rejected outright.
+func (c *prefixCache) insert(il interleave.Interleaving, depth int, snap *prefixSnapshot) (delta int64, evicted int) {
+	if snap.size > c.budget {
+		return 0, 0
+	}
+	node := c.root
+	for d := 0; d < depth; d++ {
+		child, ok := node.children[il[d]]
+		if !ok {
+			if node.children == nil {
+				node.children = make(map[event.ID]*prefixNode)
+			}
+			child = &prefixNode{parent: node, id: il[d], depth: node.depth + 1}
+			node.children[il[d]] = child
+		}
+		node = child
+	}
+	if node.snap != nil {
+		// Executions are pure functions of the prefix, so an existing
+		// snapshot is identical to the offered one; keep it.
+		c.touch(node)
+		return 0, 0
+	}
+	node.snap = snap
+	c.bytes += snap.size
+	delta = snap.size
+	c.pushFront(node)
+	for c.bytes > c.budget && c.tail != nil && c.tail != node {
+		delta -= c.drop(c.tail)
+		evicted++
+	}
+	return delta, evicted
+}
+
+// invalidate discards every cached snapshot (ConstraintPoll re-pruning
+// boundary) and returns the number of bytes freed.
+func (c *prefixCache) invalidate() int64 {
+	freed := c.bytes
+	c.root = &prefixNode{}
+	c.bytes = 0
+	c.head, c.tail = nil, nil
+	return freed
+}
+
+// drop removes one snapshot-bearing node from the LRU list and the trie,
+// pruning newly-empty ancestors, and returns the bytes freed.
+func (c *prefixCache) drop(node *prefixNode) int64 {
+	freed := node.snap.size
+	c.bytes -= freed
+	c.unlink(node)
+	node.snap = nil
+	for n := node; n.parent != nil && n.snap == nil && len(n.children) == 0; n = n.parent {
+		delete(n.parent.children, n.id)
+	}
+	return freed
+}
+
+func (c *prefixCache) touch(node *prefixNode) {
+	if c.head == node {
+		return
+	}
+	c.unlink(node)
+	c.pushFront(node)
+}
+
+func (c *prefixCache) pushFront(node *prefixNode) {
+	node.prev = nil
+	node.next = c.head
+	if c.head != nil {
+		c.head.prev = node
+	}
+	c.head = node
+	if c.tail == nil {
+		c.tail = node
+	}
+}
+
+func (c *prefixCache) unlink(node *prefixNode) {
+	if node.prev != nil {
+		node.prev.next = node.next
+	} else if c.head == node {
+		c.head = node.next
+	}
+	if node.next != nil {
+		node.next.prev = node.prev
+	} else if c.tail == node {
+		c.tail = node.prev
+	}
+	node.prev, node.next = nil, nil
+}
+
+// commonPrefixLen returns the length of the longest common prefix of two
+// interleavings.
+func commonPrefixLen(a, b interleave.Interleaving) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

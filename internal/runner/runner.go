@@ -214,6 +214,20 @@ type Config struct {
 	// ModeRand/ModeFuzz explorations want. See exploredSet for the full
 	// trade-off.
 	MaxExploredKeys int
+	// PrefixCacheBytes, when > 0, enables incremental replay: each worker
+	// keeps a private bounded trie of mid-run cluster snapshots keyed by
+	// executed event-prefix, restores the deepest cached prefix of every
+	// interleaving, and replays only the suffix (DESIGN.md §4.9). The
+	// value bounds the cached snapshot bytes per worker. Strictly an
+	// accelerator: results are byte-identical with the cache on or off,
+	// and fault-carrying interleavings always fall back to a clean
+	// genesis replay. Zero disables the cache.
+	PrefixCacheBytes int64
+	// PrefixSnapshotEvery is the cache's snapshot insertion stride in
+	// events (default 4): during execution a snapshot is inserted every K
+	// events, plus at the divergence depth against the previous
+	// interleaving.
+	PrefixSnapshotEvery int
 	// Telemetry, when set, receives the run's metrics, live progress, and
 	// per-stage spans (see the telemetry package). Strictly observational:
 	// a run with telemetry attached explores the same interleavings, in
@@ -224,6 +238,12 @@ type Config struct {
 
 // DefaultMaxInterleavings is the paper's exploration cap.
 const DefaultMaxInterleavings = 10000
+
+// defaultPrefixSnapshotEvery is the default Config.PrefixSnapshotEvery:
+// lexicographic neighbors differ in their last ~e≈2.7 positions on
+// average, so a stride of 4 keeps a usable restore point near the tail
+// of every prefix without snapshotting after every event.
+const defaultPrefixSnapshotEvery = 4
 
 // Result summarizes one exploration run.
 type Result struct {
@@ -422,6 +442,9 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 	// The sequential engine executes on its own goroutine; spans attribute
 	// that work to worker 0, matching a one-worker pool's timeline.
 	exec := &executor{log: s.Log, cluster: cluster, inj: inj, tel: tel, worker: 0}
+	if cfg.PrefixCacheBytes > 0 {
+		exec.cache = newPrefixCache(cfg.PrefixCacheBytes, cfg.PrefixSnapshotEvery)
+	}
 	// Retry jitter comes from a seeded generator so chaotic runs stay
 	// reproducible end to end.
 	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
@@ -534,6 +557,13 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 				if err != nil {
 					return fmt.Errorf("runner: re-pruning: %w", err)
 				}
+				// Re-pruning regenerates the explorer sequence; flush the
+				// prefix cache so it does not hold branches the new
+				// sequence will never walk.
+				if exec.cache != nil {
+					tel.onSnapshot(-exec.cache.invalidate(), 0)
+					exec.prevIL = nil
+				}
 			}
 		}
 	}
@@ -543,8 +573,9 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 	return nil
 }
 
-// executeAttempt performs one execution attempt: reset the cluster, run
-// the interleaving (under the per-interleaving timeout, when configured),
+// executeAttempt performs one execution attempt: run the interleaving
+// (under the per-interleaving timeout, when configured; execute itself
+// restores the cluster from a cached prefix or the genesis checkpoint),
 // finalize, and recompute the outcome's post-finalize fields.
 func executeAttempt(ctx context.Context, exec *executor, s Scenario, cfg Config, il interleave.Interleaving, index int) (*Outcome, error) {
 	ilCtx := ctx
@@ -552,12 +583,6 @@ func executeAttempt(ctx context.Context, exec *executor, s Scenario, cfg Config,
 		var cancel context.CancelFunc
 		ilCtx, cancel = context.WithTimeout(ctx, cfg.InterleavingTimeout)
 		defer cancel()
-	}
-	resetSpan := exec.tel.span(telemetry.StageCheckpointReset, index, exec.worker)
-	err := exec.cluster.Reset()
-	resetSpan.End()
-	if err != nil {
-		return nil, err
 	}
 	outcome, err := exec.execute(ilCtx, il, index)
 	if err != nil {

@@ -45,7 +45,10 @@ func (s *lwwSetState) Apply(op replica.Op) (string, error) {
 	}
 }
 
-func (s *lwwSetState) SyncPayload() ([]byte, error) { return s.Snapshot() }
+func (s *lwwSetState) SyncPayload() ([]byte, error) {
+	adds, rems := s.set.Dump()
+	return json.Marshal(map[string]map[string]crdt.Time{"adds": adds, "rems": rems})
+}
 
 func (s *lwwSetState) ApplySync(payload []byte) error {
 	other := crdt.NewLWWSet(crdt.BiasAdd)
@@ -63,14 +66,35 @@ func (s *lwwSetState) ApplySync(payload []byte) error {
 	return nil
 }
 
+// lwwSnapshot is the checkpoint form: unlike the sync payload it carries
+// the clock counter, so a restored state issues the same timestamps it
+// would have issued when the snapshot was taken (the fidelity contract
+// replica.State documents for mid-run prefix restores).
+type lwwSnapshot struct {
+	Adds  map[string]crdt.Time `json:"adds"`
+	Rems  map[string]crdt.Time `json:"rems"`
+	Clock uint64               `json:"clock"`
+}
+
 func (s *lwwSetState) Snapshot() ([]byte, error) {
 	adds, rems := s.set.Dump()
-	return json.Marshal(map[string]map[string]crdt.Time{"adds": adds, "rems": rems})
+	return json.Marshal(lwwSnapshot{Adds: adds, Rems: rems, Clock: s.clock.Counter()})
 }
 
 func (s *lwwSetState) Restore(snapshot []byte) error {
+	var snap lwwSnapshot
+	if err := json.Unmarshal(snapshot, &snap); err != nil {
+		return err
+	}
 	s.set = crdt.NewLWWSet(crdt.BiasAdd)
-	return s.ApplySync(snapshot)
+	for e, t := range snap.Adds {
+		s.set.Add(e, t)
+	}
+	for e, t := range snap.Rems {
+		s.set.Remove(e, t)
+	}
+	s.clock.SetCounter(snap.Clock)
+	return nil
 }
 
 func (s *lwwSetState) Fingerprint() string {

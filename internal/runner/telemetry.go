@@ -15,41 +15,66 @@ import (
 //
 // Metric names written by the engine:
 //
-//	runner.explored        interleavings assigned an exploration index
-//	runner.dedup_skipped   explorer yields suppressed by the explored set
-//	runner.retries         execution attempts beyond the first
-//	runner.quarantined     interleavings that failed all retries
-//	runner.violations      assertion failures
-//	journal.fsync_batches  durable journal flushes
-//	journal.fsync_keys     appends covered by those flushes
-//	fault.armed            faults armed across interleavings
-//	fault.fired            fault effects applied (crashes, drops, ...)
-//	stage.<stage>_ns       per-stage latency histograms (see telemetry.Stage)
+//	runner.explored            interleavings assigned an exploration index
+//	runner.dedup_skipped       explorer yields suppressed by the explored set
+//	runner.retries             execution attempts beyond the first
+//	runner.quarantined         interleavings that failed all retries
+//	runner.violations          assertion failures
+//	runner.prefix_cache_hits   executions resumed from a cached prefix snapshot
+//	runner.prefix_cache_misses cache-enabled executions replayed from genesis
+//	runner.prefix_evictions    snapshots evicted by the LRU byte budget
+//	runner.events_executed     events actually replayed
+//	runner.events_skipped      events skipped via prefix restore
+//	runner.snapshot_bytes      bytes currently held by prefix caches (gauge)
+//	runner.prefix_hit_depth    restored prefix depths (histogram, in events)
+//	journal.fsync_batches      durable journal flushes
+//	journal.fsync_keys         appends covered by those flushes
+//	fault.armed                faults armed across interleavings
+//	fault.fired                fault effects applied (crashes, drops, ...)
+//	stage.<stage>_ns           per-stage latency histograms (see telemetry.Stage)
 type runTelemetry struct {
 	reg *telemetry.Registry
 
-	explored     *telemetry.Counter
-	dedupSkipped *telemetry.Counter
-	retries      *telemetry.Counter
-	quarantined  *telemetry.Counter
-	violations   *telemetry.Counter
-	fsyncBatches *telemetry.Counter
-	fsyncKeys    *telemetry.Counter
+	explored       *telemetry.Counter
+	dedupSkipped   *telemetry.Counter
+	retries        *telemetry.Counter
+	quarantined    *telemetry.Counter
+	violations     *telemetry.Counter
+	fsyncBatches   *telemetry.Counter
+	fsyncKeys      *telemetry.Counter
+	prefixHits     *telemetry.Counter
+	prefixMisses   *telemetry.Counter
+	prefixEvicted  *telemetry.Counter
+	eventsExecuted *telemetry.Counter
+	eventsSkipped  *telemetry.Counter
+	snapshotBytes  *telemetry.Gauge
+	hitDepth       *telemetry.Histogram
 }
+
+// prefixDepthBounds buckets the prefix-hit-depth histogram by restored
+// depth in events (not nanoseconds).
+var prefixDepthBounds = []int64{1, 2, 4, 6, 8, 12, 16, 20, 24, 32, 48, 64}
 
 func newRunTelemetry(reg *telemetry.Registry) *runTelemetry {
 	if reg == nil {
 		return nil
 	}
 	return &runTelemetry{
-		reg:          reg,
-		explored:     reg.Counter("runner.explored"),
-		dedupSkipped: reg.Counter("runner.dedup_skipped"),
-		retries:      reg.Counter("runner.retries"),
-		quarantined:  reg.Counter("runner.quarantined"),
-		violations:   reg.Counter("runner.violations"),
-		fsyncBatches: reg.Counter("journal.fsync_batches"),
-		fsyncKeys:    reg.Counter("journal.fsync_keys"),
+		reg:            reg,
+		explored:       reg.Counter("runner.explored"),
+		dedupSkipped:   reg.Counter("runner.dedup_skipped"),
+		retries:        reg.Counter("runner.retries"),
+		quarantined:    reg.Counter("runner.quarantined"),
+		violations:     reg.Counter("runner.violations"),
+		fsyncBatches:   reg.Counter("journal.fsync_batches"),
+		fsyncKeys:      reg.Counter("journal.fsync_keys"),
+		prefixHits:     reg.Counter("runner.prefix_cache_hits"),
+		prefixMisses:   reg.Counter("runner.prefix_cache_misses"),
+		prefixEvicted:  reg.Counter("runner.prefix_evictions"),
+		eventsExecuted: reg.Counter("runner.events_executed"),
+		eventsSkipped:  reg.Counter("runner.events_skipped"),
+		snapshotBytes:  reg.Gauge("runner.snapshot_bytes"),
+		hitDepth:       reg.HistogramWithBounds("runner.prefix_hit_depth", prefixDepthBounds),
 	}
 }
 
@@ -115,6 +140,44 @@ func (t *runTelemetry) onViolations(n int) {
 	}
 	t.violations.Add(int64(n))
 	t.reg.Progress().AddViolations(int64(n))
+}
+
+// onPrefixHit counts one execution resumed from a cached prefix of the
+// given depth.
+func (t *runTelemetry) onPrefixHit(depth int) {
+	if t == nil {
+		return
+	}
+	t.prefixHits.Inc()
+	t.hitDepth.Observe(int64(depth))
+}
+
+// onPrefixMiss counts one cache-enabled execution that replayed from the
+// genesis checkpoint.
+func (t *runTelemetry) onPrefixMiss() {
+	if t == nil {
+		return
+	}
+	t.prefixMisses.Inc()
+}
+
+// onEvents accounts one execution's replayed vs. prefix-skipped events.
+func (t *runTelemetry) onEvents(executed, skipped int) {
+	if t == nil {
+		return
+	}
+	t.eventsExecuted.Add(int64(executed))
+	t.eventsSkipped.Add(int64(skipped))
+}
+
+// onSnapshot applies one cache operation's byte delta (insertions are
+// positive, evictions and invalidations negative) and eviction count.
+func (t *runTelemetry) onSnapshot(deltaBytes int64, evicted int) {
+	if t == nil {
+		return
+	}
+	t.snapshotBytes.Add(deltaBytes)
+	t.prefixEvicted.Add(int64(evicted))
 }
 
 // setWorker publishes what worker w is executing (0 = idle).

@@ -245,14 +245,35 @@ func (s *Store) ApplySync(payload []byte) error {
 	return nil
 }
 
-// Snapshot implements replica.State.
-func (s *Store) Snapshot() ([]byte, error) { return s.SyncPayload() }
+// storeSnapshot is the checkpoint form of a store. Unlike the sync wire
+// form it carries the per-record Arrival order and the arrival counter:
+// the seeded arrival-order and map-order defects read them, so a
+// checkpoint that dropped them would change behavior across a
+// Restore(Snapshot()) round trip (the fidelity the prefix cache relies
+// on — see replica.State).
+type storeSnapshot struct {
+	Keys    map[string]map[string]*record `json:"keys"`
+	Arrival int                           `json:"arrival"`
+}
+
+// Snapshot implements replica.State: a faithful dump of the record table
+// including arrival bookkeeping.
+func (s *Store) Snapshot() ([]byte, error) {
+	return json.Marshal(storeSnapshot{Keys: s.keys, Arrival: s.arrival})
+}
 
 // Restore implements replica.State.
 func (s *Store) Restore(snapshot []byte) error {
-	s.keys = make(map[string]map[string]*record)
-	s.arrival = 0
-	return s.ApplySync(snapshot)
+	var snap storeSnapshot
+	if err := json.Unmarshal(snapshot, &snap); err != nil {
+		return fmt.Errorf("roshi: snapshot: %w", err)
+	}
+	s.keys = snap.Keys
+	if s.keys == nil {
+		s.keys = make(map[string]map[string]*record)
+	}
+	s.arrival = snap.Arrival
+	return nil
 }
 
 // Fingerprint implements replica.State: canonical live membership with

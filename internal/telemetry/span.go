@@ -35,8 +35,12 @@ const (
 	// StageQuiesce is the pool draining in-flight work at a ConstraintPoll
 	// barrier (the visible bubble in the pipeline).
 	StageQuiesce
+	// StageRestorePrefix is restoring the cluster from a prefix-cache
+	// snapshot (or falling back to the genesis checkpoint on a miss)
+	// before a suffix execution.
+	StageRestorePrefix
 
-	stageMax = StageQuiesce
+	stageMax = StageRestorePrefix
 )
 
 var stageNames = [...]string{
@@ -50,6 +54,7 @@ var stageNames = [...]string{
 	StageAssert:          "assert",
 	StageJournalFsync:    "journal-fsync",
 	StageQuiesce:         "quiesce",
+	StageRestorePrefix:   "restore-prefix",
 }
 
 func (s Stage) String() string {

@@ -290,6 +290,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// HistogramWithBounds returns (registering on first use) the named
+// histogram over the given bucket upper bounds. A histogram keeps the
+// bounds it was first registered with; later lookups under the same name
+// return the existing histogram regardless of the bounds argument. Use
+// this for value distributions that are not latencies (e.g. depths or
+// sizes), where DefaultLatencyBounds would lump everything into one
+// bucket.
+func (r *Registry) HistogramWithBounds(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Tracer returns the registry's span tracer (nil for a nil registry).
 func (r *Registry) Tracer() *Tracer {
 	if r == nil {
