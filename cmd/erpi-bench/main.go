@@ -9,6 +9,7 @@
 //	erpi-bench -fig10         # Figure 10: succeed-or-crash micro-benchmark
 //	erpi-bench -pool          # pool throughput sweep -> BENCH_pool.json
 //	erpi-bench -prefix        # incremental-replay sweep -> BENCH_prefix.json
+//	erpi-bench -live          # live-replay session sweep -> BENCH_live.json
 package main
 
 import (
@@ -43,9 +44,12 @@ func run() int {
 		prefix  = flag.Bool("prefix", false, "incremental-replay sweep over prefix-cache budgets")
 		prefN   = flag.Int("prefix-slice", bench.DefaultPrefixSlice, "interleavings per prefix run")
 		prefOut = flag.String("prefix-out", "BENCH_prefix.json", "machine-readable prefix report path")
+		live    = flag.Bool("live", false, "live-replay sweep over concurrent session counts")
+		liveN   = flag.Int("live-slice", bench.DefaultLiveSlice, "interleavings per live run")
+		liveOut = flag.String("live-out", "BENCH_live.json", "machine-readable live report path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*live {
 		flag.Usage()
 		return 2
 	}
@@ -125,6 +129,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *prefOut)
+	}
+	if *all || *live {
+		report, err := bench.RunLive(*liveN, nil)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WriteLiveJSON(*liveOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *liveOut)
 	}
 	if *all || *fuzzx {
 		rows, err := bench.RunFuzzExt(3, *cap)

@@ -34,6 +34,7 @@ func run() int {
 		verbose    = flag.Bool("v", false, "print every violation, not just the first")
 		session    = flag.String("session", "", "journal directory: persist progress and resume interrupted runs")
 		workers    = flag.Int("workers", 1, "concurrent executors (0 = one per CPU); results are identical at every count")
+		liveN      = flag.Int("live-workers", 0, "route exploration through live replay (goroutine-per-replica, turn-gated) with this many concurrent sessions; 0 keeps the checkpointed engine")
 		statusAddr = flag.String("status-addr", "", "serve live progress, metrics, pprof, and a Chrome trace on this host:port")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file after the run (open in about://tracing)")
 	)
@@ -104,6 +105,7 @@ func run() int {
 		Seed:             *seed,
 		MaxInterleavings: *capN,
 		Workers:          *workers,
+		LiveWorkers:      *liveN,
 		StopOnViolation:  !*verbose,
 		Assertions:       asserts,
 	}

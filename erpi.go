@@ -86,6 +86,15 @@ type (
 	// ExecError is one quarantined interleaving: its index, schedule, and
 	// the error that survived all retries.
 	ExecError = runner.ExecError
+	// LiveSession is one live execution attempt's gate namespace: Gate
+	// mints the TurnGate for a replica, Close releases whatever the
+	// session still holds.
+	LiveSession = runner.LiveSession
+	// LiveSessionFactory mints the fenced gate sessions for one live
+	// worker.
+	LiveSessionFactory = runner.SessionFactory
+	// LiveGates builds the per-worker session factories for the live pool.
+	LiveGates = runner.LiveGates
 )
 
 // Fault injection (chaos replay): a seeded FaultSchedule makes the engine
@@ -247,6 +256,25 @@ func WithSeed(seed int64) Option { return func(s *Session) { s.cfg.Seed = seed }
 // identical at every worker count — only wall-clock time changes.
 func WithWorkers(n int) Option {
 	return func(s *Session) { s.cfg.Workers = n }
+}
+
+// WithLiveWorkers routes exploration through the live replay path
+// (ReplayLive semantics: one goroutine per replica, ordered by turn
+// gates) with n interleavings in flight concurrently, each under its own
+// fenced gate session. Results are identical to the checkpointed engine
+// and to a sequential live loop at every worker count; only wall-clock
+// time changes. Combine with WithLiveGates for lock-server-ordered
+// sessions; without it each session gets an in-process gate.
+func WithLiveWorkers(n int) Option {
+	return func(s *Session) { s.cfg.LiveWorkers = n }
+}
+
+// WithLiveGates supplies the per-worker gate-session factories used by
+// WithLiveWorkers — e.g. one proxy.DistPool per worker for
+// lock-server-ordered replay with epoch-fenced sess/<worker>/<epoch> key
+// namespaces.
+func WithLiveGates(gates LiveGates) Option {
+	return func(s *Session) { s.cfg.LiveGates = gates }
 }
 
 // WithPrefixCache enables incremental replay: each worker keeps a

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/proxy"
+	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// Live benchmark: throughput of the live replay path (goroutine per
+// replica, turns ordered by a lock server) as the session pool widens,
+// plus the blocking-vs-polling sequencer comparison. Every run replays
+// the same DFS slice of Roshi-3 against an in-process lock server over
+// real TCP, and every run's outcome-signature digest must match a
+// hand-rolled sequential ExecuteLive loop — the benchmark doubles as a
+// determinism pin for the numbers it reports.
+
+// DefaultLiveSlice is how many DFS interleavings each live run replays.
+// Smaller than DefaultPoolSlice: a live interleaving pays one lock-server
+// round trip per turn.
+const DefaultLiveSlice = 64
+
+// liveLeaseTTL is the per-turn mutex lease for benchmark sessions; long
+// enough that no healthy run ever loses a lease.
+const liveLeaseTTL = 10 * time.Second
+
+// liveWireRTT is the simulated wire latency charged to every lock-server
+// request (via the client fault hook, so it delays exactly where a real
+// network would). Against a loopback server the replay is CPU-bound and
+// session counts can't matter; charging a realistic RTT makes each
+// session latency-bound — which is the regime the sharded pool exists
+// for, since concurrent sessions overlap their wire waits. Sleeps round
+// up to the host's timer granularity, which only makes the simulated
+// wire slower; the speedup ratio is what the sweep is after.
+const liveWireRTT = time.Millisecond
+
+// LiveRun is one session-count measurement.
+type LiveRun struct {
+	Workers   int     `json:"workers"`
+	Explored  int     `json:"explored"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"interleavings_per_second"`
+	// Speedup is the throughput ratio against the single-session run.
+	Speedup float64 `json:"speedup_vs_one_session"`
+	// TurnWaitP50Ns is the median sequencer turn wait across all of the
+	// run's sessions (blocking WAITGE unless the run is the polling
+	// baseline).
+	TurnWaitP50Ns int64 `json:"turn_wait_p50_ns"`
+	// Digest is the sha256 over the run's outcome-signature stream; equal
+	// to the report's SequentialDigest by construction (verified).
+	Digest string      `json:"outcome_digest"`
+	Stages []PoolStage `json:"stage_means"`
+}
+
+// LiveReport is the BENCH_live.json shape.
+type LiveReport struct {
+	Benchmark     string `json:"benchmark"`
+	Mode          string `json:"mode"`
+	Interleavings int    `json:"interleavings"`
+	// SequentialDigest is the outcome-signature digest of a plain
+	// sequential ExecuteLive loop over the same slice — the reference
+	// every pooled run must reproduce byte-for-byte.
+	SequentialDigest string `json:"sequential_digest"`
+	// SimulatedWireRTTNs is the per-request latency charged to every
+	// lock-server call (see liveWireRTT).
+	SimulatedWireRTTNs int64     `json:"simulated_wire_rtt_ns"`
+	Runs               []LiveRun `json:"runs"`
+	// BlockingTurnWaitP50Ns vs PollingTurnWaitP50Ns compare the median
+	// turn wait at the widest session count with server-side WAITGE
+	// long-polls against the 1ms client polling baseline. Both are
+	// measured on bare loopback (no simulated RTT): that isolates
+	// turn-notification latency, the thing blocking waits improve, from
+	// the schedule waits that dominate either way on a slow wire.
+	BlockingTurnWaitP50Ns int64 `json:"blocking_turn_wait_p50_ns"`
+	PollingTurnWaitP50Ns  int64 `json:"polling_turn_wait_p50_ns"`
+}
+
+// RunLive measures live-pool throughput at each session count (default
+// 1/2/4/8) over a DFS slice of the Roshi-3 space, then repeats the widest
+// count with blocking waits disabled for the polling baseline. slice <= 0
+// uses DefaultLiveSlice.
+func RunLive(slice int, workers []int) (*LiveReport, error) {
+	if slice <= 0 {
+		slice = DefaultLiveSlice
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	bug, ok := bugs.ByName("Roshi-3")
+	if !ok {
+		return nil, fmt.Errorf("bench: Roshi-3 missing from the corpus")
+	}
+	scenario, err := bug.Build()
+	if err != nil {
+		return nil, err
+	}
+	srv := lockserver.NewServer(lockserver.NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: lock server: %w", err)
+	}
+	defer srv.Close()
+
+	report := &LiveReport{
+		Benchmark:          bug.Name,
+		Mode:               string(runner.ModeDFS),
+		Interleavings:      slice,
+		SimulatedWireRTTNs: int64(liveWireRTT),
+	}
+	report.SequentialDigest, err = sequentialLiveDigest(scenario, slice)
+	if err != nil {
+		return nil, err
+	}
+
+	var base float64
+	for _, w := range workers {
+		run, err := liveRun(scenario, addr, slice, w, true, true)
+		if err != nil {
+			return nil, err
+		}
+		if run.Digest != report.SequentialDigest {
+			return nil, fmt.Errorf("bench: live workers=%d digest %s != sequential %s",
+				w, run.Digest, report.SequentialDigest)
+		}
+		if base == 0 {
+			base = run.PerSecond
+		}
+		run.Speedup = run.PerSecond / base
+		report.Runs = append(report.Runs, *run)
+	}
+
+	// The notification-latency comparison: same widest session count, bare
+	// loopback, blocking vs polling sequencer turns.
+	widest := workers[len(workers)-1]
+	for _, blocking := range []bool{true, false} {
+		run, err := liveRun(scenario, addr, slice, widest, blocking, false)
+		if err != nil {
+			return nil, err
+		}
+		if run.Digest != report.SequentialDigest {
+			return nil, fmt.Errorf("bench: loopback blocking=%v digest %s != sequential %s",
+				blocking, run.Digest, report.SequentialDigest)
+		}
+		if blocking {
+			report.BlockingTurnWaitP50Ns = run.TurnWaitP50Ns
+		} else {
+			report.PollingTurnWaitP50Ns = run.TurnWaitP50Ns
+		}
+	}
+	return report, nil
+}
+
+// liveRun replays the slice once through the live pool at the given
+// session count, with blocking sequencer turns on or off and the
+// simulated wire RTT charged or not.
+func liveRun(scenario runner.Scenario, addr string, slice, w int, blocking, rtt bool) (*LiveRun, error) {
+	reg := telemetry.New()
+	var (
+		mu    sync.Mutex
+		pools []*proxy.DistPool
+	)
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, p := range pools {
+			_ = p.Close()
+		}
+	}()
+	gates := runner.LiveGates(func(worker int) (runner.SessionFactory, error) {
+		p := proxy.NewDistPool(addr, "bench", worker, liveLeaseTTL)
+		if rtt {
+			p.SetFaultHook(func(string, []string) error { time.Sleep(liveWireRTT); return nil })
+		}
+		p.SetTurnWaitMetrics(reg.Histogram(fmt.Sprintf("live.turn_wait_ns.w%d", worker)))
+		if !blocking {
+			p.DisableBlocking()
+		}
+		mu.Lock()
+		pools = append(pools, p)
+		mu.Unlock()
+		return func() (runner.LiveSession, error) { return p.Session(), nil }, nil
+	})
+	digest := sha256.New()
+	start := time.Now()
+	res, err := runner.Run(scenario, runner.Config{
+		Mode:             runner.ModeDFS,
+		LiveWorkers:      w,
+		LiveGates:        gates,
+		MaxInterleavings: slice,
+		Telemetry:        reg,
+		OnOutcome:        func(o *runner.Outcome) { signInto(digest, o) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if res.Explored != slice {
+		return nil, fmt.Errorf("bench: live workers=%d explored %d, want %d", w, res.Explored, slice)
+	}
+	snap := reg.Snapshot()
+	return &LiveRun{
+		Workers:       w,
+		Explored:      res.Explored,
+		Seconds:       elapsed.Seconds(),
+		PerSecond:     float64(res.Explored) / elapsed.Seconds(),
+		TurnWaitP50Ns: turnWaitP50(snap),
+		Digest:        hex.EncodeToString(digest.Sum(nil)),
+		Stages:        stageMeans(snap),
+	}, nil
+}
+
+// sequentialLiveDigest replays the slice through plain ExecuteLive, one
+// interleaving at a time under an in-process gate — the reference stream
+// every pooled run must match.
+func sequentialLiveDigest(scenario runner.Scenario, slice int) (string, error) {
+	ils := interleave.Collect(interleave.NewDFS(interleave.NewSpace(scenario.Log)), slice)
+	if len(ils) != slice {
+		return "", fmt.Errorf("bench: DFS yielded %d interleavings, want %d", len(ils), slice)
+	}
+	digest := sha256.New()
+	for _, il := range ils {
+		gate := proxy.NewLocalGate()
+		o, err := runner.ExecuteLive(scenario, il, func(event.ReplicaID) proxy.TurnGate { return gate })
+		if err != nil {
+			return "", fmt.Errorf("bench: sequential live replay: %w", err)
+		}
+		signInto(digest, o)
+	}
+	return hex.EncodeToString(digest.Sum(nil)), nil
+}
+
+// signInto folds one outcome's order-insensitive signature into a digest.
+func signInto(h hash.Hash, o *runner.Outcome) {
+	io.WriteString(h, runner.OutcomeSignature(o))
+	io.WriteString(h, "\n")
+}
+
+// turnWaitP50 merges the run's per-session live.turn_wait_ns.w<N>
+// histograms and returns the median wait.
+func turnWaitP50(snap telemetry.Snapshot) int64 {
+	var merged telemetry.HistogramSnapshot
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "live.turn_wait_ns.") {
+			continue
+		}
+		if merged.Bounds == nil {
+			merged.Bounds = h.Bounds
+			merged.Counts = make([]int64, len(h.Counts))
+		}
+		for i, c := range h.Counts {
+			if i < len(merged.Counts) {
+				merged.Counts[i] += c
+			}
+		}
+		merged.Count += h.Count
+		merged.Sum += h.Sum
+		if h.Max > merged.Max {
+			merged.Max = h.Max
+		}
+	}
+	return merged.Quantile(0.5)
+}
+
+// WriteLiveJSON writes the report as indented JSON to path (the CI
+// artifact BENCH_live.json).
+func (r *LiveReport) WriteLiveJSON(path string) error {
+	return writeJSON(r, path)
+}
+
+// Render prints the report as a human-readable table.
+func (r *LiveReport) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "live replay throughput: %s, %s x %d interleavings, %v simulated wire RTT (digest %.12s, matches sequential)\n",
+		r.Benchmark, r.Mode, r.Interleavings, time.Duration(r.SimulatedWireRTTNs), r.SequentialDigest)
+	fmt.Fprintln(tw, "sessions\tinterleavings/s\tspeedup\tturn-wait p50")
+	for _, run := range r.Runs {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.2fx\t%v\n", run.Workers, run.PerSecond, run.Speedup,
+			time.Duration(run.TurnWaitP50Ns).Round(time.Microsecond))
+	}
+	fmt.Fprintf(tw, "turn-wait p50 at %d sessions on bare loopback: blocking %v vs polling %v\n",
+		r.Runs[len(r.Runs)-1].Workers,
+		time.Duration(r.BlockingTurnWaitP50Ns).Round(time.Microsecond),
+		time.Duration(r.PollingTurnWaitP50Ns).Round(time.Microsecond))
+	return tw.Flush()
+}

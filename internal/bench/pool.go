@@ -129,7 +129,12 @@ func stageMeans(snap telemetry.Snapshot) []PoolStage {
 // WritePoolJSON writes the report as indented JSON to path (the CI
 // artifact BENCH_pool.json).
 func (r *PoolReport) WritePoolJSON(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+	return writeJSON(r, path)
+}
+
+// writeJSON persists any report as indented JSON.
+func writeJSON(v any, path string) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

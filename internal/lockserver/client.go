@@ -21,6 +21,11 @@ import (
 // testbed was a silent hang or a split-brain critical section.
 var ErrLeaseLost = errors.New("lockserver: lease lost")
 
+// ErrBlockingUnsupported marks a WAITGE request rejected by a server that
+// predates the blocking wait. The sequencer downgrades to polling for the
+// rest of its lifetime when it sees this.
+var ErrBlockingUnsupported = errors.New("lockserver: blocking wait unsupported by server")
+
 // FaultHook inspects an outgoing request before it reaches the wire; a
 // non-nil return fails the attempt as if the server were unreachable. The
 // fault package installs outage windows through this seam.
@@ -276,6 +281,28 @@ func (c *Client) Incr(key string) (int64, error) {
 	return rep.n, nil
 }
 
+// WaitGE long-polls the server until the integer value at key (missing =
+// 0) reaches at least target or the timeout elapses server-side, and
+// returns the last value the server read. A sub-target return value means
+// the wait timed out. The connection blocks for up to timeout, so callers
+// sharing this client serialize behind the wait — give each blocking
+// waiter its own client.
+func (c *Client) WaitGE(key string, target int64, timeout time.Duration) (int64, error) {
+	rep, err := c.do("WAITGE", key,
+		strconv.FormatInt(target, 10),
+		strconv.FormatInt(timeout.Milliseconds(), 10))
+	if err != nil {
+		return 0, err
+	}
+	if rep.kind == '-' {
+		if strings.Contains(rep.str, "unknown command") {
+			return 0, ErrBlockingUnsupported
+		}
+		return 0, errors.New(rep.str)
+	}
+	return rep.n, nil
+}
+
 // CompareAndDelete removes key iff its value equals expect.
 func (c *Client) CompareAndDelete(key, expect string) (bool, error) {
 	rep, err := c.do("CAD", key, expect)
@@ -297,6 +324,75 @@ func (c *Client) CompareAndExpire(key, expect string, ttl time.Duration) (bool, 
 		return false, errors.New(rep.str)
 	}
 	return rep.n == 1, nil
+}
+
+// UnlockAdvance pipelines the distributed-gate handoff — CAD mutexKey
+// token releasing the mutex, then INCR seqKey handing the turn to the
+// next event — in one write and flush, so an Advance costs a single round
+// trip instead of two. Unlike do(), the pair is never retried: INCR is
+// not idempotent, and an ambiguous failure (the request may have been
+// applied) must surface to the caller, who abandons the session and
+// replays it under a fresh key namespace where a stray increment cannot
+// matter. A CAD miss (lease expired or taken over) returns an error
+// wrapping ErrLeaseLost; the INCR has still executed server-side, which
+// only perturbs the already-doomed session's own counter.
+func (c *Client) UnlockAdvance(mutexKey, token, seqKey string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hook != nil {
+		if err := c.hook("CAD", []string{mutexKey, token}); err != nil {
+			return 0, err
+		}
+		if err := c.hook("INCR", []string{seqKey}); err != nil {
+			return 0, err
+		}
+	}
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return 0, err
+		}
+		c.conn = conn
+		c.r = bufio.NewReader(conn)
+		c.w = bufio.NewWriter(conn)
+	}
+	fail := func(err error) (int64, error) {
+		_ = c.conn.Close()
+		c.conn = nil
+		return 0, err
+	}
+	var b strings.Builder
+	for _, args := range [][]string{{"CAD", mutexKey, token}, {"INCR", seqKey}} {
+		fmt.Fprintf(&b, "*%d\r\n", len(args))
+		for _, a := range args {
+			fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(a), a)
+		}
+	}
+	if _, err := c.w.WriteString(b.String()); err != nil {
+		return fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fail(err)
+	}
+	cadRep, err := c.readReply()
+	if err != nil {
+		return fail(err)
+	}
+	incrRep, err := c.readReply()
+	if err != nil {
+		return fail(err)
+	}
+	if cadRep.kind == '-' {
+		return 0, errors.New(cadRep.str)
+	}
+	if cadRep.n != 1 {
+		return 0, fmt.Errorf("lockserver: release %s: not the holder (token %s): %w",
+			mutexKey, token, ErrLeaseLost)
+	}
+	if incrRep.kind == '-' {
+		return 0, errors.New(incrRep.str)
+	}
+	return incrRep.n, nil
 }
 
 // DMutex is a distributed mutex over a shared key, in the style of the
@@ -474,12 +570,36 @@ func (m *DMutex) Unlock() error {
 	return nil
 }
 
+// UnlockAdvance releases the mutex and advances the sequencer at seqKey
+// in one pipelined round trip (see Client.UnlockAdvance). A lease lost
+// while held — detected by renewal or by the release itself — returns an
+// error wrapping ErrLeaseLost. Transport errors are not retried; the
+// caller abandons the session rather than risk a double increment.
+func (m *DMutex) UnlockAdvance(seqKey string) (int64, error) {
+	if err := m.stopRenewal(); err != nil {
+		return 0, err
+	}
+	return m.client.UnlockAdvance(m.key, m.token, seqKey)
+}
+
+// Abandon stops lease renewal and makes one best-effort attempt to
+// release the mutex, ignoring failures. It is the teardown path for
+// sessions being cancelled: without it an armed mutex holds its key until
+// TTL expiry, stalling the namespace's next user.
+func (m *DMutex) Abandon() {
+	_ = m.stopRenewal()
+	_, _ = m.client.CompareAndDelete(m.key, m.token)
+}
+
 // Sequencer enforces a global turn order across replicas: each event of an
 // interleaving executes only when the shared counter reaches its position.
 type Sequencer struct {
 	client *Client
 	key    string
 	retry  time.Duration
+	// noBlock disables the server-side blocking wait: set via SetBlocking,
+	// or latched permanently when the server rejects WAITGE as unknown.
+	noBlock bool
 
 	histTurnWait *telemetry.Histogram // nil-safe: time blocked in WaitTurn
 }
@@ -495,17 +615,68 @@ func (s *Sequencer) SetMetrics(turnWait *telemetry.Histogram) {
 	s.histTurnWait = turnWait
 }
 
+// SetBlocking toggles the server-side blocking wait (on by default). Off
+// forces the 1ms polling loop — the polling baseline for benchmarks, or a
+// belt for servers whose WAITGE is suspect.
+func (s *Sequencer) SetBlocking(on bool) {
+	s.noBlock = !on
+}
+
 // Reset sets the counter to zero.
 func (s *Sequencer) Reset() error {
 	return s.client.Set(s.key, "0")
 }
 
-// WaitTurn blocks until the shared counter equals turn. Request errors are
-// transient (the client reconnects underneath): polling continues until
-// the context is done, so a lock-server outage wedges the turn — visibly,
-// bounded by the caller's deadline — instead of crashing the replay.
+// blockingTurnChunk bounds how long one WAITGE parks on the server.
+// Chunking keeps context cancellation prompt — the client only notices a
+// dead context between chunks — while a ready turn still costs exactly
+// one round trip.
+const blockingTurnChunk = 100 * time.Millisecond
+
+// WaitTurn blocks until the shared counter equals turn. The fast path is
+// a server-side blocking WAITGE issued in ~100ms chunks: one round trip
+// when the turn is ready, zero polls while it is not. Request errors
+// downgrade to the polling loop — permanently for this sequencer when the
+// server does not know WAITGE, for the remainder of the call otherwise —
+// preserving outage tolerance: polling treats errors as transient (the
+// client reconnects underneath) and continues until the context is done,
+// so a lock-server outage wedges the turn — visibly, bounded by the
+// caller's deadline — instead of crashing the replay.
 func (s *Sequencer) WaitTurn(ctx context.Context, turn int64) error {
 	started := time.Now()
+	for !s.noBlock {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("lockserver: wait turn %d: %w", turn, err)
+		}
+		chunk := blockingTurnChunk
+		if deadline, ok := ctx.Deadline(); ok {
+			if rem := time.Until(deadline); rem < chunk {
+				chunk = rem
+			}
+		}
+		cur, err := s.client.WaitGE(s.key, turn, chunk)
+		if err != nil {
+			if errors.Is(err, ErrBlockingUnsupported) {
+				s.noBlock = true
+			}
+			break // fall back to polling: outage or pre-WAITGE server
+		}
+		if cur == turn {
+			s.histTurnWait.ObserveDuration(time.Since(started))
+			return nil
+		}
+		if cur > turn {
+			return fmt.Errorf("lockserver: turn %d already passed (at %d)", turn, cur)
+		}
+		// cur < turn: the chunk timed out; re-check the context and park
+		// again.
+	}
+	return s.pollTurn(ctx, turn, started)
+}
+
+// pollTurn is the 1ms-polling WaitTurn body, kept as the fallback when
+// blocking waits are unavailable or erroring.
+func (s *Sequencer) pollTurn(ctx context.Context, turn int64, started time.Time) error {
 	for {
 		v, ok, err := s.client.Get(s.key)
 		if err == nil {

@@ -24,11 +24,14 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	// closedCh unblocks handlers parked in a blocking WAITGE so Close's
+	// wg.Wait cannot deadlock on them.
+	closedCh chan struct{}
 }
 
 // NewServer returns a server over the given store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{store: store, conns: make(map[net.Conn]struct{}), closedCh: make(chan struct{})}
 }
 
 // Listen starts accepting connections on addr ("127.0.0.1:0" picks a free
@@ -70,7 +73,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // goroutines to exit.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.closedCh)
+	}
 	ln := s.listener
 	for conn := range s.conns {
 		_ = conn.Close()
@@ -144,6 +150,8 @@ func (s *Server) dispatch(args []string) string {
 			return respError("value is not an integer")
 		}
 		return respInt(n)
+	case "WAITGE":
+		return s.cmdWaitGE(args[1:])
 	case "CAD":
 		if len(args) != 3 {
 			return respError("CAD requires 2 arguments")
@@ -167,6 +175,38 @@ func (s *Server) dispatch(args []string) string {
 	default:
 		return respError("unknown command " + args[0])
 	}
+}
+
+// maxBlockingWait caps how long one WAITGE parks its handler, whatever
+// timeout the client asked for: a bound on how long a dead client's
+// handler goroutine can linger.
+const maxBlockingWait = 30 * time.Second
+
+// cmdWaitGE serves the blocking sequencer wait: WAITGE key target
+// timeoutMs parks until the integer at key (missing = 0) reaches target,
+// then replies with the current value. A timeout replies with the current
+// (sub-target) value; the client re-issues or falls back to polling.
+func (s *Server) cmdWaitGE(args []string) string {
+	if len(args) != 3 {
+		return respError("WAITGE requires key, target, and timeout")
+	}
+	target, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return respError("invalid WAITGE target")
+	}
+	ms, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil || ms < 0 {
+		return respError("invalid WAITGE timeout")
+	}
+	timeout := time.Duration(ms) * time.Millisecond
+	if timeout > maxBlockingWait {
+		timeout = maxBlockingWait
+	}
+	cur, err := s.store.WaitGE(args[0], target, timeout, s.closedCh)
+	if err != nil {
+		return respError("value is not an integer")
+	}
+	return respInt(cur)
 }
 
 func (s *Server) cmdSet(args []string) string {

@@ -21,6 +21,9 @@ type Store struct {
 	mu   sync.Mutex
 	data map[string]entry
 	now  func() time.Time
+	// watchers holds one notification channel per key with blocked WaitGE
+	// callers; any mutation of the key closes (and replaces) the channel.
+	watchers map[string]chan struct{}
 }
 
 type entry struct {
@@ -30,12 +33,31 @@ type entry struct {
 
 // NewStore returns an empty store using the real clock.
 func NewStore() *Store {
-	return &Store{data: make(map[string]entry), now: time.Now}
+	return &Store{data: make(map[string]entry), now: time.Now, watchers: make(map[string]chan struct{})}
 }
 
 // NewStoreWithClock returns a store with an injected clock (tests).
 func NewStoreWithClock(now func() time.Time) *Store {
-	return &Store{data: make(map[string]entry), now: now}
+	return &Store{data: make(map[string]entry), now: now, watchers: make(map[string]chan struct{})}
+}
+
+// watchLocked returns the notification channel for key, creating it on
+// first use. Callers hold s.mu.
+func (s *Store) watchLocked(key string) chan struct{} {
+	ch, ok := s.watchers[key]
+	if !ok {
+		ch = make(chan struct{})
+		s.watchers[key] = ch
+	}
+	return ch
+}
+
+// notifyLocked wakes every WaitGE blocked on key. Callers hold s.mu.
+func (s *Store) notifyLocked(key string) {
+	if ch, ok := s.watchers[key]; ok {
+		close(ch)
+		delete(s.watchers, key)
+	}
 }
 
 func (s *Store) expiredLocked(k string) bool {
@@ -64,6 +86,7 @@ func (s *Store) Set(key, value string, nx bool, px time.Duration) bool {
 		e.expiresAt = s.now().Add(px)
 	}
 	s.data[key] = e
+	s.notifyLocked(key)
 	return true
 }
 
@@ -85,6 +108,7 @@ func (s *Store) Del(key string) bool {
 		return false
 	}
 	delete(s.data, key)
+	s.notifyLocked(key)
 	return true
 }
 
@@ -103,6 +127,7 @@ func (s *Store) Incr(key string) (int64, error) {
 	}
 	n++
 	s.data[key] = entry{value: strconv.FormatInt(n, 10)}
+	s.notifyLocked(key)
 	return n, nil
 }
 
@@ -120,6 +145,7 @@ func (s *Store) CompareAndDelete(key, expect string) bool {
 		return false
 	}
 	delete(s.data, key)
+	s.notifyLocked(key)
 	return true
 }
 
@@ -143,6 +169,53 @@ func (s *Store) CompareAndExpire(key, expect string, px time.Duration) bool {
 	}
 	s.data[key] = e
 	return true
+}
+
+// WaitGE blocks until the integer value at key (missing = 0) reaches at
+// least target, the timeout elapses, or cancel closes, and returns the
+// last value read. The caller distinguishes the cases by comparing the
+// returned value against target — a sub-target return means the wait
+// timed out or was cancelled. A non-integer value is an error.
+//
+// This is the server side of the blocking sequencer turn: instead of the
+// client polling GET every millisecond, one WAITGE request parks here on
+// the key's notification channel and wakes on the Incr/Set that hands the
+// turn over.
+func (s *Store) WaitGE(key string, target int64, timeout time.Duration, cancel <-chan struct{}) (int64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		var cur int64
+		if !s.expiredLocked(key) {
+			parsed, err := strconv.ParseInt(s.data[key].value, 10, 64)
+			if err != nil {
+				s.mu.Unlock()
+				return 0, err
+			}
+			cur = parsed
+		}
+		if cur >= target {
+			s.mu.Unlock()
+			return cur, nil
+		}
+		ch := s.watchLocked(key)
+		s.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return cur, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return cur, nil
+		case <-cancel:
+			timer.Stop()
+			return cur, nil
+		}
+	}
 }
 
 // Len returns the number of live keys.

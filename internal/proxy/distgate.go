@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // DistGate adapts the lock server's distributed mutex + sequencer into a
@@ -17,8 +18,15 @@ import (
 // (e.g. a lock-server wipe), Advance surfaces lockserver.ErrLeaseLost
 // instead of silently double-holding.
 type DistGate struct {
-	seq   *lockserver.Sequencer
-	mutex *lockserver.DMutex
+	seq     *lockserver.Sequencer
+	mutex   *lockserver.DMutex
+	turnKey string
+	// pipelined folds Advance's unlock + increment into one round trip.
+	// Off by default: the pipelined pair is not retried on transport
+	// errors (INCR is not idempotent), so it is only safe for callers that
+	// abandon the whole session on error — the live pool's per-epoch key
+	// namespaces make that abandonment free.
+	pipelined bool
 }
 
 var _ TurnGate = (*DistGate)(nil)
@@ -35,9 +43,29 @@ func NewDistGateTTL(client *lockserver.Client, key, token string, ttl time.Durat
 	m := lockserver.NewDMutex(client, key+":mutex", token, ttl, time.Millisecond)
 	m.AutoRenew(0)
 	return &DistGate{
-		seq:   lockserver.NewSequencer(client, key+":turn", time.Millisecond),
-		mutex: m,
+		seq:     lockserver.NewSequencer(client, key+":turn", time.Millisecond),
+		mutex:   m,
+		turnKey: key + ":turn",
 	}
+}
+
+// SetMetrics attaches a latency histogram recording time blocked in the
+// sequencer's WaitTurn. Call before use; nil records nothing.
+func (g *DistGate) SetMetrics(turnWait *telemetry.Histogram) {
+	g.seq.SetMetrics(turnWait)
+}
+
+// SetBlocking toggles the sequencer's server-side blocking wait (on by
+// default; off forces 1ms polling).
+func (g *DistGate) SetBlocking(on bool) {
+	g.seq.SetBlocking(on)
+}
+
+// EnablePipelinedAdvance makes Advance release the mutex and bump the
+// counter in one round trip. Only safe when the caller abandons the whole
+// session on an Advance error (see DistGate.pipelined).
+func (g *DistGate) EnablePipelinedAdvance() {
+	g.pipelined = true
 }
 
 // Reset rewinds the shared turn counter (call once per interleaving, from
@@ -56,9 +84,21 @@ func (g *DistGate) WaitTurn(ctx context.Context, turn int) error {
 // Advance implements TurnGate: release the mutex and bump the counter. A
 // lease lost mid-turn comes back wrapping lockserver.ErrLeaseLost.
 func (g *DistGate) Advance() error {
+	if g.pipelined {
+		_, err := g.mutex.UnlockAdvance(g.turnKey)
+		return err
+	}
 	if err := g.mutex.Unlock(); err != nil {
 		return err
 	}
 	_, err := g.seq.Advance()
 	return err
+}
+
+// Close releases the gate's distributed state best-effort: renewal is
+// stopped and a still-held mutex is freed instead of lingering until TTL
+// expiry. Safe to call whether or not the mutex is held.
+func (g *DistGate) Close() error {
+	g.mutex.Abandon()
+	return nil
 }

@@ -1,0 +1,184 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// DistPool owns one live worker's lock-server connections and mints
+// epoch-fenced gate sessions for it. Each session namespaces its keys as
+// <base>/sess/<worker>/<epoch>, so a stale WaitTurn or Advance from a
+// cancelled session lands on keys no later session will ever read: the
+// epoch counter only moves forward, and a fresh epoch's keys start absent
+// (missing counter = 0), which is exactly the sequencer's reset state.
+// That fencing is also what makes the pipelined, non-retried Advance
+// safe — an ambiguous failure abandons the epoch, and any stray increment
+// it left behind is invisible to the next one.
+//
+// Clients are per replica and lazily dialed, then reused across epochs: a
+// blocking WAITGE parks its whole connection, so replicas must not share
+// one (they would serialize behind each other's waits).
+type DistPool struct {
+	addr   string
+	base   string
+	worker int
+	ttl    time.Duration
+
+	turnWait *telemetry.Histogram
+	noBlock  bool
+	// hook is installed on every dialed client (fault injection).
+	hook lockserver.FaultHook
+
+	mu      sync.Mutex
+	clients map[event.ReplicaID]*lockserver.Client
+	epoch   int
+}
+
+// NewDistPool builds a gate-session factory for one live worker against
+// the lock server at addr. base roots the key namespace (e.g. "live");
+// ttl is the per-turn mutex lease.
+func NewDistPool(addr, base string, worker int, ttl time.Duration) *DistPool {
+	return &DistPool{
+		addr:    addr,
+		base:    base,
+		worker:  worker,
+		ttl:     ttl,
+		clients: make(map[event.ReplicaID]*lockserver.Client),
+	}
+}
+
+// SetTurnWaitMetrics attaches a histogram recording sequencer turn waits
+// for every gate this pool mints. Call before Session.
+func (p *DistPool) SetTurnWaitMetrics(h *telemetry.Histogram) {
+	p.turnWait = h
+}
+
+// DisableBlocking forces all minted gates onto the 1ms polling path (the
+// benchmark baseline). Call before Session.
+func (p *DistPool) DisableBlocking() {
+	p.noBlock = true
+}
+
+// SetFaultHook installs a fault-injection hook on every client the pool
+// has dialed or will dial. Call before Session for full coverage.
+func (p *DistPool) SetFaultHook(h lockserver.FaultHook) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hook = h
+	for _, c := range p.clients {
+		c.SetFaultHook(h)
+	}
+}
+
+func (p *DistPool) clientFor(rep event.ReplicaID) (*lockserver.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[rep]; ok {
+		return c, nil
+	}
+	c, err := lockserver.Dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	if p.hook != nil {
+		c.SetFaultHook(p.hook)
+	}
+	p.clients[rep] = c
+	return c, nil
+}
+
+// anyClient returns one already-dialed client, or nil.
+func (p *DistPool) anyClient() *lockserver.Client {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.clients {
+		return c
+	}
+	return nil
+}
+
+// Session mints the next epoch's gate session. Each call advances the
+// worker's epoch, fencing off everything the previous session might still
+// do.
+func (p *DistPool) Session() *DistSession {
+	p.mu.Lock()
+	p.epoch++
+	epoch := p.epoch
+	p.mu.Unlock()
+	return &DistSession{
+		pool: p,
+		key:  fmt.Sprintf("%s/sess/%d/%d", p.base, p.worker, epoch),
+	}
+}
+
+// Close drops the pool's connections. Sessions minted earlier must be
+// closed first.
+func (p *DistPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first error
+	for rep, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(p.clients, rep)
+	}
+	return first
+}
+
+// DistSession is one epoch's gate namespace: every replica's gate shares
+// the session's turn counter and mutex keys, and Close releases whatever
+// distributed state the session still holds.
+type DistSession struct {
+	pool *DistPool
+	key  string
+
+	mu    sync.Mutex
+	gates []*DistGate
+}
+
+// Key returns the session's lock-key namespace (for tests and logs).
+func (s *DistSession) Key() string { return s.key }
+
+// Gate builds the session gate for one replica. Replicas of a session
+// share keys but not connections.
+func (s *DistSession) Gate(rep event.ReplicaID) (TurnGate, error) {
+	c, err := s.pool.clientFor(rep)
+	if err != nil {
+		return nil, err
+	}
+	g := NewDistGateTTL(c, s.key, string(rep), s.pool.ttl)
+	g.SetMetrics(s.pool.turnWait)
+	g.SetBlocking(!s.pool.noBlock)
+	g.EnablePipelinedAdvance()
+	s.mu.Lock()
+	s.gates = append(s.gates, g)
+	s.mu.Unlock()
+	return g, nil
+}
+
+// Close tears the session down: every minted gate abandons any held
+// mutex, and the turn counter is deleted best-effort. Later epochs never
+// read this namespace, so Close is hygiene, not correctness — but without
+// it a cancelled session's mutex would pin lock-server memory until TTL
+// expiry.
+func (s *DistSession) Close() error {
+	s.mu.Lock()
+	gates := s.gates
+	s.gates = nil
+	s.mu.Unlock()
+	for _, g := range gates {
+		_ = g.Close()
+	}
+	if len(gates) > 0 {
+		if c := s.pool.anyClient(); c != nil {
+			_, _ = c.Del(s.key + ":turn")
+		}
+	}
+	return nil
+}

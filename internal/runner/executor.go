@@ -51,6 +51,10 @@ type executor struct {
 	// engaged; its common prefix with the next interleaving selects the
 	// divergence-point snapshot depth.
 	prevIL interleave.Interleaving
+	// pivot is the explorer-announced depth where the next interleaving
+	// will diverge from the current one (-1 when unknown); the cache
+	// snapshots there so the next lookup hits its maximal shared prefix.
+	pivot int
 }
 
 func (x *executor) buildPairs() {
@@ -114,7 +118,7 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if useCache && pos > start && x.cache.wantSnapshot(pos, divergence) {
+		if useCache && pos > start && x.cache.wantSnapshot(pos, divergence, x.pivot) {
 			if err := x.snapshotPrefix(il, pos, pending, outcome); err != nil {
 				return nil, err
 			}

@@ -39,11 +39,25 @@ func ExecuteLive(s Scenario, il interleave.Interleaving, newGate func(rep event.
 // executor. A non-nil registry records the replay as one execute span plus
 // a live.events counter of scheduled calls applied.
 func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleaving, newGate func(rep event.ReplicaID) proxy.TurnGate, inj *fault.Injector, reg *telemetry.Registry) (*Outcome, error) {
+	liveSpan := reg.StartSpan(telemetry.StageExecute, 1, telemetry.CoordinatorWorker)
+	defer liveSpan.End()
+	return executeLive(ctx, s, il, 1, telemetry.CoordinatorWorker,
+		func(rep event.ReplicaID) (proxy.TurnGate, error) { return newGate(rep), nil },
+		inj, reg)
+}
+
+// executeLive is the engine behind ExecuteLiveContext and the live worker
+// pool: replay one interleaving at the given exploration index through
+// per-replica goroutines ordered by the gates newGate mints. Whatever
+// path exits — including a gate factory or StartReplay failure partway
+// through setup, or a mid-run replica error — every armed interceptor is
+// released and every closable gate (e.g. proxy.DistGate) is closed, so a
+// failed session can neither leak its replica goroutines nor hold
+// distributed locks until TTL expiry.
+func executeLive(ctx context.Context, s Scenario, il interleave.Interleaving, index, worker int, newGate func(rep event.ReplicaID) (proxy.TurnGate, error), inj *fault.Injector, reg *telemetry.Registry) (*Outcome, error) {
 	if s.Log == nil || len(il) != s.Log.Len() {
 		return nil, fmt.Errorf("runner: live replay needs a complete interleaving")
 	}
-	liveSpan := reg.StartSpan(telemetry.StageExecute, 1, telemetry.CoordinatorWorker)
-	defer liveSpan.End()
 	liveEvents := reg.Counter("live.events")
 	cluster, err := s.NewCluster()
 	if err != nil {
@@ -54,7 +68,7 @@ func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleav
 	}
 
 	outcome := &Outcome{
-		Index:        1,
+		Index:        index,
 		Interleaving: il,
 		Observations: make(map[event.ID]string),
 	}
@@ -65,21 +79,45 @@ func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleav
 		sendFor[pair[1]] = pair[0]
 	}
 	if inj != nil {
-		inj.Begin(1)
+		inj.Begin(index)
 		defer inj.Finish()
 	}
 
 	// Per-replica interceptors share the schedule; each replica goroutine
-	// re-issues its recorded calls in program order.
+	// re-issues its recorded calls in program order. The deferred release
+	// runs on every exit path: interceptors disarm and closable gates free
+	// their distributed state (a failed apply skips Advance, leaving the
+	// session mutex held — Close releases it instead of waiting out the
+	// TTL).
 	replicas := s.Log.Replicas()
 	interceptors := make(map[event.ReplicaID]*proxy.Interceptor, len(replicas))
+	var gates []proxy.TurnGate
+	defer func() {
+		for _, i := range interceptors {
+			i.StopReplay()
+		}
+		for _, g := range gates {
+			if c, ok := g.(interface{ Close() error }); ok {
+				_ = c.Close()
+			}
+		}
+	}()
+	setupSpan := reg.StartSpan(telemetry.StageLiveSetup, index, worker)
 	for _, rep := range replicas {
+		gate, err := newGate(rep)
+		if err != nil {
+			setupSpan.End()
+			return nil, fmt.Errorf("runner: live gate %s: %w", rep, err)
+		}
+		gates = append(gates, gate)
 		i := proxy.New()
-		if err := i.StartReplay(s.Log, il, newGate(rep)); err != nil {
+		if err := i.StartReplay(s.Log, il, gate); err != nil {
+			setupSpan.End()
 			return nil, err
 		}
 		interceptors[rep] = i
 	}
+	setupSpan.End()
 
 	position := make(map[event.ID]int, len(il))
 	for turn, id := range il {
@@ -224,11 +262,15 @@ func ExecuteLiveContext(ctx context.Context, s Scenario, il interleave.Interleav
 	close(errCh)
 	// Drain every replica's error, not just the first: a multi-replica
 	// failure (e.g. one replica crashing and the others timing out on their
-	// turns) is reported in full.
+	// turns) is reported in full. Each message is deterministic for a given
+	// interleaving, but arrival order races across goroutines — sort so the
+	// joined error (and the quarantine records built from it) is identical
+	// on every run and at every session count.
 	var errs []error
 	for err := range errCh {
 		errs = append(errs, err)
 	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,278 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/fault"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/proxy"
+)
+
+// liveSignatures runs the scenario through the live pool and returns the
+// outcome-signature stream in coordinator delivery order.
+func liveSignatures(t *testing.T, s Scenario, cfg Config) ([]string, *Result) {
+	t.Helper()
+	var sigs []string
+	cfg.OnOutcome = func(o *Outcome) { sigs = append(sigs, OutcomeSignature(o)) }
+	res, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sigs, res
+}
+
+// TestLivePoolDeterminismPin is the acceptance pin for the sharded live
+// engine: LiveWorkers 1 and 8 must match each other byte-for-byte AND
+// match a hand-rolled sequential ExecuteLive loop over the same
+// exploration — the live pool may not change what the live path computes.
+func TestLivePoolDeterminismPin(t *testing.T) {
+	run := func(workers int) ([]string, *Result) {
+		s := townReportScenario(t)
+		return liveSignatures(t, s, Config{
+			Mode:        ModeERPi,
+			LiveWorkers: workers,
+			Assertions:  []Assertion{municipalityInvariant{}},
+		})
+	}
+	one, oneRes := run(1)
+	eight, eightRes := run(8)
+	if strings.Join(one, "\n") != strings.Join(eight, "\n") {
+		t.Fatal("LiveWorkers: 8 changed the live outcome stream")
+	}
+	assertResultsMatch(t, oneRes, eightRes)
+	if len(oneRes.Violations) == 0 {
+		t.Fatal("pin is vacuous: the scenario must produce violations")
+	}
+
+	// The sequential ExecuteLive reference over the same pruned order.
+	s := townReportScenario(t)
+	ex, err := NewPrunedExplorer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []string
+	for {
+		il, ok := ex.Next()
+		if !ok {
+			break
+		}
+		gate := proxy.NewLocalGate()
+		o, err := ExecuteLive(s, il, func(event.ReplicaID) proxy.TurnGate { return gate })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, OutcomeSignature(o))
+	}
+	if strings.Join(one, "\n") != strings.Join(ref, "\n") {
+		t.Fatal("live pool diverged from the sequential ExecuteLive loop")
+	}
+}
+
+// TestLivePoolMatchesCheckpointedEngine: the live pool and the
+// checkpointed engine explore the same orders and must agree on every
+// behavior signature and deterministic Result field.
+func TestLivePoolMatchesCheckpointedEngine(t *testing.T) {
+	live, liveRes := func() ([]string, *Result) {
+		s := townReportScenario(t)
+		return liveSignatures(t, s, Config{
+			Mode:        ModeERPi,
+			LiveWorkers: 4,
+			Assertions:  []Assertion{municipalityInvariant{}},
+		})
+	}()
+	s := townReportScenario(t)
+	var ckpt []string
+	ckptRes, err := Run(s, Config{
+		Mode:       ModeERPi,
+		Assertions: []Assertion{municipalityInvariant{}},
+		OnOutcome:  func(o *Outcome) { ckpt = append(ckpt, OutcomeSignature(o)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(live, "\n") != strings.Join(ckpt, "\n") {
+		t.Fatal("live pool and checkpointed engine computed different behaviors")
+	}
+	assertResultsMatch(t, ckptRes, liveRes)
+}
+
+// TestLivePoolDeterminismUnderFaults extends the pin to a seeded fault
+// schedule: arming is keyed by exploration index, so every live session
+// count reproduces the same chaos, including the quarantined interleaving.
+func TestLivePoolDeterminismUnderFaults(t *testing.T) {
+	sched := &fault.Schedule{Seed: 11, Faults: []fault.Fault{
+		{Kind: fault.CrashReplica, Replica: "A", At: 3},
+		{Kind: fault.CrashReplica, Replica: "B", Interleaving: 4, At: 2, Duration: 10},
+		{Kind: fault.Partition, A: "A", B: "M", At: 0, Duration: 10, Prob: 0.5},
+	}}
+	run := func(workers int) ([]string, *Result) {
+		s := townReportScenario(t)
+		s.Finalize = AntiEntropy(2)
+		return liveSignatures(t, s, Config{
+			Mode:         ModeERPi,
+			LiveWorkers:  workers,
+			Seed:         7,
+			Faults:       sched,
+			Assertions:   []Assertion{municipalityInvariant{}},
+			RetryBackoff: 100 * time.Microsecond,
+		})
+	}
+	one, oneRes := run(1)
+	eight, eightRes := run(8)
+	if strings.Join(one, "\n") != strings.Join(eight, "\n") {
+		t.Fatal("LiveWorkers: 8 changed the live outcome stream under faults")
+	}
+	assertResultsMatch(t, oneRes, eightRes)
+	if len(oneRes.Quarantined) != 1 || oneRes.Quarantined[0].Index != 4 {
+		t.Fatalf("pin is vacuous: want exactly interleaving 4 quarantined, got %v", oneRes.Quarantined)
+	}
+}
+
+// TestLivePoolSurvivesLockServerOutage: a mid-run lock-server restart —
+// with every session's turn counters and mutexes wiped — must not corrupt
+// the run. Wedged attempts time out, retries mint fresh fenced epochs
+// against the restarted server, and the outcome stream stays identical to
+// an undisturbed sequential live replay.
+func TestLivePoolSurvivesLockServerOutage(t *testing.T) {
+	srv := lockserver.NewServer(lockserver.NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srv2 *lockserver.Server
+	defer func() {
+		_ = srv.Close()
+		if srv2 != nil {
+			_ = srv2.Close()
+		}
+	}()
+
+	const slice = 10
+	s := townReportScenario(t)
+	var sigs []string
+	bounced := false
+	res, err := Run(s, Config{
+		Mode:                ModeDFS,
+		LiveWorkers:         2,
+		MaxInterleavings:    slice,
+		MaxRetries:          8,
+		RetryBackoff:        time.Millisecond,
+		InterleavingTimeout: 2 * time.Second,
+		LiveGates: func(worker int) (SessionFactory, error) {
+			p := proxy.NewDistPool(addr, "outage", worker, 5*time.Second)
+			return func() (LiveSession, error) { return p.Session(), nil }, nil
+		},
+		OnOutcome: func(o *Outcome) {
+			sigs = append(sigs, OutcomeSignature(o))
+			if len(sigs) == 3 && !bounced {
+				bounced = true
+				// Kill the server mid-run and restart it empty on the same
+				// address: every live session's distributed state vanishes.
+				_ = srv.Close()
+				srv2 = lockserver.NewServer(lockserver.NewStore())
+				if _, err := srv2.Listen(addr); err != nil {
+					t.Errorf("relisten on %s: %v", addr, err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounced {
+		t.Fatal("test is vacuous: the outage never happened")
+	}
+	if res.Explored != slice {
+		t.Fatalf("explored %d, want %d", res.Explored, slice)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("outage must heal via retries, not quarantine: %v", res.Quarantined)
+	}
+
+	ils := interleave.Collect(interleave.NewDFS(interleave.NewSpace(s.Log)), slice)
+	for i, il := range ils {
+		gate := proxy.NewLocalGate()
+		o, err := ExecuteLive(s, il, func(event.ReplicaID) proxy.TurnGate { return gate })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sigs[i] != OutcomeSignature(o) {
+			t.Fatalf("interleaving %d diverged after the outage", i)
+		}
+	}
+}
+
+// closableGate wraps LocalGate with a Close recorder, standing in for a
+// DistGate whose distributed state must be released on teardown.
+type closableGate struct {
+	*proxy.LocalGate
+	closed atomic.Bool
+}
+
+func (g *closableGate) Close() error {
+	g.closed.Store(true)
+	return nil
+}
+
+// TestLiveSetupFailureReleasesEarlierGates pins the cleanup bugfix: when
+// the gate factory fails for a later replica, the gates already minted
+// for earlier replicas must still be closed — an early return may not
+// leave a session's distributed locks armed until TTL expiry.
+func TestLiveSetupFailureReleasesEarlierGates(t *testing.T) {
+	s := townReportScenario(t)
+	il := interleave.Interleaving{0, 1, 2, 3, 4, 5, 6}
+	first := &closableGate{LocalGate: proxy.NewLocalGate()}
+	calls := 0
+	boom := errors.New("no gate for you")
+	_, err := executeLive(context.Background(), s, il, 1, 0,
+		func(event.ReplicaID) (proxy.TurnGate, error) {
+			calls++
+			if calls == 1 {
+				return first, nil
+			}
+			return nil, boom
+		}, nil, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("executeLive = %v; want the gate factory error", err)
+	}
+	if calls < 2 {
+		t.Fatalf("gate factory called %d times; scenario needs >= 2 replicas", calls)
+	}
+	if !first.closed.Load() {
+		t.Fatal("earlier replica's gate not closed after a later gate failure")
+	}
+}
+
+// TestLivePoolFuzzClampsToOneWorker: corpus feedback is order-dependent,
+// so ModeFuzz must clamp the live pool to one session like it clamps the
+// checkpointed pool.
+func TestLivePoolFuzzClampsToOneWorker(t *testing.T) {
+	s := townReportScenario(t)
+	res, err := Run(s, Config{
+		Mode:             ModeFuzz,
+		Seed:             3,
+		LiveWorkers:      8,
+		MaxInterleavings: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(townReportScenario(t), Config{
+		Mode:             ModeFuzz,
+		Seed:             3,
+		MaxInterleavings: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explored != ref.Explored {
+		t.Fatalf("fuzz under LiveWorkers 8 diverged: explored %d vs %d", res.Explored, ref.Explored)
+	}
+}

@@ -98,10 +98,12 @@ type pool struct {
 }
 
 // workItem is one interleaving dispatched to a worker, tagged with the
-// stable exploration index assigned by the coordinator.
+// stable exploration index assigned by the coordinator and the explorer's
+// next-pivot hint captured at pull time (-1 when unavailable).
 type workItem struct {
 	index int
 	il    interleave.Interleaving
+	pivot int
 }
 
 // workResult is one executed interleaving flowing back to the coordinator.
@@ -204,6 +206,7 @@ func (p *pool) worker(ctx context.Context, w int) {
 			}
 		}
 		p.tel.setWorker(w, item.index)
+		exec.pivot = item.pivot
 		execSpan := p.tel.span(telemetry.StageExecute, item.index, w)
 		outcome, attempts, err := executeWithRetry(ctx, exec, p.s, p.cfg, item.il, item.index, jitter)
 		execSpan.End()
@@ -304,7 +307,7 @@ func (p *pool) pull() error {
 				return err
 			}
 		}
-		p.next = &workItem{index: p.assigned, il: il}
+		p.next = &workItem{index: p.assigned, il: il, pivot: pivotOf(p.explorer)}
 		if p.tel != nil {
 			p.nextSince = time.Now()
 		}

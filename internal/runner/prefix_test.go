@@ -271,3 +271,59 @@ func TestPrefixCacheEviction(t *testing.T) {
 	}
 	assertResultsMatch(t, offRes, onRes)
 }
+
+// TestPrefixPivotSnapshotPolicy pins the explorer-informed snapshot
+// placement. The periodic stride is pushed out of reach, so the only
+// snapshots the cache can take sit at the divergence depth and at the
+// explorer-announced pivot — the depth where the NEXT interleaving's
+// lookup lands. The cache must still hit, and the outcome stream must be
+// byte-identical to the cache-off engine.
+func TestPrefixPivotSnapshotPolicy(t *testing.T) {
+	run := func(cacheBytes int64) ([]byte, *Result, *telemetry.Registry) {
+		s := townReportScenario(t)
+		reg := telemetry.New()
+		raw, res := collectOutcomes(t, s, Config{
+			Mode:                ModeDFS,
+			MaxInterleavings:    400,
+			PrefixCacheBytes:    cacheBytes,
+			PrefixSnapshotEvery: 1 << 20,
+			Telemetry:           reg,
+		})
+		return raw, res, reg
+	}
+	off, offRes, _ := run(0)
+	on, onRes, reg := run(testBudget)
+	if string(off) != string(on) {
+		t.Fatal("pivot-informed snapshots changed the outcome stream")
+	}
+	assertResultsMatch(t, offRes, onRes)
+	snap := reg.Snapshot()
+	if hits := snap.Counters["runner.prefix_cache_hits"]; hits == 0 {
+		t.Fatal("no cache hits with the stride disabled: pivot snapshots are not landing")
+	}
+}
+
+// TestWantSnapshotPolicy is the unit truth table for the snapshot
+// placement predicate: periodic stride, divergence depth, and the
+// explorer pivot each independently trigger a snapshot.
+func TestWantSnapshotPolicy(t *testing.T) {
+	c := newPrefixCache(testBudget, 4)
+	cases := []struct {
+		depth, divergence, pivot int
+		want                     bool
+	}{
+		{4, -1, -1, true},  // stride
+		{8, -1, -1, true},  // stride
+		{5, 5, -1, true},   // divergence
+		{5, -1, 5, true},   // pivot
+		{5, -1, -1, false}, // none
+		{3, 5, 7, false},   // none at this depth
+		{7, 5, 7, true},    // pivot at depth 7
+	}
+	for _, tc := range cases {
+		if got := c.wantSnapshot(tc.depth, tc.divergence, tc.pivot); got != tc.want {
+			t.Errorf("wantSnapshot(%d, %d, %d) = %v, want %v",
+				tc.depth, tc.divergence, tc.pivot, got, tc.want)
+		}
+	}
+}

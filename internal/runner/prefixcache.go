@@ -114,9 +114,12 @@ func (c *prefixCache) cached(il interleave.Interleaving, depth int) bool {
 // wantSnapshot reports whether the executor should snapshot at depth
 // while executing il: every K events, plus the divergence depth against
 // the previous interleaving (the deepest prefix the next lexicographic
-// interleaving can possibly share).
-func (c *prefixCache) wantSnapshot(depth, divergence int) bool {
-	return depth%c.every == 0 || depth == divergence
+// interleaving can possibly share), plus the explorer-announced pivot —
+// the depth where the explorer says its next yield will actually
+// diverge, so the next lookup hits a snapshot at exactly its maximal
+// shared prefix (pivot < 0 when the explorer cannot predict).
+func (c *prefixCache) wantSnapshot(depth, divergence, pivot int) bool {
+	return depth%c.every == 0 || depth == divergence || depth == pivot
 }
 
 // insert stores a snapshot for the prefix il[:depth], evicting

@@ -162,6 +162,22 @@ type Config struct {
 	// guarantees. ModeFuzz is inherently sequential (its corpus feedback
 	// loop is order-dependent) and always runs with one worker.
 	Workers int
+	// LiveWorkers, when > 0, routes exploration through the live replay
+	// path (ExecuteLive semantics: one goroutine per replica re-issues its
+	// recorded calls, ordered by a TurnGate) with that many interleavings
+	// in flight concurrently, each under its own gate session. The
+	// coordinator is the same as the checkpointed pool's, so which
+	// interleavings run, outcome delivery order, violations, and
+	// FirstViolation are identical at every worker count — and identical
+	// to a sequential ExecuteLive loop. ModeFuzz clamps to 1 (its corpus
+	// feedback loop is order-dependent). When zero, Workers selects the
+	// checkpointed engine as before.
+	LiveWorkers int
+	// LiveGates supplies each live worker's gate-session factory (nil
+	// defaults to in-process LocalGate sessions). Lock-server-backed runs
+	// wrap one proxy.DistPool per worker so every session gets its own
+	// epoch-fenced key namespace.
+	LiveGates LiveGates
 	// StopOnViolation ends exploration at the first assertion failure —
 	// the bug-reproduction configuration of §6.3.
 	StopOnViolation bool
@@ -340,6 +356,10 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	live := cfg.LiveWorkers > 0
+	if live {
+		workers = cfg.LiveWorkers
+	}
 	if cfg.Mode == ModeFuzz {
 		// The fuzzer's corpus feedback loop is order-dependent: which
 		// mutants get generated depends on the signature of every prior
@@ -400,9 +420,12 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	tel.beginRun(maxNew, workers, res.Resumed)
 	defer tel.endRun()
 
-	if workers > 1 {
+	switch {
+	case live:
+		err = runLive(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers, tel)
+	case workers > 1:
 		err = runParallel(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers, tel)
-	} else {
+	default:
 		err = runSequential(ctx, s, cfg, res, explorer, explored, pruning, maxNew, tel)
 	}
 	if err != nil {
@@ -493,6 +516,7 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 		}
 
 		tel.setWorker(0, res.Explored)
+		exec.pivot = pivotOf(explorer)
 		execSpan := tel.span(telemetry.StageExecute, res.Explored, 0)
 		outcome, attempts, execErr := executeWithRetry(ctx, exec, s, cfg, il, res.Explored, jitter)
 		execSpan.End()
@@ -681,11 +705,28 @@ func ExecuteOnce(s Scenario, il interleave.Interleaving) (*Outcome, error) {
 	return outcome, nil
 }
 
+// pivotOf asks the explorer where its next yield will diverge from the
+// one just pulled (-1 when the explorer cannot predict), so the prefix
+// cache can snapshot exactly where the next lookup lands.
+func pivotOf(e interleave.Explorer) int {
+	if p, ok := e.(interleave.PivotExplorer); ok {
+		return p.NextPivot()
+	}
+	return -1
+}
+
 // feedbackExplorer is implemented by coverage-guided explorers that want
 // the behaviour signature of each executed interleaving.
 type feedbackExplorer interface {
 	Report(signature string)
 }
+
+// OutcomeSignature digests an outcome into the engine's stable behaviour
+// signature: fingerprints, observations, failed ops, and dropped syncs,
+// order-insensitive where execution order is nondeterministic. Equal
+// behaviours collapse to equal strings, which is what benchmarks and
+// determinism pins compare across engines.
+func OutcomeSignature(o *Outcome) string { return behaviorSignature(o) }
 
 // behaviorSignature digests an outcome into a stable string: equal
 // behaviours collapse, so coverage-guided exploration can detect novelty.

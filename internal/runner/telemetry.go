@@ -27,6 +27,7 @@ import (
 //	runner.events_skipped      events skipped via prefix restore
 //	runner.snapshot_bytes      bytes currently held by prefix caches (gauge)
 //	runner.prefix_hit_depth    restored prefix depths (histogram, in events)
+//	live.sessions              live gate sessions currently open (gauge)
 //	journal.fsync_batches      durable journal flushes
 //	journal.fsync_keys         appends covered by those flushes
 //	fault.armed                faults armed across interleavings
@@ -49,6 +50,7 @@ type runTelemetry struct {
 	eventsSkipped  *telemetry.Counter
 	snapshotBytes  *telemetry.Gauge
 	hitDepth       *telemetry.Histogram
+	liveSessions   *telemetry.Gauge
 }
 
 // prefixDepthBounds buckets the prefix-hit-depth histogram by restored
@@ -75,7 +77,26 @@ func newRunTelemetry(reg *telemetry.Registry) *runTelemetry {
 		eventsSkipped:  reg.Counter("runner.events_skipped"),
 		snapshotBytes:  reg.Gauge("runner.snapshot_bytes"),
 		hitDepth:       reg.HistogramWithBounds("runner.prefix_hit_depth", prefixDepthBounds),
+		liveSessions:   reg.Gauge("live.sessions"),
 	}
+}
+
+// registry exposes the underlying registry for engine paths that record
+// their own metrics (nil when telemetry is off).
+func (t *runTelemetry) registry() *telemetry.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// onLiveSession tracks the live.sessions gauge: +1 when a live gate
+// session opens, -1 when it closes.
+func (t *runTelemetry) onLiveSession(delta int64) {
+	if t == nil {
+		return
+	}
+	t.liveSessions.Add(delta)
 }
 
 // span opens a stage span (inert when telemetry is off).

@@ -39,8 +39,11 @@ const (
 	// snapshot (or falling back to the genesis checkpoint on a miss)
 	// before a suffix execution.
 	StageRestorePrefix
+	// StageLiveSetup is a live session coming up: minting the epoch's gate
+	// namespace and arming the replicas' interceptors.
+	StageLiveSetup
 
-	stageMax = StageRestorePrefix
+	stageMax = StageLiveSetup
 )
 
 var stageNames = [...]string{
@@ -55,6 +58,7 @@ var stageNames = [...]string{
 	StageJournalFsync:    "journal-fsync",
 	StageQuiesce:         "quiesce",
 	StageRestorePrefix:   "restore-prefix",
+	StageLiveSetup:       "live-setup",
 }
 
 func (s Stage) String() string {

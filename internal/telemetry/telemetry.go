@@ -179,6 +179,32 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts: the upper bound of the bucket holding the rank-q observation,
+// with Max standing in for the unbounded overflow bucket. Resolution is
+// therefore the bucket layout's, which is all a latency comparison (e.g.
+// blocking vs polling turn waits) needs.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
 // Merge folds another snapshot into this one. Bucket counts are summed
 // when the bound layouts match; otherwise only the scalar aggregates
 // (count, sum, max) merge.
