@@ -10,6 +10,7 @@
 //	erpi-bench -pool          # pool throughput sweep -> BENCH_pool.json
 //	erpi-bench -prefix        # incremental-replay sweep -> BENCH_prefix.json
 //	erpi-bench -live          # live-replay session sweep -> BENCH_live.json
+//	erpi-bench -dist          # distributed-coordinator sweep -> BENCH_dist.json
 package main
 
 import (
@@ -47,9 +48,12 @@ func run() int {
 		live    = flag.Bool("live", false, "live-replay sweep over concurrent session counts")
 		liveN   = flag.Int("live-slice", bench.DefaultLiveSlice, "interleavings per live run")
 		liveOut = flag.String("live-out", "BENCH_live.json", "machine-readable live report path")
+		dist    = flag.Bool("dist", false, "distributed-coordinator sweep over worker counts")
+		distN   = flag.Int("dist-slice", bench.DefaultDistSlice, "interleavings per distributed run")
+		distOut = flag.String("dist-out", "BENCH_dist.json", "machine-readable distributed report path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*live {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*live && !*dist {
 		flag.Usage()
 		return 2
 	}
@@ -142,6 +146,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *liveOut)
+	}
+	if *all || *dist {
+		report, err := bench.RunDist(*distN, nil)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WriteDistJSON(*distOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *distOut)
 	}
 	if *all || *fuzzx {
 		rows, err := bench.RunFuzzExt(3, *cap)

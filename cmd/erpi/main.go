@@ -8,12 +8,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"github.com/er-pi/erpi/internal/bugs"
 	"github.com/er-pi/erpi/internal/checkpoint"
+	"github.com/er-pi/erpi/internal/coordinator"
 	"github.com/er-pi/erpi/internal/miscon"
 	"github.com/er-pi/erpi/internal/runner"
 	"github.com/er-pi/erpi/internal/telemetry"
@@ -37,12 +42,24 @@ func run() int {
 		liveN      = flag.Int("live-workers", 0, "route exploration through live replay (goroutine-per-replica, turn-gated) with this many concurrent sessions; 0 keeps the checkpointed engine")
 		statusAddr = flag.String("status-addr", "", "serve live progress, metrics, pprof, and a Chrome trace on this host:port")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file after the run (open in about://tracing)")
+		coordURL   = flag.String("coordinator", "", "submit to a running erpi-coordinator's status URL (e.g. http://host:8080) and watch, instead of exploring locally")
 	)
 	flag.Parse()
 
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "erpi:", err)
 		return 1
+	}
+
+	if *coordURL != "" && !*list {
+		return submitRemote(*coordURL, coordinator.JobSpec{
+			Bug:              *bugName,
+			Miscon:           *misconName,
+			Mode:             *mode,
+			Seed:             *seed,
+			MaxInterleavings: *capN,
+			StopOnViolation:  !*verbose,
+		}, fail)
 	}
 
 	if *list {
@@ -169,6 +186,56 @@ func run() int {
 		return 0
 	}
 	fmt.Printf("not reproduced within %d interleavings (exhausted=%v)\n", *capN, res.Exhausted)
+	return 3
+}
+
+// submitRemote posts the spec to a coordinator's jobs API and watches the
+// job to completion, mapping its terminal status onto erpi's usual exit
+// codes (0 = reproduced / detected, 3 = not reproduced).
+func submitRemote(api string, spec coordinator.JobSpec, fail func(error) int) int {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(api+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fail(fmt.Errorf("coordinator: %s: %s", resp.Status, bytes.TrimSpace(data)))
+	}
+	var st coordinator.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("submitted %s (%s) to %s\n", st.ID, st.Label, api)
+	for st.State == coordinator.StateRunning {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%s?wait=30", api, st.ID))
+		if err != nil {
+			return fail(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fail(fmt.Errorf("coordinator: %s: %s", resp.Status, bytes.TrimSpace(data)))
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s: %s, explored %d (leased %d, pending %d)\n",
+			st.ID, st.State, st.Explored, st.RangesLeased, st.RangesPending)
+	}
+	if st.Error != "" {
+		return fail(fmt.Errorf("coordinator: job %s %s: %s", st.ID, st.State, st.Error))
+	}
+	fmt.Printf("%s: %s, explored %d interleavings, digest %s\n", st.ID, st.State, st.Explored, st.Digest)
+	if st.FirstViolation > 0 {
+		fmt.Printf("REPRODUCED at interleaving #%d\n", st.FirstViolation)
+		for _, v := range st.Violations {
+			fmt.Printf("  #%d [%s] violates %s: %s\n", v.Index, v.Key, v.Assertion, v.Error)
+		}
+		return 0
+	}
+	fmt.Println("not reproduced")
 	return 3
 }
 

@@ -292,6 +292,30 @@ func validKey(line string) bool {
 	return digits > 0 // non-empty final field, rejects trailing comma
 }
 
+// SaveJSON atomically persists v as indented JSON under name — the
+// manifest primitive the distributed coordinator uses for per-job state
+// (job.json) that must never be observed torn.
+func (d *Dir) SaveJSON(name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %s: %w", name, err)
+	}
+	return d.writeFile(name, data)
+}
+
+// LoadJSON restores a value persisted by SaveJSON. A missing file returns
+// os.ErrNotExist (callers distinguish "fresh dir" from corruption).
+func (d *Dir) LoadJSON(name string, v any) error {
+	data, err := os.ReadFile(filepath.Join(d.path, name))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("checkpoint: parse %s: %w", name, err)
+	}
+	return nil
+}
+
 // SaveSnapshot persists a replica state snapshot under a name.
 func (d *Dir) SaveSnapshot(name string, snapshot []byte) error {
 	return d.writeFile("state-"+name+".snap", snapshot)

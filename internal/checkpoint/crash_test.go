@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// ils returns n distinct single-digit-free interleavings (keys "i,i+1").
+func ils(n int) []interleave.Interleaving {
+	out := make([]interleave.Interleaving, n)
+	for i := range out {
+		out[i] = interleave.Interleaving{event.ID(i), event.ID(i + 1)}
+	}
+	return out
+}
+
+// TestJournalCrashAtGroupCommitBoundary simulates a process kill exactly at
+// the group-commit boundary: under the count-or-age policy with the age
+// trigger disabled, appends past the last count flush sit only in the
+// write buffer. A kill drops them; the keys flushed by the count trigger
+// must all survive, and a resume over the reopened journal must neither
+// lose a synced key nor double-count a re-appended one.
+func TestJournalCrashAtGroupCommitBoundary(t *testing.T) {
+	d := openDir(t)
+	// Count-only policy at the default batch size: the first 64 appends
+	// flush at #64, appends 65..70 stay volatile.
+	d.SetSyncPolicy(journalSyncEvery, 0)
+	all := ils(journalSyncEvery + 6)
+	for _, il := range all {
+		if err := d.AppendExplored(il); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash: the file handle goes away without a flush, losing the
+	// buffered tail — exactly what SIGKILL does to the page of an
+	// unflushed bufio.Writer.
+	d.mu.Lock()
+	_ = d.journal.Close()
+	d.journal = nil
+	d.buf = nil
+	d.unsynced = 0
+	d.mu.Unlock()
+
+	// Resume in a fresh Dir over the same path.
+	re, err := Open(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, err := re.LoadExplored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != journalSyncEvery {
+		t.Fatalf("recovered %d keys, want exactly %d (the synced batch)", len(seen), journalSyncEvery)
+	}
+	for i := 0; i < journalSyncEvery; i++ {
+		if !seen[all[i].Key()] {
+			t.Fatalf("synced key %q lost in crash", all[i].Key())
+		}
+	}
+	for i := journalSyncEvery; i < len(all); i++ {
+		if seen[all[i].Key()] {
+			t.Fatalf("unsynced key %q survived the crash; the test harness is wrong", all[i].Key())
+		}
+	}
+
+	// The resumed session re-explores only what was lost, appending those
+	// keys again. After it finishes, the journal holds every key exactly
+	// once from a dedup standpoint: no loss, no double count.
+	for _, il := range all {
+		if seen[il.Key()] {
+			continue // resume skips journaled keys
+		}
+		if err := re.AppendExplored(il); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := re.LoadExplored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != len(all) {
+		t.Fatalf("after resume: %d keys, want %d", len(final), len(all))
+	}
+	for _, il := range all {
+		if !final[il.Key()] {
+			t.Fatalf("key %q missing after resume", il.Key())
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCrashTornTail writes a torn final line (a partial append with
+// no newline, the other SIGKILL artifact) and checks the resume skips only
+// that line.
+func TestJournalCrashTornTail(t *testing.T) {
+	d := openDir(t)
+	d.SetSyncPolicy(1, 0) // flush every append so the good lines are durable
+	good := ils(5)
+	for _, il := range good {
+		if err := d.AppendExplored(il); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Torn tail: half a key, no terminator, straight into the file.
+	d.mu.Lock()
+	fmt.Fprint(d.buf, "12,") // trailing comma: fails validKey
+	_ = d.buf.Flush()
+	d.mu.Unlock()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, err := re.LoadExplored()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(good) {
+		t.Fatalf("recovered %d keys, want %d (torn tail must be skipped, not fatal)", len(seen), len(good))
+	}
+}

@@ -1,0 +1,93 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIHandler returns the jobs HTTP API, mountable on the telemetry status
+// server (StatusServer.Handle("/jobs", ...)) or any mux:
+//
+//	POST   /jobs            submit a JobSpec, returns its JobStatus (201)
+//	GET    /jobs            list all jobs
+//	GET    /jobs/<id>       one job's status; ?wait=<seconds> blocks until
+//	                        the job is terminal or the wait expires
+//	DELETE /jobs/<id>       cancel a job
+func (s *Service) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		jobs := s.Jobs()
+		out := make([]JobStatus, 0, len(jobs))
+		for _, j := range jobs {
+			out = append(out, j.Status())
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed spec: "+err.Error())
+			return
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, j.Status())
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j, ok := s.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		if secs, _ := strconv.Atoi(r.URL.Query().Get("wait")); secs > 0 {
+			t := time.NewTimer(time.Duration(secs) * time.Second)
+			select {
+			case <-j.Done():
+			case <-t.C:
+			case <-r.Context().Done():
+			}
+			t.Stop()
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	case http.MethodDelete:
+		j.cancel()
+		writeJSON(w, http.StatusOK, j.Status())
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+	}
+}

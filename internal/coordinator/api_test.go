@@ -1,0 +1,102 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJobsAPI(t *testing.T) {
+	svc := startService(t, Options{LeaseTTL: 500 * time.Millisecond})
+	srv := httptest.NewServer(svc.APIHandler())
+	defer srv.Close()
+
+	// Submit.
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"bug":"Roshi-1","mode":"dfs","max_interleavings":16}`))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /jobs = %s, want 201", resp.Status)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.ID == "" || st.State != StateRunning || st.Label != "Roshi-1" {
+		t.Fatalf("submitted status = %+v", st)
+	}
+
+	// Bad spec rejected.
+	resp, err = http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(`{"mode":"fuzz"}`))
+	if err != nil {
+		t.Fatalf("POST bad spec: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec = %s, want 400", resp.Status)
+	}
+
+	// List.
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	var list []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Get one.
+	resp, err = http.Get(srv.URL + "/jobs/" + st.ID)
+	if err != nil {
+		t.Fatalf("GET /jobs/%s: %v", st.ID, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job = %s, want 200", resp.Status)
+	}
+	resp, _ = http.Get(srv.URL + "/jobs/nope")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown = %s, want 404", resp.Status)
+	}
+
+	// Cancel, then a waited GET returns the terminal state immediately.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode cancel: %v", err)
+	}
+	resp.Body.Close()
+	if st.State != StateCancelled {
+		t.Fatalf("after DELETE state = %s, want cancelled", st.State)
+	}
+	start := time.Now()
+	resp, err = http.Get(srv.URL + "/jobs/" + st.ID + "?wait=30")
+	if err != nil {
+		t.Fatalf("GET wait: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode wait: %v", err)
+	}
+	resp.Body.Close()
+	if st.State != StateCancelled {
+		t.Fatalf("waited state = %s, want cancelled", st.State)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("?wait blocked on an already-terminal job")
+	}
+}

@@ -1,0 +1,190 @@
+package coordinator
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessSIGKILLSmoke is the end-to-end chaos smoke: a real
+// erpi-coordinator serve process (with embedded lockserver), two real
+// worker processes over TCP, one of them SIGKILLed mid-exploration — and
+// the job must still complete with an outcome digest byte-identical to
+// the sequential in-process engine.
+func TestMultiProcessSIGKILLSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test skipped in -short")
+	}
+
+	// Coarse ranges (64 interleavings per lease) keep the victim holding a
+	// lease almost all the time, so the SIGKILL lands mid-range.
+	spec := JobSpec{Bug: "Roshi-1", Mode: "dfs", MaxInterleavings: 960, RangeSize: 64}
+	wantDigest, wantExplored := sequentialBaseline(t, spec)
+
+	bin := filepath.Join(t.TempDir(), "erpi-coordinator")
+	build := exec.Command("go", "build", "-o", bin, "github.com/er-pi/erpi/cmd/erpi-coordinator")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	root := t.TempDir()
+	serve := exec.Command(bin, "serve",
+		"-journal-root", root,
+		"-embed-lock",
+		"-lease-ttl", "300ms",
+		"-status-addr", "127.0.0.1:0")
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	if err := serve.Start(); err != nil {
+		t.Fatalf("start serve: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = serve.Process.Kill()
+		_, _ = serve.Process.Wait()
+	})
+
+	var workerAddr, statusURL string
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	for workerAddr == "" || statusURL == "" {
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				close(lineCh)
+			}
+		}()
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("serve exited before printing its addresses")
+			}
+			if rest, found := strings.CutPrefix(line, "coordinator listening on "); found {
+				workerAddr = rest
+			}
+			if rest, found := strings.CutPrefix(line, "status: "); found {
+				statusURL = strings.TrimSuffix(rest, "/jobs")
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for serve to print its addresses")
+		}
+	}
+
+	startWorker := func(name string) *exec.Cmd {
+		w := exec.Command(bin, "work", "-addr", workerAddr, "-name", name, "-once")
+		if err := w.Start(); err != nil {
+			t.Fatalf("start worker %s: %v", name, err)
+		}
+		return w
+	}
+
+	// One kill scenario: submit the job, run the victim alone until it has
+	// committed a range AND provably holds a lease (it is the only worker,
+	// so a leased range is its), SIGKILL it, then start the survivor to
+	// finish the job. Returns the final status and whether the kill landed
+	// while the job was still running.
+	runAttempt := func(attempt int) (JobStatus, bool) {
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(statusURL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode submit: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit = %s (%+v)", resp.Status, st)
+		}
+
+		victim := startWorker(fmt.Sprintf("victim-%d", attempt))
+		var survivor *exec.Cmd
+		defer func() {
+			_ = victim.Process.Kill()
+			_, _ = victim.Process.Wait()
+			if survivor != nil {
+				_ = survivor.Process.Kill()
+				_ = survivor.Wait()
+			}
+		}()
+
+		getStatus := func() JobStatus {
+			resp, err := http.Get(fmt.Sprintf("%s/jobs/%s", statusURL, st.ID))
+			if err != nil {
+				t.Fatalf("poll: %v", err)
+			}
+			defer resp.Body.Close()
+			var cur JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+				t.Fatalf("decode poll: %v", err)
+			}
+			return cur
+		}
+		killDeadline := time.Now().Add(30 * time.Second)
+		for {
+			cur := getStatus()
+			if (cur.Explored >= spec.RangeSize && cur.RangesLeased >= 1) || cur.State != StateRunning {
+				break
+			}
+			if time.Now().After(killDeadline) {
+				t.Fatalf("no progress before kill: %+v", cur)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		killedMidRun := getStatus().State == StateRunning
+		if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatalf("SIGKILL victim: %v", err)
+		}
+		_, _ = victim.Process.Wait()
+		survivor = startWorker(fmt.Sprintf("survivor-%d", attempt))
+
+		resp, err = http.Get(fmt.Sprintf("%s/jobs/%s?wait=60", statusURL, st.ID))
+		if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+		var final JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+			t.Fatalf("decode final: %v", err)
+		}
+		resp.Body.Close()
+
+		// Completion + digest parity must hold on every attempt.
+		if final.State != StateDone {
+			t.Fatalf("final state = %s (%+v)", final.State, final)
+		}
+		if final.Explored != wantExplored {
+			t.Fatalf("explored = %d, want %d", final.Explored, wantExplored)
+		}
+		if final.Digest != wantDigest {
+			t.Fatalf("digest mismatch after SIGKILL:\n distributed %s\n sequential  %s", final.Digest, wantDigest)
+		}
+		assertUniqueKeys(t, journalKeys(t, filepath.Join(root, final.ID)), wantExplored)
+		return final, killedMidRun
+	}
+
+	// The SIGKILL can land in the narrow window between leases, in which
+	// case nothing gets orphaned; retry until the kill provably interrupted
+	// a leased range (requeues >= 1).
+	for attempt := 1; ; attempt++ {
+		final, killedMidRun := runAttempt(attempt)
+		if killedMidRun && final.Requeues >= 1 {
+			break
+		}
+		if attempt >= 3 {
+			t.Fatalf("no attempt orphaned a range (last: requeues=%d midRun=%v)", final.Requeues, killedMidRun)
+		}
+		t.Logf("attempt %d: kill missed a leased range (requeues=%d, midRun=%v); retrying", attempt, final.Requeues, killedMidRun)
+	}
+}

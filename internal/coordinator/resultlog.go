@@ -1,0 +1,113 @@
+package coordinator
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+// resultLine is one aggregated interleaving's durable record: its key, the
+// behaviour signature (or quarantine error), and any assertion violations.
+// results.log pairs with the checkpoint journal (explored.log): the journal
+// says *which* interleavings are committed, results.log says *what they
+// did*, and the write ordering invariant — a range's result lines are
+// synced before its journal keys are appended — means every journaled key
+// has a durable result line, so a resumed coordinator reconstructs the
+// digest and violation set without re-executing anything.
+type resultLine struct {
+	Index      int            `json:"index"`
+	Key        string         `json:"key"`
+	Sig        string         `json:"sig,omitempty"`
+	Attempts   int            `json:"attempts,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	Violations []JobViolation `json:"violations,omitempty"`
+}
+
+// JobViolation is one assertion failure, in serializable form.
+type JobViolation struct {
+	Index     int    `json:"index"`
+	Key       string `json:"key,omitempty"`
+	Assertion string `json:"assertion"`
+	Error     string `json:"error"`
+}
+
+const resultLogName = "results.log"
+
+// resultLog is an append-only JSON-lines file in the job's journal dir.
+type resultLog struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func openResultLog(dir string) (*resultLog, error) {
+	f, err := os.OpenFile(filepath.Join(dir, resultLogName), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &resultLog{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (l *resultLog) append(line resultLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	if _, err := l.w.Write(data); err != nil {
+		return err
+	}
+	return l.w.WriteByte('\n')
+}
+
+// sync flushes buffered lines to stable storage.
+func (l *resultLog) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *resultLog) close() error {
+	flushErr := l.w.Flush()
+	closeErr := l.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// loadResultLines reads a job dir's result log, skipping torn or corrupt
+// lines (a crash mid-append leaves at most one; skipping it only means that
+// interleaving is re-executed, which is always safe).
+func loadResultLines(dir string) ([]resultLine, error) {
+	f, err := os.Open(filepath.Join(dir, resultLogName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []resultLine
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line resultLine
+		if err := json.Unmarshal(raw, &line); err != nil || line.Key == "" {
+			log.Printf("coordinator: skipping corrupt result line %d in %s", lineNo, dir)
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

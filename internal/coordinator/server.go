@@ -1,0 +1,553 @@
+package coordinator
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// Options configures a coordinator Service.
+type Options struct {
+	// Addr is the TCP address workers connect to ("127.0.0.1:0" binds an
+	// ephemeral port; read it back with Addr()).
+	Addr string
+	// LockAddr, when non-empty, is the lockserver workers take per-range
+	// leases on, and the coordinator's second orphan-detection signal.
+	// Empty runs heartbeat-only liveness (single-machine setups).
+	LockAddr string
+	// JournalRoot is the directory holding one checkpoint journal dir per
+	// job. Required: it is the crash-recovery substrate.
+	JournalRoot string
+	// LeaseTTL is the lockserver lease TTL and the base of the heartbeat
+	// grace period (default 2s).
+	LeaseTTL time.Duration
+	// RangeSize is how many interleavings one lease covers (default 16;
+	// JobSpec.RangeSize overrides per job).
+	RangeSize int
+	// Telemetry, when set, receives coordinator metrics and lease/commit
+	// spans.
+	Telemetry *telemetry.Registry
+}
+
+// svcTel is the coordinator's nil-safe telemetry facade.
+type svcTel struct {
+	reg         *telemetry.Registry
+	workersLive *telemetry.Gauge
+	jobsRunning *telemetry.Gauge
+	leased      *telemetry.Counter
+	committed   *telemetry.Counter
+	requeued    *telemetry.Counter
+	fenced      *telemetry.Counter
+	heartbeats  *telemetry.Counter
+	poisoned    *telemetry.Counter
+	quarantines *telemetry.Counter
+}
+
+func newSvcTel(reg *telemetry.Registry) *svcTel {
+	if reg == nil {
+		return nil
+	}
+	return &svcTel{
+		reg:         reg,
+		workersLive: reg.Gauge("coordinator.workers_live"),
+		jobsRunning: reg.Gauge("coordinator.jobs_running"),
+		leased:      reg.Counter("coordinator.ranges_leased"),
+		committed:   reg.Counter("coordinator.ranges_committed"),
+		requeued:    reg.Counter("coordinator.ranges_requeued"),
+		fenced:      reg.Counter("coordinator.fence_rejections"),
+		heartbeats:  reg.Counter("coordinator.heartbeats"),
+		poisoned:    reg.Counter("coordinator.ranges_poisoned"),
+		quarantines: reg.Counter("coordinator.quarantined"),
+	}
+}
+
+func (t *svcTel) span(stage telemetry.Stage) telemetry.SpanStart {
+	if t == nil {
+		return telemetry.SpanStart{}
+	}
+	return t.reg.StartSpan(stage, 0, telemetry.CoordinatorWorker)
+}
+
+func (t *svcTel) workerJoined() {
+	if t != nil {
+		t.workersLive.Add(1)
+	}
+}
+func (t *svcTel) workerLeft() {
+	if t != nil {
+		t.workersLive.Add(-1)
+	}
+}
+func (t *svcTel) jobStarted() {
+	if t != nil {
+		t.jobsRunning.Add(1)
+	}
+}
+func (t *svcTel) jobFinished() {
+	if t != nil {
+		t.jobsRunning.Add(-1)
+	}
+}
+func (t *svcTel) rangeLeased() {
+	if t != nil {
+		t.leased.Inc()
+	}
+}
+func (t *svcTel) rangeCommitted() {
+	if t != nil {
+		t.committed.Inc()
+	}
+}
+func (t *svcTel) rangeRequeued() {
+	if t != nil {
+		t.requeued.Inc()
+	}
+}
+func (t *svcTel) fenceRejected() {
+	if t != nil {
+		t.fenced.Inc()
+	}
+}
+func (t *svcTel) heartbeat() {
+	if t != nil {
+		t.heartbeats.Inc()
+	}
+}
+func (t *svcTel) rangePoisoned() {
+	if t != nil {
+		t.poisoned.Inc()
+	}
+}
+func (t *svcTel) quarantined() {
+	if t != nil {
+		t.quarantines.Inc()
+	}
+}
+
+// Service is the coordinator: it accepts worker connections, leases
+// ranges, aggregates results, and hosts the jobs API.
+type Service struct {
+	opts Options
+	ln   net.Listener
+	tel  *svcTel
+
+	lockMu sync.Mutex
+	lock   *lockserver.Client // lazy janitor client for lease inspection
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	nextJob int
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New starts a coordinator service listening on opts.Addr.
+func New(opts Options) (*Service, error) {
+	if opts.JournalRoot == "" {
+		return nil, fmt.Errorf("coordinator: JournalRoot is required")
+	}
+	if err := os.MkdirAll(opts.JournalRoot, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 2 * time.Second
+	}
+	if opts.RangeSize <= 0 {
+		opts.RangeSize = 16
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: listen: %w", err)
+	}
+	s := &Service{
+		opts: opts,
+		ln:   ln,
+		tel:  newSvcTel(opts.Telemetry),
+		jobs: make(map[string]*Job),
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.janitor()
+	return s, nil
+}
+
+// Addr is the bound worker address.
+func (s *Service) Addr() string { return s.ln.Addr().String() }
+
+// Submit opens a new job from the spec and starts serving it.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("coordinator: service closed")
+	}
+	var id string
+	for {
+		s.nextJob++
+		id = fmt.Sprintf("job-%03d", s.nextJob)
+		if _, taken := s.jobs[id]; taken {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.opts.JournalRoot, id)); err == nil {
+			continue // dir from a prior incarnation not yet resumed
+		}
+		break
+	}
+	j, err := openJob(id, spec, filepath.Join(s.opts.JournalRoot, id), s.opts.RangeSize, s.opts.LeaseTTL, s.tel)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.tel.jobStarted()
+	return j, nil
+}
+
+// Recover reopens every job directory under JournalRoot — the coordinator
+// crash-recovery path. Finished jobs restore read-only from their
+// manifest; running jobs resume: committed interleavings replay from
+// results.log, everything else re-carves from a fresh explorer.
+func (s *Service) Recover() error {
+	entries, err := os.ReadDir(s.opts.JournalRoot)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range names {
+		if _, live := s.jobs[name]; live {
+			continue
+		}
+		var m jobManifest
+		dir := filepath.Join(s.opts.JournalRoot, name)
+		if err := loadManifest(dir, &m); err != nil {
+			continue // not a job dir
+		}
+		j, err := openJob(name, m.Spec, dir, s.opts.RangeSize, s.opts.LeaseTTL, s.tel)
+		if err != nil {
+			return fmt.Errorf("coordinator: recover %s: %w", name, err)
+		}
+		s.jobs[name] = j
+		s.order = append(s.order, name)
+		if n := numericSuffix(name); n > s.nextJob {
+			s.nextJob = n
+		}
+		if j.Status().State == StateRunning {
+			s.tel.jobStarted()
+		}
+	}
+	return nil
+}
+
+func loadManifest(dir string, m *jobManifest) error {
+	data, err := os.ReadFile(filepath.Join(dir, "job.json"))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, m)
+}
+
+// numericSuffix parses the N of "job-N" names (0 when not of that form).
+func numericSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Job looks a job up by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel terminates a job.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// Close shuts the service down: stop accepting, stop the janitor, close
+// every job's files. Running jobs stay resumable from their journals.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	s.lockMu.Lock()
+	if s.lock != nil {
+		_ = s.lock.Close()
+		s.lock = nil
+	}
+	s.lockMu.Unlock()
+	for _, j := range s.Jobs() {
+		j.closeFiles()
+	}
+	return err
+}
+
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// janitor periodically reaps orphaned ranges in every running job, using
+// heartbeat deadlines and (when a lockserver is configured) lease-key
+// inspection.
+func (s *Service) janitor() {
+	defer s.wg.Done()
+	tick := s.opts.LeaseTTL / 4
+	if tick < 25*time.Millisecond {
+		tick = 25 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-t.C:
+			var held func(key, token string) (bool, bool)
+			if s.opts.LockAddr != "" {
+				held = s.lockHeld
+			}
+			for _, j := range s.Jobs() {
+				j.reap(now, held)
+			}
+		}
+	}
+}
+
+// lockHeld reports whether the lease key currently stores the token.
+// ok=false means the lookup itself failed and nothing can be concluded.
+func (s *Service) lockHeld(key, token string) (bool, bool) {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	if s.lock == nil {
+		c, err := lockserver.Dial(s.opts.LockAddr)
+		if err != nil {
+			return false, false
+		}
+		s.lock = c
+	}
+	val, found, err := s.lock.Get(key)
+	if err != nil {
+		_ = s.lock.Close()
+		s.lock = nil
+		return false, false
+	}
+	return found && val == token, true
+}
+
+// pickJob binds a hello to a job: the named one, or the oldest running job.
+func (s *Service) pickJob(want string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if want != "" {
+		j, ok := s.jobs[want]
+		if !ok {
+			return nil, fmt.Errorf("unknown job %q", want)
+		}
+		return j, nil
+	}
+	for _, id := range s.order {
+		if s.jobs[id].Status().State == StateRunning {
+			return s.jobs[id], nil
+		}
+	}
+	return nil, nil // nothing running: caller sends drain
+}
+
+// maxWireLine bounds one protocol line. Commits carry a whole range of
+// outcomes, so this is generous.
+const maxWireLine = 16 * 1024 * 1024
+
+// serveConn runs one worker connection's request/response loop.
+func (s *Service) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	// Unblock reads on shutdown.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-s.stop:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxWireLine)
+	w := bufio.NewWriter(conn)
+	send := func(m *wireMsg) bool {
+		data, err := json.Marshal(m)
+		if err != nil {
+			return false
+		}
+		data = append(data, '\n')
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+
+	var cur *Job
+	worker := ""
+	counted := false
+	defer func() {
+		if cur != nil && worker != "" {
+			cur.workerGone(worker)
+		}
+		if counted {
+			s.tel.workerLeft()
+		}
+	}()
+
+	for sc.Scan() {
+		var msg wireMsg
+		if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
+			send(&wireMsg{Type: msgError, Err: "malformed message"})
+			return
+		}
+		switch msg.Type {
+		case msgHello:
+			if msg.Worker == "" {
+				send(&wireMsg{Type: msgError, Err: "hello requires a worker name"})
+				return
+			}
+			if cur != nil && worker != "" {
+				cur.workerGone(worker) // rebinding releases old holds
+			}
+			worker = msg.Worker
+			if !counted {
+				counted = true
+				s.tel.workerJoined()
+			}
+			j, err := s.pickJob(msg.Job)
+			if err != nil {
+				if !send(&wireMsg{Type: msgError, Err: err.Error()}) {
+					return
+				}
+				continue
+			}
+			if j == nil {
+				cur = nil
+				if !send(&wireMsg{Type: msgDrain, RetryMs: s.opts.LeaseTTL.Milliseconds() / 2}) {
+					return
+				}
+				continue
+			}
+			cur = j
+			spec := cur.spec
+			if !send(&wireMsg{
+				Type:       msgHello,
+				Job:        cur.id,
+				Spec:       &spec,
+				LockAddr:   s.opts.LockAddr,
+				LeaseTTLMs: s.opts.LeaseTTL.Milliseconds(),
+			}) {
+				return
+			}
+		case msgLease:
+			if cur == nil {
+				send(&wireMsg{Type: msgError, Err: "lease before hello"})
+				return
+			}
+			if !send(cur.lease(worker)) {
+				return
+			}
+		case msgHeartbeat:
+			if cur == nil {
+				send(&wireMsg{Type: msgError, Err: "heartbeat before hello"})
+				return
+			}
+			reply := &wireMsg{Type: msgOK, Range: msg.Range}
+			if !cur.heartbeat(worker, msg.Range, msg.Epoch) {
+				reply.Type = msgFenced
+			}
+			if !send(reply) {
+				return
+			}
+		case msgCommit:
+			if cur == nil {
+				send(&wireMsg{Type: msgError, Err: "commit before hello"})
+				return
+			}
+			ok, err := cur.commit(worker, msg.Range, msg.Epoch, msg.Results)
+			reply := &wireMsg{Type: msgOK, Range: msg.Range}
+			switch {
+			case err != nil:
+				reply = &wireMsg{Type: msgError, Range: msg.Range, Err: err.Error()}
+			case !ok:
+				reply.Type = msgFenced
+			}
+			if !send(reply) {
+				return
+			}
+		default:
+			send(&wireMsg{Type: msgError, Err: fmt.Sprintf("unknown message type %q", msg.Type)})
+			return
+		}
+	}
+}

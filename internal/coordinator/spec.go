@@ -1,0 +1,126 @@
+package coordinator
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/miscon"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// JobSpec names a workload plus the exploration parameters that must be
+// identical on the coordinator (which enumerates) and every worker (which
+// executes). It is deliberately data-only — a bug or misconception name,
+// not a Scenario — so it serializes into the hello handshake and the
+// per-job manifest, and so a coordinator restart rebuilds the exact same
+// scenario from it.
+type JobSpec struct {
+	// Bug names a Table-1 bug benchmark (e.g. "Roshi-1"). Exactly one of
+	// Bug and Miscon must be set.
+	Bug string `json:"bug,omitempty"`
+	// Miscon names a Table-2 misconception scenario (e.g. "CRDTs#4").
+	Miscon string `json:"miscon,omitempty"`
+	// Mode is the exploration mode (default "erpi"). ModeFuzz is rejected:
+	// its corpus feedback loop is order-dependent and inherently
+	// sequential, so distributing it would change which interleavings run.
+	Mode string `json:"mode,omitempty"`
+	// Seed drives rand-mode enumeration and retry jitter.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxInterleavings caps the job (0 = runner default; negative =
+	// unbounded). Like the runner's, the cap is session-wide: journaled
+	// interleavings count toward it across coordinator restarts.
+	MaxInterleavings int `json:"max_interleavings,omitempty"`
+	// RangeSize overrides the service's default lease granularity.
+	RangeSize int `json:"range_size,omitempty"`
+	// StopOnViolation ends the job at the first assertion failure.
+	StopOnViolation bool `json:"stop_on_violation,omitempty"`
+	// MaxRetries / InterleavingTimeoutMs tune worker-side execution
+	// (runner.Config semantics; 0 retries means the default of 1).
+	MaxRetries            int   `json:"max_retries,omitempty"`
+	InterleavingTimeoutMs int64 `json:"interleaving_timeout_ms,omitempty"`
+}
+
+// validate rejects specs the service cannot honor.
+func (sp *JobSpec) validate() error {
+	if (sp.Bug == "") == (sp.Miscon == "") {
+		return fmt.Errorf("coordinator: spec must name exactly one of bug or miscon")
+	}
+	if sp.Mode == "" {
+		sp.Mode = string(runner.ModeERPi)
+	}
+	switch runner.Mode(sp.Mode) {
+	case runner.ModeERPi, runner.ModeDFS, runner.ModeRand:
+	case runner.ModeFuzz:
+		return fmt.Errorf("coordinator: mode fuzz is order-dependent and cannot be distributed")
+	default:
+		return fmt.Errorf("coordinator: unknown mode %q", sp.Mode)
+	}
+	return nil
+}
+
+// build resolves the named workload into the scenario and fresh assertion
+// instances. Both sides call it: the coordinator for enumeration and
+// assertion checking, each worker for execution (assertions are checked
+// only on the coordinator, in aggregation order, so stateful detectors see
+// the exact sequential outcome sequence).
+func (sp *JobSpec) build() (runner.Scenario, []runner.Assertion, error) {
+	if sp.Bug != "" {
+		b, ok := bugs.ByName(sp.Bug)
+		if !ok {
+			return runner.Scenario{}, nil, fmt.Errorf("coordinator: unknown bug %q", sp.Bug)
+		}
+		s, err := b.Build()
+		if err != nil {
+			return runner.Scenario{}, nil, err
+		}
+		asserts, err := b.NewAssertions()
+		if err != nil {
+			return runner.Scenario{}, nil, err
+		}
+		return s, asserts, nil
+	}
+	for _, sc := range miscon.All() {
+		if sc.Name() == sp.Miscon {
+			s, err := sc.Build()
+			if err != nil {
+				return runner.Scenario{}, nil, err
+			}
+			return s, sc.NewAssertions(), nil
+		}
+	}
+	return runner.Scenario{}, nil, fmt.Errorf("coordinator: unknown misconception %q", sp.Miscon)
+}
+
+// Build resolves the spec's named workload into its scenario and fresh
+// assertion instances — the exported face of build for benchmarks and
+// external drivers that need the same scenario the cluster runs.
+func (sp *JobSpec) Build() (runner.Scenario, []runner.Assertion, error) {
+	return sp.build()
+}
+
+// execConfig is the runner.Config a worker's Executor runs under. Only
+// execution-relevant fields are set; enumeration fields live on the
+// coordinator.
+func (sp *JobSpec) execConfig() runner.Config {
+	return runner.Config{
+		Mode:                runner.Mode(sp.Mode),
+		Seed:                sp.Seed,
+		MaxRetries:          sp.MaxRetries,
+		InterleavingTimeout: time.Duration(sp.InterleavingTimeoutMs) * time.Millisecond,
+	}
+}
+
+// exploreConfig is the runner.Config the coordinator's explorer is built
+// from (mode + seed drive enumeration; pruning comes from the scenario).
+func (sp *JobSpec) exploreConfig() runner.Config {
+	return runner.Config{Mode: runner.Mode(sp.Mode), Seed: sp.Seed}
+}
+
+// label names the workload for status displays.
+func (sp *JobSpec) label() string {
+	if sp.Bug != "" {
+		return sp.Bug
+	}
+	return sp.Miscon
+}

@@ -1,0 +1,382 @@
+package coordinator
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// WorkerOptions configures one worker process (or goroutine).
+type WorkerOptions struct {
+	// Addr is the coordinator's worker address.
+	Addr string
+	// Name uniquely identifies this worker across the cluster; it is half
+	// of every fencing token. Defaults to "w<pid>".
+	Name string
+	// Job pins the worker to one job id ("" = serve whatever runs).
+	Job string
+	// Once returns after the first bound job finishes instead of waiting
+	// for more work (tests and benchmarks).
+	Once bool
+	// RetryInterval is the redial/drain backoff (default 250ms).
+	RetryInterval time.Duration
+	// Telemetry, when set, receives the worker's execution metrics.
+	Telemetry *telemetry.Registry
+
+	// Test hooks — nil in production.
+	//
+	// BeforeExecute runs before each interleaving executes; blocking it
+	// pauses the worker mid-range (the lease-expiry chaos test).
+	BeforeExecute func(index int)
+	// BeforeCommit runs before each range commit is sent.
+	BeforeCommit func(rangeID int)
+	// CrashAfterExecutions > 0 simulates a SIGKILL after that many
+	// executions: the lease mutex is orphaned (left to expire, never
+	// released), the connection drops, and RunWorker returns
+	// ErrWorkerCrashed.
+	CrashAfterExecutions int
+}
+
+// ErrWorkerCrashed is returned by RunWorker when the CrashAfterExecutions
+// hook fired.
+var ErrWorkerCrashed = errors.New("coordinator: worker crash injected")
+
+// errRangeAbandoned aborts the current range without failing the worker
+// (fenced mid-range, or the lockserver lease was lost).
+var errRangeAbandoned = errors.New("range abandoned")
+
+// RunWorker connects to a coordinator and serves it until ctx is done:
+// hello → lease ranges → execute each interleaving with full engine
+// semantics (runner.Executor) → commit results, heartbeating long ranges
+// and holding a per-range lockserver lease when the cluster has one. On
+// "done" it rebinds to the next job (or returns, with Once/Job set).
+// Transport errors redial; the coordinator requeues whatever was held.
+func RunWorker(ctx context.Context, o WorkerOptions) error {
+	if o.Addr == "" {
+		return fmt.Errorf("coordinator: worker needs an Addr")
+	}
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("w%d", os.Getpid())
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 250 * time.Millisecond
+	}
+	w := &worker{o: o, executed: 0}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := w.serveOnce(ctx)
+		switch {
+		case err == nil:
+			// A job completed cleanly.
+			if o.Once || o.Job != "" {
+				return nil
+			}
+		case errors.Is(err, ErrWorkerCrashed):
+			return err
+		case ctx.Err() != nil:
+			return ctx.Err()
+		default:
+			// Transport or server error: back off and redial.
+			if !sleepCtx(ctx, o.RetryInterval) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+type worker struct {
+	o        WorkerOptions
+	executed int // lifetime execution count (CrashAfterExecutions hook)
+}
+
+// session is one connection's lockstep transport.
+type session struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	w    *bufio.Writer
+}
+
+func dialSession(ctx context.Context, addr string) (*session, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxWireLine)
+	return &session{conn: conn, sc: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// roundTrip sends one message and reads its reply.
+func (s *session) roundTrip(m *wireMsg) (*wireMsg, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if _, err := s.w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := s.w.Flush(); err != nil {
+		return nil, err
+	}
+	if !s.sc.Scan() {
+		if err := s.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("coordinator: connection closed")
+	}
+	var reply wireMsg
+	if err := json.Unmarshal(s.sc.Bytes(), &reply); err != nil {
+		return nil, err
+	}
+	if reply.Type == msgError {
+		return nil, fmt.Errorf("coordinator: %s", reply.Err)
+	}
+	return &reply, nil
+}
+
+// serveOnce binds to one job and serves it to completion. nil return =
+// the job finished (done received); errors are transport/protocol/crash.
+func (w *worker) serveOnce(ctx context.Context) error {
+	sess, err := dialSession(ctx, w.o.Addr)
+	if err != nil {
+		return err
+	}
+	defer sess.conn.Close()
+	// Unblock reads when ctx dies mid-roundtrip.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sess.conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	// Bind to a job, waiting out drains.
+	var hello *wireMsg
+	for {
+		hello, err = sess.roundTrip(&wireMsg{Type: msgHello, Worker: w.o.Name, Job: w.o.Job})
+		if err != nil {
+			return err
+		}
+		switch hello.Type {
+		case msgHello:
+		case msgDrain:
+			if !sleepCtx(ctx, retryDelay(hello.RetryMs, w.o.RetryInterval)) {
+				return ctx.Err()
+			}
+			continue
+		case msgDone:
+			return nil
+		default:
+			return fmt.Errorf("coordinator: unexpected hello reply %q", hello.Type)
+		}
+		break
+	}
+
+	spec := hello.Spec
+	if spec == nil {
+		return fmt.Errorf("coordinator: hello reply has no spec")
+	}
+	scenario, _, err := spec.build()
+	if err != nil {
+		return err
+	}
+	cfg := spec.execConfig()
+	cfg.Telemetry = w.o.Telemetry
+	exec, err := runner.NewExecutor(scenario, cfg)
+	if err != nil {
+		return err
+	}
+
+	ttl := time.Duration(hello.LeaseTTLMs) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	var lock *lockserver.Client
+	if hello.LockAddr != "" {
+		lock, err = lockserver.Dial(hello.LockAddr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if lock != nil {
+				_ = lock.Close()
+			}
+		}()
+	}
+
+	job := hello.Job
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		reply, err := sess.roundTrip(&wireMsg{Type: msgLease})
+		if err != nil {
+			return err
+		}
+		switch reply.Type {
+		case msgDone:
+			return nil
+		case msgDrain:
+			if !sleepCtx(ctx, retryDelay(reply.RetryMs, w.o.RetryInterval)) {
+				return ctx.Err()
+			}
+			continue
+		case msgRange:
+		default:
+			return fmt.Errorf("coordinator: unexpected lease reply %q", reply.Type)
+		}
+		err = w.runRange(ctx, sess, exec, lock, job, ttl, reply)
+		switch {
+		case err == nil, errors.Is(err, errRangeAbandoned):
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// runRange executes one granted range under its lease and commits it.
+func (w *worker) runRange(ctx context.Context, sess *session, exec *runner.Executor, lock *lockserver.Client, job string, ttl time.Duration, grant *wireMsg) error {
+	ils := ilsFromWire(grant.Interleavings)
+	token := leaseToken(w.o.Name, grant.Epoch)
+
+	// Take the range's lockserver lease. A previous holder that was
+	// SIGKILLed left its key to expire, so allow a couple of TTLs.
+	var mutex *lockserver.DMutex
+	var lost <-chan struct{}
+	if lock != nil {
+		key := fmt.Sprintf("erpi/job/%s/range/%d", job, grant.Range)
+		mutex = lockserver.NewDMutex(lock, key, token, ttl, ttl/10)
+		mutex.AutoRenew(0)
+		lockCtx, cancel := context.WithTimeout(ctx, 4*ttl)
+		err := mutex.Lock(lockCtx)
+		cancel()
+		if err != nil {
+			// Could not acquire (previous lease still live, or server
+			// unreachable): skip; the coordinator will requeue the range.
+			return errRangeAbandoned
+		}
+		lost = mutex.Lost()
+	}
+
+	results := make([]wireResult, 0, len(ils))
+	lastContact := time.Now()
+	for i, il := range ils {
+		if err := ctx.Err(); err != nil {
+			w.abandon(mutex)
+			return err
+		}
+		select {
+		case <-lost:
+			// Renewal failed: someone else may hold the range. Stop
+			// without committing; fencing protects the ledger anyway.
+			return errRangeAbandoned
+		default:
+		}
+		index := grant.Start + i
+		if w.o.BeforeExecute != nil {
+			w.o.BeforeExecute(index)
+		}
+		if w.o.CrashAfterExecutions > 0 && w.executed >= w.o.CrashAfterExecutions {
+			// Simulated SIGKILL: the lease key is orphaned (expires on its
+			// own, exactly like a dead process), the connection just drops.
+			if mutex != nil {
+				mutex.Orphan()
+			}
+			sess.conn.Close()
+			return ErrWorkerCrashed
+		}
+		// Heartbeat long ranges so slow executions don't look like death.
+		if time.Since(lastContact) > ttl/2 {
+			hb, err := sess.roundTrip(&wireMsg{Type: msgHeartbeat, Range: grant.Range, Epoch: grant.Epoch})
+			if err != nil {
+				w.abandon(mutex)
+				return err
+			}
+			lastContact = time.Now()
+			if hb.Type == msgFenced {
+				w.abandon(mutex)
+				return errRangeAbandoned
+			}
+		}
+		outcome, attempts, execErr := exec.Execute(ctx, il, index)
+		w.executed++
+		res := wireResult{Index: index, Key: il.Key(), Attempts: attempts}
+		if execErr != nil {
+			if ctx.Err() != nil {
+				w.abandon(mutex)
+				return ctx.Err()
+			}
+			res.Error = execErr.Error()
+		} else {
+			res.Outcome = toWireOutcome(outcome)
+		}
+		results = append(results, res)
+	}
+
+	if w.o.BeforeCommit != nil {
+		w.o.BeforeCommit(grant.Range)
+	}
+	reply, err := sess.roundTrip(&wireMsg{Type: msgCommit, Range: grant.Range, Epoch: grant.Epoch, Results: results})
+	if err != nil {
+		w.abandon(mutex)
+		return err
+	}
+	switch reply.Type {
+	case msgOK:
+		if mutex != nil {
+			_ = mutex.Unlock()
+		}
+		return nil
+	case msgFenced:
+		w.abandon(mutex)
+		return errRangeAbandoned
+	default:
+		w.abandon(mutex)
+		return fmt.Errorf("coordinator: unexpected commit reply %q", reply.Type)
+	}
+}
+
+// abandon stops renewing without blocking on the lock server (the mutex
+// may already be lost or the server gone).
+func (w *worker) abandon(m *lockserver.DMutex) {
+	if m != nil {
+		m.Abandon()
+	}
+}
+
+// retryDelay picks the drain backoff: the server's hint, else the default.
+func retryDelay(hintMs int64, def time.Duration) time.Duration {
+	if hintMs > 0 {
+		return time.Duration(hintMs) * time.Millisecond
+	}
+	return def
+}
+
+// sleepCtx sleeps d unless ctx dies first; reports whether it slept fully.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -21,6 +21,12 @@ import (
 // testbed was a silent hang or a split-brain critical section.
 var ErrLeaseLost = errors.New("lockserver: lease lost")
 
+// ErrClientClosed marks a request aborted because Close was called while
+// the request was mid-backoff. Without it, a client torn down during a
+// lock-server outage would pin its caller through the rest of the backoff
+// ladder.
+var ErrClientClosed = errors.New("lockserver: client closed")
+
 // ErrBlockingUnsupported marks a WAITGE request rejected by a server that
 // predates the blocking wait. The sequencer downgrades to polling for the
 // rest of its lifetime when it sees this.
@@ -49,6 +55,12 @@ type Client struct {
 	maxAttempts int
 	backoff     time.Duration
 	hook        FaultHook
+
+	// closed aborts in-flight backoff sleeps when Close is called. It is
+	// managed outside mu (a request holds mu while sleeping, so Close must
+	// be able to signal without acquiring it).
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // Reconnect policy defaults: 4 attempts starting at 5ms keep a transient
@@ -71,6 +83,7 @@ func Dial(addr string) (*Client, error) {
 		w:           bufio.NewWriter(conn),
 		maxAttempts: defaultMaxAttempts,
 		backoff:     defaultBackoff,
+		closed:      make(chan struct{}),
 	}, nil
 }
 
@@ -96,8 +109,10 @@ func (c *Client) SetFaultHook(h FaultHook) {
 	c.hook = h
 }
 
-// Close shuts the connection.
+// Close shuts the connection and aborts any request sleeping in its
+// reconnect backoff.
 func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -117,13 +132,31 @@ type reply struct {
 }
 
 func (c *Client) do(args ...string) (reply, error) {
+	return c.doCtx(context.Background(), args...)
+}
+
+// doCtx is do with a cancellation context: the reconnect backoff sleeps
+// are interruptible by ctx and by Close, so a cancelled run (or a client
+// torn down mid-outage) is never pinned through the full backoff ladder.
+func (c *Client) doCtx(ctx context.Context, args ...string) (reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
 	backoff := c.backoff
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return reply{}, fmt.Errorf("lockserver: %s aborted: %w (last error: %v)",
+					args[0], ctx.Err(), lastErr)
+			case <-c.closed:
+				timer.Stop()
+				return reply{}, fmt.Errorf("lockserver: %s aborted: %w (last error: %v)",
+					args[0], ErrClientClosed, lastErr)
+			case <-timer.C:
+			}
 			backoff *= 2
 		}
 		if c.hook != nil {
@@ -223,7 +256,13 @@ func (c *Client) Ping() error {
 
 // SetNX sets key=value with a TTL only if absent; reports acquisition.
 func (c *Client) SetNX(key, value string, ttl time.Duration) (bool, error) {
-	rep, err := c.do("SET", key, value, "NX", "PX", strconv.FormatInt(ttl.Milliseconds(), 10))
+	return c.SetNXContext(context.Background(), key, value, ttl)
+}
+
+// SetNXContext is SetNX with a cancellation context bounding the
+// reconnect backoff (see doCtx).
+func (c *Client) SetNXContext(ctx context.Context, key, value string, ttl time.Duration) (bool, error) {
+	rep, err := c.doCtx(ctx, "SET", key, value, "NX", "PX", strconv.FormatInt(ttl.Milliseconds(), 10))
 	if err != nil {
 		return false, err
 	}
@@ -316,7 +355,14 @@ func (c *Client) CompareAndDelete(key, expect string) (bool, error) {
 // lease-renewal primitive: a holder extends its own lock atomically, and a
 // false return proves the lease is gone.
 func (c *Client) CompareAndExpire(key, expect string, ttl time.Duration) (bool, error) {
-	rep, err := c.do("CEX", key, expect, strconv.FormatInt(ttl.Milliseconds(), 10))
+	return c.CompareAndExpireContext(context.Background(), key, expect, ttl)
+}
+
+// CompareAndExpireContext is CompareAndExpire with a cancellation context
+// bounding the reconnect backoff, so a stopped renewal goroutine exits
+// promptly instead of riding out the ladder against a dead server.
+func (c *Client) CompareAndExpireContext(ctx context.Context, key, expect string, ttl time.Duration) (bool, error) {
+	rep, err := c.doCtx(ctx, "CEX", key, expect, strconv.FormatInt(ttl.Milliseconds(), 10))
 	if err != nil {
 		return false, err
 	}
@@ -418,11 +464,12 @@ type DMutex struct {
 	histAcquire *telemetry.Histogram
 	histRenew   *telemetry.Histogram
 
-	mu      sync.Mutex
-	lost    chan struct{}
-	lostErr error
-	stop    chan struct{}
-	done    chan struct{}
+	mu        sync.Mutex
+	lost      chan struct{}
+	lostErr   error
+	stop      chan struct{}
+	done      chan struct{}
+	renewStop context.CancelFunc
 }
 
 // SetMetrics attaches latency histograms for lock acquisition waits and
@@ -457,7 +504,7 @@ func (m *DMutex) AutoRenew(every time.Duration) {
 func (m *DMutex) Lock(ctx context.Context) error {
 	started := time.Now()
 	for {
-		ok, err := m.client.SetNX(m.key, m.token, m.ttl)
+		ok, err := m.client.SetNXContext(ctx, m.key, m.token, m.ttl)
 		if ok && err == nil {
 			m.histAcquire.ObserveDuration(time.Since(started))
 			m.startRenewal()
@@ -487,10 +534,15 @@ func (m *DMutex) startRenewal() {
 	m.lostErr = nil
 	m.stop = make(chan struct{})
 	m.done = make(chan struct{})
-	go m.renewLoop(m.stop, m.done, m.lost)
+	// The renewal context dies with stop, so a renewal round trip caught
+	// mid-backoff against an unreachable server aborts immediately instead
+	// of pinning stopRenewal through the ladder.
+	ctx, cancel := context.WithCancel(context.Background())
+	m.renewStop = cancel
+	go m.renewLoop(ctx, m.stop, m.done, m.lost)
 }
 
-func (m *DMutex) renewLoop(stop, done, lost chan struct{}) {
+func (m *DMutex) renewLoop(ctx context.Context, stop, done, lost chan struct{}) {
 	defer close(done)
 	ticker := time.NewTicker(m.renewEvery)
 	defer ticker.Stop()
@@ -500,9 +552,12 @@ func (m *DMutex) renewLoop(stop, done, lost chan struct{}) {
 			return
 		case <-ticker.C:
 			renewStart := time.Now()
-			ok, err := m.client.CompareAndExpire(m.key, m.token, m.ttl)
+			ok, err := m.client.CompareAndExpireContext(ctx, m.key, m.token, m.ttl)
 			m.histRenew.ObserveDuration(time.Since(renewStart))
 			if err != nil {
+				if ctx.Err() != nil {
+					return // stopRenewal cancelled us mid-request
+				}
 				// Transient: the lease may well still be alive; renewing
 				// again next tick is always safe.
 				continue
@@ -522,8 +577,8 @@ func (m *DMutex) renewLoop(stop, done, lost chan struct{}) {
 // loss, if any.
 func (m *DMutex) stopRenewal() error {
 	m.mu.Lock()
-	stop, done := m.stop, m.done
-	m.stop, m.done = nil, nil
+	stop, done, cancel := m.stop, m.done, m.renewStop
+	m.stop, m.done, m.renewStop = nil, nil, nil
 	m.mu.Unlock()
 	if stop == nil {
 		return m.Err()
@@ -532,7 +587,13 @@ func (m *DMutex) stopRenewal() error {
 	case <-done: // renewal already exited (lease lost)
 	default:
 		close(stop)
+		if cancel != nil {
+			cancel() // abort a renewal round trip stuck in backoff
+		}
 		<-done
+	}
+	if cancel != nil {
+		cancel()
 	}
 	return m.Err()
 }
@@ -589,6 +650,15 @@ func (m *DMutex) UnlockAdvance(seqKey string) (int64, error) {
 func (m *DMutex) Abandon() {
 	_ = m.stopRenewal()
 	_, _ = m.client.CompareAndDelete(m.key, m.token)
+}
+
+// Orphan stops lease renewal WITHOUT releasing the key, leaving the lease
+// to expire on its own TTL — exactly what a SIGKILLed holder does. Crash
+// tests use it to simulate a dead worker faithfully: the next claimant
+// must wait out the TTL, and the fencing epoch must reject the orphan's
+// late writes.
+func (m *DMutex) Orphan() {
+	_ = m.stopRenewal()
 }
 
 // Sequencer enforces a global turn order across replicas: each event of an

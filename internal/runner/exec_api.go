@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/er-pi/erpi/internal/fault"
+	"github.com/er-pi/erpi/internal/interleave"
+)
+
+// This file is the exported execution facade: the exact worker-side stack
+// the pool engine runs (private cluster, injector clone, prefix cache,
+// retry-with-seeded-jitter) packaged so out-of-process callers — the
+// distributed coordinator's workers foremost — execute interleavings with
+// byte-identical semantics to an in-process Workers=N run. The in-process
+// engines (runSequential, pool.worker) build their environments through
+// the same newWorkerEnv, so there is one definition of "execute an
+// interleaving" in the codebase.
+
+// normalizeRetry applies Config's documented retry defaults in place:
+// MaxRetries 0 means one retry, negative disables; RetryBackoff defaults
+// to 1ms. RunContext and NewExecutor share it so a standalone executor
+// retries exactly like the engines.
+func normalizeRetry(cfg *Config) {
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 1
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+}
+
+// newWorkerEnv builds one worker's private execution environment: fault
+// injector (instrumented when telemetry is on), fresh cluster checkpointed
+// at genesis, executor with optional prefix cache, and the worker's seeded
+// retry-jitter generator. Shared by the sequential engine (w == 0), every
+// pool worker, and the exported Executor facade.
+func newWorkerEnv(s Scenario, cfg Config, w int, tel *runTelemetry) (*executor, *rand.Rand, error) {
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		var err error
+		inj, err = fault.NewInjector(*cfg.Faults)
+		if err != nil {
+			return nil, nil, fmt.Errorf("runner: %w", err)
+		}
+		tel.instrument(inj)
+	}
+	cluster, err := s.NewCluster()
+	if err != nil {
+		return nil, nil, fmt.Errorf("runner: cluster setup: %w", err)
+	}
+	if err := cluster.Checkpoint(); err != nil {
+		return nil, nil, err
+	}
+	exec := &executor{log: s.Log, cluster: cluster, inj: inj, tel: tel, worker: w}
+	if cfg.PrefixCacheBytes > 0 {
+		// Private per-worker cache: no cross-worker sharing, so what a
+		// worker computes never depends on what other workers ran.
+		exec.cache = newPrefixCache(cfg.PrefixCacheBytes, cfg.PrefixSnapshotEvery)
+	}
+	// Per-worker jitter generator: retry timing varies across workers, but
+	// which interleavings run and what they compute never depends on it.
+	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d ^ int64(w+1)<<32))
+	if w == 0 {
+		jitter = rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
+	}
+	return exec, jitter, nil
+}
+
+// Executor replays individual interleavings of one scenario with the full
+// engine semantics: genesis checkpoint reset (or prefix-cache restore),
+// fault injection, Finalize, and retry-with-backoff. It is the unit a
+// distributed worker runs per leased range. Not safe for concurrent use;
+// build one per goroutine.
+type Executor struct {
+	s    Scenario
+	cfg  Config
+	exec *executor
+	jit  *rand.Rand
+}
+
+// NewExecutor builds a standalone interleaving executor for the scenario.
+// Honored Config fields: Seed, Faults, MaxRetries, RetryBackoff,
+// InterleavingTimeout, PrefixCacheBytes, PrefixSnapshotEvery, Telemetry.
+func NewExecutor(s Scenario, cfg Config) (*Executor, error) {
+	if s.Log == nil || s.Log.Len() == 0 {
+		return nil, fmt.Errorf("runner: scenario has no events")
+	}
+	if s.NewCluster == nil {
+		return nil, fmt.Errorf("runner: scenario has no cluster factory")
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("runner: %w", err)
+		}
+	}
+	normalizeRetry(&cfg)
+	tel := newRunTelemetry(cfg.Telemetry)
+	exec, jitter, err := newWorkerEnv(s, cfg, 0, tel)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{s: s, cfg: cfg, exec: exec, jit: jitter}, nil
+}
+
+// Execute replays one interleaving at the given global exploration index
+// (the index keys deterministic fault arming, so distributed workers must
+// pass the coordinator-assigned index, not a local counter). It returns
+// the outcome, the number of attempts made, and the final error when every
+// attempt failed — the same triple the engines quarantine on.
+func (e *Executor) Execute(ctx context.Context, il interleave.Interleaving, index int) (*Outcome, int, error) {
+	return executeWithRetry(ctx, e.exec, e.s, e.cfg, il, index, e.jit)
+}
+
+// NewExplorer builds the exploration iterator the engine would use for
+// this scenario and config (mode, seed, pruning). The distributed
+// coordinator enumerates through it exactly as the in-process engines do,
+// which is what keeps range carving deterministic across restarts.
+func NewExplorer(s Scenario, cfg Config) (interleave.Explorer, error) {
+	if cfg.Mode == "" {
+		cfg.Mode = ModeERPi
+	}
+	return newExplorer(s, cfg, s.Pruning)
+}

@@ -4,13 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/er-pi/erpi/internal/datalog"
-	"github.com/er-pi/erpi/internal/fault"
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/prune"
 	"github.com/er-pi/erpi/internal/telemetry"
@@ -167,35 +165,11 @@ func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explo
 // run (mirroring the sequential engine's cluster-setup error), execution
 // failures are per-interleaving results.
 func (p *pool) worker(ctx context.Context, w int) {
-	var inj *fault.Injector
-	if p.cfg.Faults != nil {
-		var err error
-		inj, err = fault.NewInjector(*p.cfg.Faults)
-		if err != nil {
-			p.fatalCh <- fmt.Errorf("runner: %w", err)
-			return
-		}
-		p.tel.instrument(inj)
-	}
-	cluster, err := p.s.NewCluster()
+	exec, jitter, err := newWorkerEnv(p.s, p.cfg, w, p.tel)
 	if err != nil {
-		p.fatalCh <- fmt.Errorf("runner: cluster setup: %w", err)
-		return
-	}
-	if err := cluster.Checkpoint(); err != nil {
 		p.fatalCh <- err
 		return
 	}
-	exec := &executor{log: p.s.Log, cluster: cluster, inj: inj, tel: p.tel, worker: w}
-	if p.cfg.PrefixCacheBytes > 0 {
-		// Private per-worker cache: no cross-worker sharing, so what a
-		// worker computes never depends on what other workers ran.
-		exec.cache = newPrefixCache(p.cfg.PrefixCacheBytes, p.cfg.PrefixSnapshotEvery)
-	}
-	// Per-worker jitter generator: retry timing varies across workers
-	// (contended state would serialize them), but which interleavings run
-	// and what they compute never depends on it.
-	jitter := rand.New(rand.NewSource(p.cfg.Seed ^ 0x5deece66d ^ int64(w+1)<<32))
 	var cacheGen uint64
 	for item := range p.workCh {
 		if exec.cache != nil {
@@ -279,8 +253,8 @@ func (p *pool) pull() error {
 		key := il.Key()
 		dedupSpan := p.tel.span(telemetry.StageDedup, p.assigned+1, telemetry.CoordinatorWorker)
 		dup := p.explored.Has(key)
-		if !dup {
-			p.explored.Add(key)
+		if !dup && !p.explored.Add(key) {
+			p.tel.onDedupSaturated()
 		}
 		dedupSpan.End()
 		if dup {

@@ -343,15 +343,7 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	if cfg.PollEvery <= 0 {
 		cfg.PollEvery = 100
 	}
-	switch {
-	case cfg.MaxRetries == 0:
-		cfg.MaxRetries = 1
-	case cfg.MaxRetries < 0:
-		cfg.MaxRetries = 0
-	}
-	if cfg.RetryBackoff <= 0 {
-		cfg.RetryBackoff = time.Millisecond
-	}
+	normalizeRetry(&cfg)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -445,32 +437,14 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 // driven directly by the explorer. With Workers == 1 this is the exact
 // pre-parallel code path.
 func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew int, tel *runTelemetry) error {
-	var inj *fault.Injector
-	if cfg.Faults != nil {
-		var err error
-		inj, err = fault.NewInjector(*cfg.Faults)
-		if err != nil {
-			return fmt.Errorf("runner: %w", err)
-		}
-		tel.instrument(inj)
-	}
-	cluster, err := s.NewCluster()
+	// The sequential engine executes on its own goroutine; spans attribute
+	// that work to worker 0, matching a one-worker pool's timeline. Retry
+	// jitter comes from a seeded generator so chaotic runs stay
+	// reproducible end to end.
+	exec, jitter, err := newWorkerEnv(s, cfg, 0, tel)
 	if err != nil {
-		return fmt.Errorf("runner: cluster setup: %w", err)
-	}
-	// Checkpoint the pristine states once; reset before each interleaving.
-	if err := cluster.Checkpoint(); err != nil {
 		return err
 	}
-	// The sequential engine executes on its own goroutine; spans attribute
-	// that work to worker 0, matching a one-worker pool's timeline.
-	exec := &executor{log: s.Log, cluster: cluster, inj: inj, tel: tel, worker: 0}
-	if cfg.PrefixCacheBytes > 0 {
-		exec.cache = newPrefixCache(cfg.PrefixCacheBytes, cfg.PrefixSnapshotEvery)
-	}
-	// Retry jitter comes from a seeded generator so chaotic runs stay
-	// reproducible end to end.
-	jitter := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
 
 	for res.Explored < maxNew {
 		if err := ctx.Err(); err != nil {
@@ -488,8 +462,8 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 		key := il.Key()
 		dedupSpan := tel.span(telemetry.StageDedup, res.Explored+1, telemetry.CoordinatorWorker)
 		dup := explored.Has(key)
-		if !dup {
-			explored.Add(key)
+		if !dup && !explored.Add(key) {
+			tel.onDedupSaturated()
 		}
 		dedupSpan.End()
 		if dup {

@@ -140,6 +140,16 @@ func (t *runTelemetry) onDedupSkipped() {
 	t.dedupSkipped.Inc()
 }
 
+// onDedupSaturated flips the live dedup-saturation flag the first time the
+// explored set refuses a key, so /progress shows the degradation while the
+// run is still going (Result.DedupSaturated only lands at the end).
+func (t *runTelemetry) onDedupSaturated() {
+	if t == nil {
+		return
+	}
+	t.reg.Progress().SetDedupSaturated()
+}
+
 func (t *runTelemetry) onRetry() {
 	if t == nil {
 		return

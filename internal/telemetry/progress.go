@@ -18,6 +18,7 @@ type Progress struct {
 	resumed     atomic.Int64
 	quarantined atomic.Int64
 	violations  atomic.Int64
+	dedupSat    atomic.Bool
 
 	mu      sync.Mutex
 	workers []atomic.Int64 // per worker: interleaving index in flight, 0 = idle
@@ -37,6 +38,7 @@ func (p *Progress) BeginRun(total, workers int) {
 	p.resumed.Store(0)
 	p.quarantined.Store(0)
 	p.violations.Store(0)
+	p.dedupSat.Store(false)
 	p.doneAt.Store(0)
 	p.start.Store(time.Now().UnixNano())
 }
@@ -93,6 +95,16 @@ func (p *Progress) AddViolations(n int64) {
 	p.violations.Add(n)
 }
 
+// SetDedupSaturated marks the run's dedup set as saturated: beyond this
+// point dedup is best-effort and an interleaving may execute twice. The
+// flag makes a degraded run visible at /progress without log scraping.
+func (p *Progress) SetDedupSaturated() {
+	if p == nil {
+		return
+	}
+	p.dedupSat.Store(true)
+}
+
 // WorkerSnapshot is one worker's instantaneous state.
 type WorkerSnapshot struct {
 	ID int `json:"id"`
@@ -103,13 +115,17 @@ type WorkerSnapshot struct {
 
 // ProgressSnapshot is the JSON shape served at /progress.
 type ProgressSnapshot struct {
-	Running        bool             `json:"running"`
-	ElapsedSeconds float64          `json:"elapsed_seconds"`
-	Explored       int64            `json:"explored"`
-	Total          int64            `json:"total"`
-	Resumed        int64            `json:"resumed"`
-	Quarantined    int64            `json:"quarantined"`
-	Violations     int64            `json:"violations"`
+	Running        bool    `json:"running"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Explored       int64   `json:"explored"`
+	Total          int64   `json:"total"`
+	Resumed        int64   `json:"resumed"`
+	Quarantined    int64   `json:"quarantined"`
+	Violations     int64   `json:"violations"`
+	// DedupSaturated reports the dedup set hit its cap and degraded to
+	// best-effort (mirrors Result.DedupSaturated, live instead of at
+	// run end).
+	DedupSaturated bool             `json:"dedup_saturated"`
 	PerSecond      float64          `json:"per_second"`
 	ETASeconds     float64          `json:"eta_seconds"`
 	Workers        []WorkerSnapshot `json:"workers"`
@@ -122,11 +138,12 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		return ProgressSnapshot{}
 	}
 	s := ProgressSnapshot{
-		Explored:    p.explored.Load(),
-		Total:       p.total.Load(),
-		Resumed:     p.resumed.Load(),
-		Quarantined: p.quarantined.Load(),
-		Violations:  p.violations.Load(),
+		Explored:       p.explored.Load(),
+		Total:          p.total.Load(),
+		Resumed:        p.resumed.Load(),
+		Quarantined:    p.quarantined.Load(),
+		Violations:     p.violations.Load(),
+		DedupSaturated: p.dedupSat.Load(),
 	}
 	start := p.start.Load()
 	if start == 0 {

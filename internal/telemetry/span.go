@@ -42,8 +42,14 @@ const (
 	// StageLiveSetup is a live session coming up: minting the epoch's gate
 	// namespace and arming the replicas' interceptors.
 	StageLiveSetup
+	// StageLease is the distributed coordinator granting one interleaving
+	// range to a worker (carving fresh work or re-issuing an orphan).
+	StageLease
+	// StageRangeCommit is the coordinator accepting one range's results:
+	// fencing checks, in-order aggregation, and journal/result persistence.
+	StageRangeCommit
 
-	stageMax = StageLiveSetup
+	stageMax = StageRangeCommit
 )
 
 var stageNames = [...]string{
@@ -59,6 +65,8 @@ var stageNames = [...]string{
 	StageQuiesce:         "quiesce",
 	StageRestorePrefix:   "restore-prefix",
 	StageLiveSetup:       "live-setup",
+	StageLease:           "lease",
+	StageRangeCommit:     "range-commit",
 }
 
 func (s Stage) String() string {

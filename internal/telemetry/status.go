@@ -42,6 +42,7 @@ func PublishExpvar(reg *Registry) {
 type StatusServer struct {
 	reg *Registry
 	ln  net.Listener
+	mux *http.ServeMux
 	srv *http.Server
 }
 
@@ -64,9 +65,18 @@ func NewStatusServer(addr string, reg *Registry) (*StatusServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// Handle mounts an extra handler on the status server's mux, letting a
+// host (e.g. the distributed coordinator's jobs API) extend the same
+// observability port. ServeMux registration is lock-protected, so mounting
+// after the server started serving is safe.
+func (s *StatusServer) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // Addr returns the bound address (resolving a requested port 0).
