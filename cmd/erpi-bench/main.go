@@ -9,6 +9,7 @@
 //	erpi-bench -fig10         # Figure 10: succeed-or-crash micro-benchmark
 //	erpi-bench -pool          # pool throughput sweep -> BENCH_pool.json
 //	erpi-bench -prefix        # incremental-replay sweep -> BENCH_prefix.json
+//	erpi-bench -subsume       # state-subsumption sweep -> BENCH_subsume.json
 //	erpi-bench -live          # live-replay session sweep -> BENCH_live.json
 //	erpi-bench -dist          # distributed-coordinator sweep -> BENCH_dist.json
 package main
@@ -45,6 +46,9 @@ func run() int {
 		prefix  = flag.Bool("prefix", false, "incremental-replay sweep over prefix-cache budgets")
 		prefN   = flag.Int("prefix-slice", bench.DefaultPrefixSlice, "interleavings per prefix run")
 		prefOut = flag.String("prefix-out", "BENCH_prefix.json", "machine-readable prefix report path")
+		subsume = flag.Bool("subsume", false, "state-subsumption sweep over table budgets")
+		subN    = flag.Int("subsume-slice", bench.DefaultSubsumeSlice, "interleavings per subsumption run")
+		subOut  = flag.String("subsume-out", "BENCH_subsume.json", "machine-readable subsumption report path")
 		live    = flag.Bool("live", false, "live-replay sweep over concurrent session counts")
 		liveN   = flag.Int("live-slice", bench.DefaultLiveSlice, "interleavings per live run")
 		liveOut = flag.String("live-out", "BENCH_live.json", "machine-readable live report path")
@@ -53,7 +57,7 @@ func run() int {
 		distOut = flag.String("dist-out", "BENCH_dist.json", "machine-readable distributed report path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*live && !*dist {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*subsume && !*live && !*dist {
 		flag.Usage()
 		return 2
 	}
@@ -133,6 +137,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *prefOut)
+	}
+	if *all || *subsume {
+		report, err := bench.RunSubsume(*subN, nil)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WriteSubsumeJSON(*subOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *subOut)
 	}
 	if *all || *live {
 		report, err := bench.RunLive(*liveN, nil)

@@ -288,6 +288,21 @@ func WithPrefixCache(bytes int64) Option {
 	return func(s *Session) { s.cfg.PrefixCacheBytes = bytes }
 }
 
+// WithSubsumption enables DPOR-style state subsumption: interleavings
+// whose execution frontier reaches an already-visited (state-hash,
+// remaining-event-multiset) pair via a lexicographically smaller prefix
+// are skipped — their outcomes are provably ones executed interleavings
+// produce, so the deduplicated outcome-signature set is unchanged while
+// far fewer interleavings execute. bytes bounds the shared
+// visited-frontier table. Skipped interleavings still count toward
+// MaxInterleavings and the journal, and are reported in Result.Subsumed.
+// Honored by the lexicographic modes (ER-π pruned and DFS) only;
+// fault-carrying interleavings always execute. Non-positive bytes
+// disables subsumption.
+func WithSubsumption(bytes int64) Option {
+	return func(s *Session) { s.cfg.SubsumptionTable = bytes }
+}
+
 // WithStopOnViolation ends exploration at the first violation.
 func WithStopOnViolation() Option {
 	return func(s *Session) { s.cfg.StopOnViolation = true }

@@ -1,0 +1,118 @@
+package bugs_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/miscon"
+	"github.com/er-pi/erpi/internal/runner"
+)
+
+// parityCap bounds each exploration: large enough that the lexicographic
+// frontier revisits states (so subsumption actually fires somewhere),
+// small enough to keep the 5-subject × 2-worker-count matrix fast.
+const parityCap = 200
+
+// paritySubjects is one workload per evaluation subject. Four ride on
+// Table-1 bug benchmarks; the CRDT library has no Table-1 entry, so it
+// rides on its misconception scenario.
+func paritySubjects(t *testing.T) map[string]runner.Scenario {
+	t.Helper()
+	out := make(map[string]runner.Scenario)
+	for _, name := range []string{"Roshi-1", "OrbitDB-2", "ReplicaDB-1", "Yorkie-1"} {
+		b, ok := bugs.ByName(name)
+		if !ok {
+			t.Fatalf("unknown bug %q", name)
+		}
+		s, err := b.Build()
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		out[name] = s
+	}
+	for _, sc := range miscon.All() {
+		if sc.Name() == "CRDTs#4" {
+			s, err := sc.Build()
+			if err != nil {
+				t.Fatalf("build CRDTs#4: %v", err)
+			}
+			out["CRDTs#4"] = s
+		}
+	}
+	if len(out) != 5 {
+		t.Fatalf("assembled %d subjects, want 5", len(out))
+	}
+	return out
+}
+
+// exploreSigs runs one configuration and returns its deduplicated,
+// sorted outcome-signature set plus the run counters.
+func exploreSigs(t *testing.T, s runner.Scenario, workers int, subsume bool) ([]string, *runner.Result) {
+	t.Helper()
+	set := make(map[string]struct{})
+	cfg := runner.Config{
+		Mode:             runner.ModeDFS,
+		MaxInterleavings: parityCap,
+		Workers:          workers,
+		OnOutcome: func(o *runner.Outcome) {
+			set[runner.OutcomeSignature(o)] = struct{}{}
+		},
+	}
+	if subsume {
+		cfg.SubsumptionTable = 4 << 20
+	}
+	res, err := runner.Run(s, cfg)
+	if err != nil {
+		t.Fatalf("run (workers=%d subsume=%v): %v", workers, subsume, err)
+	}
+	sigs := make([]string, 0, len(set))
+	for sig := range set {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	return sigs, res
+}
+
+// TestSubsumptionSignatureParityAllSubjects is the PR's acceptance pin:
+// for every evaluation subject, turning state-subsumption pruning on must
+// leave the deduplicated outcome-signature set — the engine's observable
+// behavior inventory — byte-identical to the unpruned run, at one worker
+// and at eight. It also pins accounting parity (Explored is unchanged:
+// subsumed interleavings still consume indices) and that pruning actually
+// fires on at least one subject, so the parity claim is not vacuous.
+func TestSubsumptionSignatureParityAllSubjects(t *testing.T) {
+	subjects := paritySubjects(t)
+	names := make([]string, 0, len(subjects))
+	for name := range subjects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	totalSubsumed := 0
+	for _, name := range names {
+		s := subjects[name]
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				baseSigs, baseRes := exploreSigs(t, s, workers, false)
+				subSigs, subRes := exploreSigs(t, s, workers, true)
+				if baseRes.Subsumed != 0 {
+					t.Fatalf("baseline reported %d subsumed with the table disabled", baseRes.Subsumed)
+				}
+				if subRes.Explored != baseRes.Explored {
+					t.Fatalf("explored diverged: %d with subsumption, %d without (skipped interleavings must still consume the cap)",
+						subRes.Explored, baseRes.Explored)
+				}
+				if !reflect.DeepEqual(subSigs, baseSigs) {
+					t.Fatalf("signature set diverged with subsumption on:\n with    %v\n without %v", subSigs, baseSigs)
+				}
+				totalSubsumed += subRes.Subsumed
+			})
+		}
+	}
+	if totalSubsumed == 0 {
+		t.Fatal("no interleaving was subsumed on any subject: the parity assertions never exercised pruning")
+	}
+}

@@ -67,6 +67,7 @@ type jobManifest struct {
 	Digest         string         `json:"digest,omitempty"`
 	Explored       int            `json:"explored"`
 	Quarantined    int            `json:"quarantined"`
+	Subsumed       int            `json:"subsumed,omitempty"`
 	Violations     []JobViolation `json:"violations,omitempty"`
 	FirstViolation int            `json:"first_violation,omitempty"`
 	Exhausted      bool           `json:"exhausted"`
@@ -83,6 +84,7 @@ type JobStatus struct {
 	Explored       int            `json:"explored"` // aggregated this session + resumed
 	Resumed        int            `json:"resumed"`
 	Quarantined    int            `json:"quarantined"`
+	Subsumed       int            `json:"subsumed,omitempty"`
 	Violations     []JobViolation `json:"violations,omitempty"`
 	FirstViolation int            `json:"first_violation,omitempty"`
 	Digest         string         `json:"digest,omitempty"` // set once terminal
@@ -127,6 +129,7 @@ type Job struct {
 
 	aggregated     int // interleavings aggregated this session
 	quarantined    int
+	subsumed       int // interleavings pruned by worker subsumption tables
 	violations     []JobViolation
 	firstViolation int
 	fenced         int
@@ -180,6 +183,7 @@ func openJob(id string, spec JobSpec, dir string, rangeSize int, leaseTTL time.D
 		j.digestSum = m.Digest
 		j.resumed = m.Explored
 		j.quarantined = m.Quarantined
+		j.subsumed = m.Subsumed
 		j.violations = m.Violations
 		j.firstViolation = m.FirstViolation
 		j.exhausted = m.Exhausted
@@ -214,9 +218,12 @@ func openJob(id string, spec JobSpec, dir string, rangeSize int, leaseTTL time.D
 		if _, committed := prior[line.Key]; !committed {
 			continue
 		}
-		if line.Error != "" {
+		switch {
+		case line.Subsumed:
+			j.subsumed++
+		case line.Error != "":
 			j.quarantined++
-		} else {
+		default:
 			j.digest.Add(line.Key, line.Sig)
 		}
 		for _, v := range line.Violations {
@@ -441,7 +448,14 @@ func (j *Job) advanceLocked() error {
 			res := &r.results[i]
 			index := r.start + i
 			line := resultLine{Index: index, Key: r.keys[i], Attempts: res.Attempts}
-			if res.Error != "" {
+			if res.Subsumed {
+				// Pruned by the worker's subsumption table: consumes its
+				// index and journal slot, contributes nothing to the digest
+				// or assertions (its outcome set is covered by a witness).
+				line.Subsumed = true
+				j.subsumed++
+				j.tel.subsumed()
+			} else if res.Error != "" {
 				line.Error = res.Error
 				j.quarantined++
 				j.tel.quarantined()
@@ -638,6 +652,7 @@ func (j *Job) persistLocked() {
 		Digest:         j.digestSum,
 		Explored:       j.resumed + j.aggregated,
 		Quarantined:    j.quarantined,
+		Subsumed:       j.subsumed,
 		Violations:     j.violations,
 		FirstViolation: j.firstViolation,
 		Exhausted:      j.exhausted,
@@ -671,6 +686,7 @@ func (j *Job) Status() JobStatus {
 		Explored:       j.resumed + j.aggregated,
 		Resumed:        j.resumed,
 		Quarantined:    j.quarantined,
+		Subsumed:       j.subsumed,
 		Violations:     append([]JobViolation(nil), j.violations...),
 		FirstViolation: j.firstViolation,
 		Exhausted:      j.exhausted,

@@ -22,6 +22,7 @@ type resultLine struct {
 	Sig        string         `json:"sig,omitempty"`
 	Attempts   int            `json:"attempts,omitempty"`
 	Error      string         `json:"error,omitempty"`
+	Subsumed   bool           `json:"subsumed,omitempty"`
 	Violations []JobViolation `json:"violations,omitempty"`
 }
 

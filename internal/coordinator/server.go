@@ -52,6 +52,7 @@ type svcTel struct {
 	heartbeats  *telemetry.Counter
 	poisoned    *telemetry.Counter
 	quarantines *telemetry.Counter
+	subsumes    *telemetry.Counter
 }
 
 func newSvcTel(reg *telemetry.Registry) *svcTel {
@@ -69,6 +70,7 @@ func newSvcTel(reg *telemetry.Registry) *svcTel {
 		heartbeats:  reg.Counter("coordinator.heartbeats"),
 		poisoned:    reg.Counter("coordinator.ranges_poisoned"),
 		quarantines: reg.Counter("coordinator.quarantined"),
+		subsumes:    reg.Counter("coordinator.subsumed"),
 	}
 }
 
@@ -132,6 +134,11 @@ func (t *svcTel) rangePoisoned() {
 func (t *svcTel) quarantined() {
 	if t != nil {
 		t.quarantines.Inc()
+	}
+}
+func (t *svcTel) subsumed() {
+	if t != nil {
+		t.subsumes.Inc()
 	}
 }
 

@@ -39,7 +39,19 @@ type JobSpec struct {
 	// (runner.Config semantics; 0 retries means the default of 1).
 	MaxRetries            int   `json:"max_retries,omitempty"`
 	InterleavingTimeoutMs int64 `json:"interleaving_timeout_ms,omitempty"`
+	// Subsumption enables state-subsumption pruning on every worker: each
+	// worker process keeps a private visited-frontier table and reports
+	// skipped interleavings as subsumed (no outcome, no digest entry).
+	// Lexicographic modes only — the runner silently ignores it for rand.
+	Subsumption bool `json:"subsumption,omitempty"`
+	// SubsumptionTableBytes bounds each worker's table (0 with Subsumption
+	// set uses DefaultSubsumptionTableBytes).
+	SubsumptionTableBytes int64 `json:"subsumption_table_bytes,omitempty"`
 }
+
+// DefaultSubsumptionTableBytes is the per-worker subsumption table budget
+// when a spec enables Subsumption without sizing it.
+const DefaultSubsumptionTableBytes int64 = 16 << 20
 
 // validate rejects specs the service cannot honor.
 func (sp *JobSpec) validate() error {
@@ -103,12 +115,19 @@ func (sp *JobSpec) Build() (runner.Scenario, []runner.Assertion, error) {
 // execution-relevant fields are set; enumeration fields live on the
 // coordinator.
 func (sp *JobSpec) execConfig() runner.Config {
-	return runner.Config{
+	cfg := runner.Config{
 		Mode:                runner.Mode(sp.Mode),
 		Seed:                sp.Seed,
 		MaxRetries:          sp.MaxRetries,
 		InterleavingTimeout: time.Duration(sp.InterleavingTimeoutMs) * time.Millisecond,
 	}
+	if sp.Subsumption {
+		cfg.SubsumptionTable = sp.SubsumptionTableBytes
+		if cfg.SubsumptionTable <= 0 {
+			cfg.SubsumptionTable = DefaultSubsumptionTableBytes
+		}
+	}
+	return cfg
 }
 
 // exploreConfig is the runner.Config the coordinator's explorer is built

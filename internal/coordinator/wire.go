@@ -89,12 +89,16 @@ type wireMsg struct {
 // wireResult is one interleaving's execution result. Error != "" marks a
 // quarantined interleaving (execution kept failing after retries); the
 // coordinator counts it and continues, exactly like the in-process engines.
+// Subsumed marks an interleaving the worker's subsumption table pruned: no
+// outcome and no error, but the index is consumed and journaled so the cap,
+// dedup, and resume accounting match a non-pruning run.
 type wireResult struct {
 	Index    int          `json:"index"`
 	Key      string       `json:"key"`
 	Outcome  *wireOutcome `json:"outcome,omitempty"`
 	Attempts int          `json:"attempts,omitempty"`
 	Error    string       `json:"error,omitempty"`
+	Subsumed bool         `json:"subsumed,omitempty"`
 }
 
 // wireOutcome is runner.Outcome flattened for the wire (string-keyed maps,

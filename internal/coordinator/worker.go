@@ -318,13 +318,16 @@ func (w *worker) runRange(ctx context.Context, sess *session, exec *runner.Execu
 		outcome, attempts, execErr := exec.Execute(ctx, il, index)
 		w.executed++
 		res := wireResult{Index: index, Key: il.Key(), Attempts: attempts}
-		if execErr != nil {
+		switch {
+		case errors.Is(execErr, runner.ErrSubsumed):
+			res.Subsumed = true
+		case execErr != nil:
 			if ctx.Err() != nil {
 				w.abandon(mutex)
 				return ctx.Err()
 			}
 			res.Error = execErr.Error()
-		} else {
+		default:
 			res.Outcome = toWireOutcome(outcome)
 		}
 		results = append(results, res)

@@ -7,6 +7,8 @@
 package replica
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -166,38 +168,79 @@ func (c *Cluster) Reset() error {
 	return nil
 }
 
-// SnapshotAll serializes every replica's current (possibly mid-run)
-// state without touching the genesis checkpoints. It returns the
-// per-replica snapshots and their total size in bytes — the unit the
-// prefix cache's byte budget accounts in.
-func (c *Cluster) SnapshotAll() (map[event.ReplicaID][]byte, int64, error) {
-	out := make(map[event.ReplicaID][]byte, len(c.nodes))
-	var bytes int64
-	for id, n := range c.nodes {
-		snap, err := n.State.Snapshot()
-		if err != nil {
-			return nil, 0, fmt.Errorf("replica: snapshot %s: %w", id, err)
-		}
-		out[id] = snap
-		bytes += int64(len(snap))
-	}
-	return out, bytes, nil
+// ClusterSnapshot is a canonical point-in-time serialization of every
+// replica's state: replicas appear in sorted ID order, so two clusters in
+// equal states always produce snapshots with identical structure. It is
+// both the prefix cache's restore unit and the input to state-hash
+// subsumption (DESIGN.md §4.12), which is why the ordering must be
+// canonical rather than map-iteration incidental.
+type ClusterSnapshot struct {
+	// IDs are the replica identities in ascending order.
+	IDs []event.ReplicaID
+	// Snaps holds each replica's serialized state, parallel to IDs.
+	Snaps [][]byte
+	// Bytes is the total size of the snapshot payloads — the unit the
+	// prefix cache's byte budget accounts in.
+	Bytes int64
 }
 
-// RestoreAll restores every replica from the given mid-run snapshots
-// (as produced by SnapshotAll). Every node in the cluster must be
-// covered; the genesis checkpoints are left untouched.
-func (c *Cluster) RestoreAll(snaps map[event.ReplicaID][]byte) error {
-	for id, n := range c.nodes {
-		snap, ok := snaps[id]
-		if !ok {
-			return fmt.Errorf("replica: no snapshot for %s", id)
+// CanonicalSnapshot serializes every replica's current (possibly mid-run)
+// state without touching the genesis checkpoints, in canonical sorted-ID
+// order.
+func (c *Cluster) CanonicalSnapshot() (*ClusterSnapshot, error) {
+	snap := &ClusterSnapshot{IDs: c.IDs(), Snaps: make([][]byte, 0, len(c.nodes))}
+	for _, id := range snap.IDs {
+		data, err := c.nodes[id].State.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("replica: snapshot %s: %w", id, err)
 		}
-		if err := n.State.Restore(snap); err != nil {
+		snap.Snaps = append(snap.Snaps, data)
+		snap.Bytes += int64(len(data))
+	}
+	return snap, nil
+}
+
+// RestoreSnapshot restores every replica from a mid-run snapshot (as
+// produced by CanonicalSnapshot). Every node in the cluster must be
+// covered; the genesis checkpoints are left untouched.
+func (c *Cluster) RestoreSnapshot(snap *ClusterSnapshot) error {
+	if len(snap.IDs) != len(c.nodes) {
+		return fmt.Errorf("replica: snapshot covers %d replicas, cluster has %d", len(snap.IDs), len(c.nodes))
+	}
+	for i, id := range snap.IDs {
+		n, ok := c.nodes[id]
+		if !ok {
+			return fmt.Errorf("replica: snapshot for unknown replica %s", id)
+		}
+		if err := n.State.Restore(snap.Snaps[i]); err != nil {
 			return fmt.Errorf("replica: restore %s: %w", id, err)
 		}
 	}
 	return nil
+}
+
+// AppendCanonical appends the snapshot's canonical byte encoding to b:
+// for each replica in sorted ID order, a uvarint-length-prefixed ID
+// followed by its uvarint-length-prefixed state snapshot. The encoding is
+// injective — length prefixes prevent boundary ambiguity — so two
+// snapshots encode identically iff every replica's serialized state is
+// identical, which is what makes hashing it sound for state subsumption.
+func (s *ClusterSnapshot) AppendCanonical(b []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	for i, id := range s.IDs {
+		n := binary.PutUvarint(tmp[:], uint64(len(id)))
+		b = append(b, tmp[:n]...)
+		b = append(b, id...)
+		n = binary.PutUvarint(tmp[:], uint64(len(s.Snaps[i])))
+		b = append(b, tmp[:n]...)
+		b = append(b, s.Snaps[i]...)
+	}
+	return b
+}
+
+// Hash returns the SHA-256 digest of the canonical encoding.
+func (s *ClusterSnapshot) Hash() [sha256.Size]byte {
+	return sha256.Sum256(s.AppendCanonical(nil))
 }
 
 // Fingerprints returns every replica's current state fingerprint.

@@ -38,9 +38,11 @@ func normalizeRetry(cfg *Config) {
 // newWorkerEnv builds one worker's private execution environment: fault
 // injector (instrumented when telemetry is on), fresh cluster checkpointed
 // at genesis, executor with optional prefix cache, and the worker's seeded
-// retry-jitter generator. Shared by the sequential engine (w == 0), every
-// pool worker, and the exported Executor facade.
-func newWorkerEnv(s Scenario, cfg Config, w int, tel *runTelemetry) (*executor, *rand.Rand, error) {
+// retry-jitter generator. sub is the run's shared subsumption table (nil
+// when disabled) — unlike the cache, all workers consult the same table.
+// Shared by the sequential engine (w == 0), every pool worker, and the
+// exported Executor facade.
+func newWorkerEnv(s Scenario, cfg Config, w int, tel *runTelemetry, sub *subsumeTable) (*executor, *rand.Rand, error) {
 	var inj *fault.Injector
 	if cfg.Faults != nil {
 		var err error
@@ -62,6 +64,11 @@ func newWorkerEnv(s Scenario, cfg Config, w int, tel *runTelemetry) (*executor, 
 		// Private per-worker cache: no cross-worker sharing, so what a
 		// worker computes never depends on what other workers ran.
 		exec.cache = newPrefixCache(cfg.PrefixCacheBytes, cfg.PrefixSnapshotEvery)
+	}
+	exec.sub = sub
+	exec.subEvery = cfg.PrefixSnapshotEvery
+	if exec.subEvery <= 0 {
+		exec.subEvery = defaultPrefixSnapshotEvery
 	}
 	// Per-worker jitter generator: retry timing varies across workers, but
 	// which interleavings run and what they compute never depends on it.
@@ -86,7 +93,12 @@ type Executor struct {
 
 // NewExecutor builds a standalone interleaving executor for the scenario.
 // Honored Config fields: Seed, Faults, MaxRetries, RetryBackoff,
-// InterleavingTimeout, PrefixCacheBytes, PrefixSnapshotEvery, Telemetry.
+// InterleavingTimeout, PrefixCacheBytes, PrefixSnapshotEvery,
+// SubsumptionTable (with Mode gating it, lexicographic modes only),
+// Telemetry. With SubsumptionTable > 0 the executor keeps a private
+// visited-frontier table across Execute calls and returns ErrSubsumed for
+// skipped interleavings — a distributed worker's per-process equivalent
+// of the engines' shared table.
 func NewExecutor(s Scenario, cfg Config) (*Executor, error) {
 	if s.Log == nil || s.Log.Len() == 0 {
 		return nil, fmt.Errorf("runner: scenario has no events")
@@ -99,9 +111,12 @@ func NewExecutor(s Scenario, cfg Config) (*Executor, error) {
 			return nil, fmt.Errorf("runner: %w", err)
 		}
 	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeERPi
+	}
 	normalizeRetry(&cfg)
 	tel := newRunTelemetry(cfg.Telemetry)
-	exec, jitter, err := newWorkerEnv(s, cfg, 0, tel)
+	exec, jitter, err := newWorkerEnv(s, cfg, 0, tel, newSubsumption(cfg))
 	if err != nil {
 		return nil, err
 	}

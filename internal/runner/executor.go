@@ -55,6 +55,15 @@ type executor struct {
 	// will diverge from the current one (-1 when unknown); the cache
 	// snapshots there so the next lookup hits its maximal shared prefix.
 	pivot int
+	// sub, when non-nil, is the run's shared state-subsumption table
+	// (DESIGN.md §4.12): at snapshot depths the executor hashes the
+	// execution context and abandons the interleaving with ErrSubsumed
+	// when the frontier was already visited via a lexicographically
+	// smaller prefix. Shared across every worker of the run.
+	sub *subsumeTable
+	// subEvery is the subsumption check stride in events when no prefix
+	// cache supplies snapshot depths.
+	subEvery int
 }
 
 func (x *executor) buildPairs() {
@@ -90,6 +99,10 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 	// neither read nor populate the cache.
 	start, divergence := 0, 0
 	useCache := x.cache != nil && !armed
+	// Fault-armed interleavings bypass subsumption both ways, like the
+	// cache: a crash or truncation makes the hashed context wrong, and a
+	// fault-free witness would not reproduce the faulted outcome.
+	useSub := x.sub != nil && !armed
 	if useCache {
 		divergence = commonPrefixLen(x.prevIL, il)
 		span := x.tel.span(telemetry.StageRestorePrefix, index, x.worker)
@@ -118,9 +131,27 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if useCache && pos > start && x.cache.wantSnapshot(pos, divergence, x.pivot) {
-			if err := x.snapshotPrefix(il, pos, pending, outcome); err != nil {
-				return nil, err
+		if pos > start {
+			wantCache := useCache && x.cache.wantSnapshot(pos, divergence, x.pivot)
+			wantSub := useSub && (wantCache || (!useCache && pos%x.subEvery == 0))
+			if wantCache || wantSub {
+				skip, err := x.contextPoint(il, pos, pending, outcome, wantCache, wantSub)
+				if err != nil {
+					return nil, err
+				}
+				if skip {
+					// Frontier already visited via a lexicographically
+					// smaller prefix: the rest of this interleaving can only
+					// reproduce an outcome an executed interleaving already
+					// has (DESIGN.md §4.12). Account the events actually
+					// replayed and abandon.
+					x.tel.onEvents(pos-start, start)
+					x.tel.onSubsumed()
+					if useCache {
+						x.prevIL = il
+					}
+					return nil, ErrSubsumed
+				}
 			}
 		}
 		id := il[pos]
@@ -213,7 +244,7 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 // the prefix's events. Payload slices are shared with the cache — they
 // are immutable once captured.
 func (x *executor) restorePrefix(snap *prefixSnapshot, pending map[event.ID][]byte, outcome *Outcome) error {
-	if err := x.cluster.RestoreAll(snap.states); err != nil {
+	if err := x.cluster.RestoreSnapshot(snap.states); err != nil {
 		return err
 	}
 	for id, p := range snap.pending {
@@ -226,22 +257,51 @@ func (x *executor) restorePrefix(snap *prefixSnapshot, pending map[event.ID][]by
 	return nil
 }
 
-// snapshotPrefix captures the execution context after il[:depth] into the
-// cache (a no-op when that prefix is already cached).
-func (x *executor) snapshotPrefix(il interleave.Interleaving, depth int, pending map[event.ID][]byte, outcome *Outcome) error {
-	if x.cache.cached(il, depth) {
-		return nil
+// contextPoint handles one snapshot depth: capture the execution context
+// after il[:depth] into the cache (reusing an existing capture of the
+// same literal prefix), and/or run the subsumption check against the
+// frontier it represents. skip=true means the interleaving is subsumed.
+func (x *executor) contextPoint(il interleave.Interleaving, depth int, pending map[event.ID][]byte, outcome *Outcome, wantCache, wantSub bool) (skip bool, err error) {
+	var snap *prefixSnapshot
+	if wantCache {
+		snap = x.cache.cached(il, depth)
 	}
-	states, size, err := x.cluster.SnapshotAll()
-	if err != nil {
-		return err
+	if snap == nil {
+		states, err := x.cluster.CanonicalSnapshot()
+		if err != nil {
+			return false, err
+		}
+		snap = newPrefixSnapshot(states, pending, outcome)
+		if x.sub != nil {
+			// Hash at capture time (even when this depth only feeds the
+			// cache): any later re-walk of the same literal prefix reuses
+			// the stored hash instead of re-serializing the cluster.
+			snap.ctxHash = contextHash(states, pending, outcome.Observations, outcome.FailedOps)
+		}
+		if wantCache {
+			delta, evicted := x.cache.insert(il, depth, snap)
+			x.tel.onSnapshot(delta, evicted)
+		}
 	}
+	if !wantSub {
+		return false, nil
+	}
+	skip, delta := x.sub.visit(snap.ctxHash, multisetHash(il[:depth]), il[:depth])
+	x.tel.onSubsumeBytes(delta)
+	return skip, nil
+}
+
+// newPrefixSnapshot packages the execution context after a prefix —
+// canonical cluster snapshot plus the executor-side bookkeeping the
+// remaining suffix can observe — with its byte-size accounting.
+func newPrefixSnapshot(states *replica.ClusterSnapshot, pending map[event.ID][]byte, outcome *Outcome) *prefixSnapshot {
 	snap := &prefixSnapshot{
 		states:  states,
 		pending: make(map[event.ID][]byte, len(pending)),
 		obs:     make(map[event.ID]string, len(outcome.Observations)),
 		failed:  append([]event.ID(nil), outcome.FailedOps...),
 	}
+	size := states.Bytes
 	for id, p := range pending {
 		snap.pending[id] = p
 		size += int64(len(p)) + 8
@@ -252,9 +312,7 @@ func (x *executor) snapshotPrefix(il interleave.Interleaving, depth int, pending
 	}
 	size += int64(len(snap.failed)) * 8
 	snap.size = size
-	delta, evicted := x.cache.insert(il, depth, snap)
-	x.tel.onSnapshot(delta, evicted)
-	return nil
+	return snap
 }
 
 func (x *executor) payloadFor(execID event.ID, pending map[event.ID][]byte) ([]byte, bool) {

@@ -76,6 +76,11 @@ type pool struct {
 	// invalidate-on-re-prune. The quiesce barrier guarantees no execution
 	// is in flight while it changes.
 	cacheGen atomic.Uint64
+	// sub is the run's shared subsumption table (nil when disabled).
+	// Unlike the private caches it is flushed directly at the quiesce
+	// barrier — no generation handshake needed, since no execution is in
+	// flight while poll() runs.
+	sub *subsumeTable
 	// nextSince / pollSince anchor the dispatch-wait and quiesce-gap spans
 	// (coordinator-only, valid only while tel is non-nil).
 	nextSince time.Time
@@ -116,7 +121,7 @@ type workResult struct {
 // runParallel explores the scenario with a pool of workers, writing into
 // res exactly what the sequential engine would have produced (see the
 // guarantees above).
-func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew, workers int, tel *runTelemetry) error {
+func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew, workers int, tel *runTelemetry, sub *subsumeTable) error {
 	wctx, cancelWorkers := context.WithCancel(ctx)
 	defer cancelWorkers()
 	p := &pool{
@@ -129,6 +134,7 @@ func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explo
 		pruning:  pruning,
 		maxNew:   maxNew,
 		tel:      tel,
+		sub:      sub,
 		workCh:   make(chan workItem),
 		// resCh and fatalCh hold one slot per worker, so workers always
 		// send without blocking (each worker has at most one outstanding
@@ -165,7 +171,7 @@ func runParallel(ctx context.Context, s Scenario, cfg Config, res *Result, explo
 // run (mirroring the sequential engine's cluster-setup error), execution
 // failures are per-interleaving results.
 func (p *pool) worker(ctx context.Context, w int) {
-	exec, jitter, err := newWorkerEnv(p.s, p.cfg, w, p.tel)
+	exec, jitter, err := newWorkerEnv(p.s, p.cfg, w, p.tel, p.sub)
 	if err != nil {
 		p.fatalCh <- err
 		return
@@ -349,6 +355,17 @@ func (p *pool) process(r workResult) {
 			p.stop()
 			return
 		}
+		if errors.Is(r.err, ErrSubsumed) {
+			// Skipped by state subsumption: the index stands (journal,
+			// dedup, cap) but there is no outcome to assert on — exactly
+			// the sequential engine's `continue`, which also skips the
+			// poll boundary.
+			if p.pollWait && r.index == p.pollIdx {
+				p.pollSkip = true
+			}
+			p.res.Subsumed++
+			return
+		}
 		if p.pollWait && r.index == p.pollIdx {
 			// The sequential engine skips the poll when the boundary
 			// interleaving is quarantined (its `continue` jumps the poll).
@@ -436,6 +453,11 @@ func (p *pool) poll() error {
 		}
 		p.explorer = explorer
 		p.cacheGen.Add(1)
+		// The quiesce barrier holds (no execution in flight), so the
+		// shared subsumption table can be flushed directly.
+		if p.sub != nil {
+			p.tel.onSubsumeBytes(-p.sub.invalidate())
+		}
 	}
 	return nil
 }

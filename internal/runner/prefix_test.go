@@ -62,10 +62,10 @@ func TestPrefixCacheTrie(t *testing.T) {
 	if got, depth := c.lookup(il(1, 2, 3, 4)); got != s2 || depth != 2 {
 		t.Fatalf("post-eviction lookup = (%p, %d), want (s2, 2)", got, depth)
 	}
-	if !c.cached(il(9, 8, 7, 6, 5, 4), 5) {
+	if c.cached(il(9, 8, 7, 6, 5, 4), 5) != s5 {
 		t.Fatal("inserted prefix not reported cached")
 	}
-	if c.cached(il(1, 2, 3, 4), 3) {
+	if c.cached(il(1, 2, 3, 4), 3) != nil {
 		t.Fatal("evicted prefix still reported cached")
 	}
 

@@ -1,8 +1,11 @@
 package runner
 
 import (
+	"crypto/sha256"
+
 	"github.com/er-pi/erpi/internal/event"
 	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/replica"
 )
 
 // prefixCache is a bounded snapshot trie keyed by executed event-prefix
@@ -53,11 +56,16 @@ type prefixNode struct {
 // they only occur under armed faults, and fault-carrying interleavings
 // bypass the cache entirely.
 type prefixSnapshot struct {
-	states  map[event.ReplicaID][]byte
+	states  *replica.ClusterSnapshot
 	pending map[event.ID][]byte
 	obs     map[event.ID]string
 	failed  []event.ID
 	size    int64
+	// ctxHash is the canonical execution-context digest, computed at
+	// capture time when state subsumption is enabled (zero otherwise); a
+	// cached prefix re-walk reuses it instead of re-serializing the
+	// cluster.
+	ctxHash [sha256.Size]byte
 }
 
 func newPrefixCache(budget int64, every int) *prefixCache {
@@ -91,24 +99,25 @@ func (c *prefixCache) lookup(il interleave.Interleaving) (*prefixSnapshot, int) 
 	return best.snap, best.depth
 }
 
-// cached reports whether the prefix il[:depth] already carries a
-// snapshot, refreshing its recency if so. The executor checks this
+// cached returns the snapshot already stored for the prefix il[:depth]
+// (nil when absent), refreshing its recency. The executor checks this
 // before serializing the cluster, so re-walking a hot prefix costs a
-// map-walk rather than a snapshot.
-func (c *prefixCache) cached(il interleave.Interleaving, depth int) bool {
+// map-walk rather than a snapshot — and the stored context hash lets
+// subsumption re-check the frontier without re-serializing either.
+func (c *prefixCache) cached(il interleave.Interleaving, depth int) *prefixSnapshot {
 	node := c.root
 	for d := 0; d < depth; d++ {
 		child, ok := node.children[il[d]]
 		if !ok {
-			return false
+			return nil
 		}
 		node = child
 	}
 	if node.snap == nil {
-		return false
+		return nil
 	}
 	c.touch(node)
-	return true
+	return node.snap
 }
 
 // wantSnapshot reports whether the executor should snapshot at depth

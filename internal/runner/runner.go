@@ -244,6 +244,23 @@ type Config struct {
 	// events, plus at the divergence depth against the previous
 	// interleaving.
 	PrefixSnapshotEvery int
+	// SubsumptionTable, when > 0, enables DPOR-style state subsumption
+	// (DESIGN.md §4.12): at snapshot depths the executor hashes the
+	// canonical execution context and skips the rest of any interleaving
+	// whose (state-hash, remaining-event-multiset) frontier was already
+	// visited via a lexicographically smaller prefix — the skipped
+	// interleaving's outcome is provably one an executed interleaving
+	// produces. The value bounds the visited-frontier table in bytes,
+	// shared across all workers of the run. Skipped interleavings still
+	// consume exploration indices (MaxInterleavings, dedup, journal) and
+	// are counted in Result.Subsumed; they produce no Outcome, so the
+	// deduplicated outcome-signature set is invariant but per-index
+	// results are not. Only the lexicographic enumerators honor it
+	// (ModeERPi, ModeDFS) — Rand and Fuzz enumeration cannot guarantee a
+	// witness runs, so the flag is ignored there, as it is on the live
+	// path. Fault-armed interleavings bypass the table both ways. Zero
+	// disables subsumption.
+	SubsumptionTable int64
 	// Telemetry, when set, receives the run's metrics, live progress, and
 	// per-stage spans (see the telemetry package). Strictly observational:
 	// a run with telemetry attached explores the same interleavings, in
@@ -284,6 +301,12 @@ type Result struct {
 	// Resumed counts interleavings skipped because a journal already held
 	// them (0 without a journal).
 	Resumed int
+	// Subsumed counts interleavings skipped by state subsumption
+	// (Config.SubsumptionTable). They are included in Explored — an index
+	// was assigned, journaled, and deduped before the skip — but produced
+	// no Outcome. Which interleavings are subsumed can vary with worker
+	// count and timing; the deduplicated outcome-signature set does not.
+	Subsumed int
 	// Quarantined lists interleavings whose execution kept failing after
 	// retries. Exploration continues past them, so a faulted run always
 	// yields partial results instead of aborting at the first error.
@@ -412,13 +435,18 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	tel.beginRun(maxNew, workers, res.Resumed)
 	defer tel.endRun()
 
+	// One subsumption table is shared by every worker of the run; the live
+	// path never consults it (live replay re-issues real calls and cannot
+	// abandon an interleaving mid-flight).
+	sub := newSubsumption(cfg)
+
 	switch {
 	case live:
 		err = runLive(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers, tel)
 	case workers > 1:
-		err = runParallel(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers, tel)
+		err = runParallel(ctx, s, cfg, res, explorer, explored, pruning, maxNew, workers, tel, sub)
 	default:
-		err = runSequential(ctx, s, cfg, res, explorer, explored, pruning, maxNew, tel)
+		err = runSequential(ctx, s, cfg, res, explorer, explored, pruning, maxNew, tel, sub)
 	}
 	if err != nil {
 		return nil, err
@@ -436,12 +464,12 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 // runSequential is the one-worker engine: a single cluster and executor
 // driven directly by the explorer. With Workers == 1 this is the exact
 // pre-parallel code path.
-func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew int, tel *runTelemetry) error {
+func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, explorer interleave.Explorer, explored *exploredSet, pruning prune.Config, maxNew int, tel *runTelemetry, sub *subsumeTable) error {
 	// The sequential engine executes on its own goroutine; spans attribute
 	// that work to worker 0, matching a one-worker pool's timeline. Retry
 	// jitter comes from a seeded generator so chaotic runs stay
 	// reproducible end to end.
-	exec, jitter, err := newWorkerEnv(s, cfg, 0, tel)
+	exec, jitter, err := newWorkerEnv(s, cfg, 0, tel, sub)
 	if err != nil {
 		return err
 	}
@@ -501,6 +529,13 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 				res.InterruptErr = ctx.Err()
 				break
 			}
+			if errors.Is(execErr, ErrSubsumed) {
+				// The index, journal entry, and dedup key all stand — the
+				// interleaving counted toward the cap before the skip — it
+				// just produced no outcome to assert on.
+				res.Subsumed++
+				continue
+			}
 			// Quarantine instead of aborting: exploration continues and the
 			// run yields everything else.
 			tel.onQuarantined()
@@ -557,10 +592,14 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 				}
 				// Re-pruning regenerates the explorer sequence; flush the
 				// prefix cache so it does not hold branches the new
-				// sequence will never walk.
+				// sequence will never walk, and the subsumption table so
+				// skips are justified against the new enumeration only.
 				if exec.cache != nil {
 					tel.onSnapshot(-exec.cache.invalidate(), 0)
 					exec.prevIL = nil
+				}
+				if sub != nil {
+					tel.onSubsumeBytes(-sub.invalidate())
 				}
 			}
 		}
@@ -610,6 +649,11 @@ func executeWithRetry(ctx context.Context, exec *executor, s Scenario, cfg Confi
 		}
 		if ctx.Err() != nil {
 			return nil, attempts, ctx.Err()
+		}
+		if errors.Is(err, ErrSubsumed) {
+			// Not a failure: re-executing would reach the same visited
+			// frontier and skip again.
+			return nil, attempts, err
 		}
 		if attempts > cfg.MaxRetries {
 			return nil, attempts, err
@@ -678,6 +722,20 @@ func ExecuteOnce(s Scenario, il interleave.Interleaving) (*Outcome, error) {
 	}
 	return outcome, nil
 }
+
+// newSubsumption builds the run's shared subsumption table, or nil when
+// disabled. Only the lexicographic enumerators get one: the soundness
+// argument (DESIGN.md §4.12) needs every lexicographically smaller
+// completion of a visited frontier to be enumerated, which ModeRand's
+// sampling and ModeFuzz's corpus mutation cannot guarantee.
+func newSubsumption(cfg Config) *subsumeTable {
+	if cfg.SubsumptionTable <= 0 || !subsumableMode(cfg.Mode) {
+		return nil
+	}
+	return newSubsumeTable(cfg.SubsumptionTable)
+}
+
+func subsumableMode(m Mode) bool { return m == ModeERPi || m == ModeDFS }
 
 // pivotOf asks the explorer where its next yield will diverge from the
 // one just pulled (-1 when the explorer cannot predict), so the prefix

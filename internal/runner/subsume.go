@@ -1,0 +1,246 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync"
+
+	"github.com/er-pi/erpi/internal/event"
+	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/replica"
+)
+
+// ErrSubsumed marks an interleaving skipped by state subsumption: its
+// execution frontier reached a (state-hash, remaining-event-multiset)
+// pair already visited via a lexicographically smaller prefix, so its
+// outcome is provably identical to one an executed interleaving produces
+// (DESIGN.md §4.12). Engines count it in Result.Subsumed instead of
+// quarantining; it is never retried.
+var ErrSubsumed = errors.New("runner: interleaving subsumed by visited state")
+
+// subsumeTable is the bounded visited-frontier table behind DPOR-style
+// state subsumption (DESIGN.md §4.12). A key is the pair
+// (execution-context hash, remaining-event-multiset hash); the entry
+// remembers the lexicographically smallest ordered prefix seen reaching
+// that frontier. The executor consults it at snapshot depths: when the
+// current prefix is lexicographically GREATER than the recorded one the
+// rest of the interleaving is skipped — every permutation of the
+// remaining events from an identical execution context yields an outcome
+// some lexicographically smaller interleaving already produced (the
+// strict ordering is what makes witness chains terminate; see §4.12 for
+// the argument, including out-of-order pool recording).
+//
+// Unlike the prefix cache, one table is shared by every worker of a run —
+// a frontier visited by any worker prunes all of them — so all methods
+// are safe for concurrent use.
+type subsumeTable struct {
+	mu     sync.Mutex
+	budget int64 // max accounted bytes (> 0)
+	bytes  int64
+	seq    uint64 // insertion tick for FIFO eviction
+
+	entries map[subsumeKey]*subsumeEntry
+}
+
+// subsumeKey identifies one exploration frontier.
+type subsumeKey struct {
+	ctx [sha256.Size]byte // canonical execution-context hash
+	rem [sha256.Size]byte // remaining-event-multiset hash (via the prefix multiset)
+}
+
+type subsumeEntry struct {
+	prefix []event.ID // ordered prefix that recorded this frontier
+	seq    uint64
+}
+
+// subsumeEntryOverhead approximates the fixed per-entry cost (key bytes,
+// map bucket, header) added to the prefix payload when accounting against
+// the byte budget.
+const subsumeEntryOverhead = 2*sha256.Size + 48
+
+func newSubsumeTable(budget int64) *subsumeTable {
+	return &subsumeTable{budget: budget, entries: make(map[subsumeKey]*subsumeEntry)}
+}
+
+// visit is the one-shot check-and-record at a snapshot depth. It returns
+// skip=true when a recorded prefix for the same frontier is strictly
+// lexicographically smaller than the current one — the caller abandons
+// the interleaving with ErrSubsumed. Otherwise the frontier is recorded
+// (adopting the current prefix when it is the smaller reacher) and
+// execution continues. delta is the net change in accounted bytes, for
+// the subsumption_table_bytes gauge.
+func (t *subsumeTable) visit(ctx, rem [sha256.Size]byte, prefix interleave.Interleaving) (skip bool, delta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := subsumeKey{ctx: ctx, rem: rem}
+	if e, ok := t.entries[key]; ok {
+		switch lexCompare(e.prefix, prefix) {
+		case -1:
+			return true, 0
+		case 0:
+			// Our own recording pass (or a prefix-cache replay of the same
+			// literal prefix): never self-subsume.
+			return false, 0
+		default:
+			// Current prefix is the smaller reacher: adopt it so future
+			// arrivals compare against the lexicographic minimum. Same
+			// depth, same size — no byte delta.
+			copy(e.prefix, prefix)
+			return false, 0
+		}
+	}
+	size := int64(subsumeEntryOverhead + 8*len(prefix))
+	if size > t.budget {
+		return false, 0
+	}
+	t.seq++
+	t.entries[key] = &subsumeEntry{prefix: append([]event.ID(nil), prefix...), seq: t.seq}
+	t.bytes += size
+	delta = size
+	for t.bytes > t.budget {
+		delta -= t.evictOldest()
+	}
+	return false, delta
+}
+
+// evictOldest drops the entry with the smallest insertion tick and
+// returns the bytes freed. Linear scan: eviction only runs when the
+// budget overflows, and dropping entries is always sound (fewer skips).
+func (t *subsumeTable) evictOldest() int64 {
+	var (
+		oldKey subsumeKey
+		oldSeq uint64
+		found  bool
+	)
+	for k, e := range t.entries {
+		if !found || e.seq < oldSeq {
+			oldKey, oldSeq, found = k, e.seq, true
+		}
+	}
+	if !found {
+		return 0
+	}
+	freed := int64(subsumeEntryOverhead + 8*len(t.entries[oldKey].prefix))
+	delete(t.entries, oldKey)
+	t.bytes -= freed
+	return freed
+}
+
+// invalidate discards every entry (the re-pruning boundary, mirroring the
+// prefix cache) and returns the bytes freed.
+func (t *subsumeTable) invalidate() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	freed := t.bytes
+	t.entries = make(map[subsumeKey]*subsumeEntry)
+	t.bytes = 0
+	return freed
+}
+
+// bytesHeld reports the accounted table size.
+func (t *subsumeTable) bytesHeld() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// len reports the entry count (tests only).
+func (t *subsumeTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// lexCompare orders two equal-length event-ID sequences
+// lexicographically: -1 when a < b, 0 when equal, 1 when a > b.
+func lexCompare(a []event.ID, b interleave.Interleaving) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// multisetHash digests the unordered multiset of event IDs in prefix.
+// All interleavings of one run permute the same event set, so the prefix
+// multiset determines the remaining-event multiset.
+func multisetHash(prefix interleave.Interleaving) [sha256.Size]byte {
+	ids := make([]int, len(prefix))
+	for i, id := range prefix {
+		ids[i] = int(id)
+	}
+	sort.Ints(ids)
+	h := sha256.New()
+	var tmp [binary.MaxVarintLen64]byte
+	for _, id := range ids {
+		n := binary.PutUvarint(tmp[:], uint64(id))
+		h.Write(tmp[:n])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// contextHash digests the full execution context after a prefix: the
+// canonical cluster snapshot plus everything else the remaining suffix
+// can observe — captured sync payloads, recorded observations, and failed
+// ops (exactly the prefixSnapshot capture set; DroppedSyncs are absent
+// because fault-armed interleavings bypass subsumption). Each section is
+// length-prefixed and sorted so the digest is injective over contexts.
+func contextHash(states *replica.ClusterSnapshot, pending map[event.ID][]byte, obs map[event.ID]string, failed []event.ID) [sha256.Size]byte {
+	h := sha256.New()
+	var tmp [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		h.Write(tmp[:n])
+	}
+	h.Write(states.AppendCanonical(nil))
+
+	pendIDs := make([]event.ID, 0, len(pending))
+	for id := range pending {
+		pendIDs = append(pendIDs, id)
+	}
+	sortEventIDs(pendIDs)
+	h.Write([]byte{'P'})
+	writeUvarint(uint64(len(pendIDs)))
+	for _, id := range pendIDs {
+		writeUvarint(uint64(id))
+		writeUvarint(uint64(len(pending[id])))
+		h.Write(pending[id])
+	}
+
+	obsIDs := make([]event.ID, 0, len(obs))
+	for id := range obs {
+		obsIDs = append(obsIDs, id)
+	}
+	sortEventIDs(obsIDs)
+	h.Write([]byte{'O'})
+	writeUvarint(uint64(len(obsIDs)))
+	for _, id := range obsIDs {
+		writeUvarint(uint64(id))
+		writeUvarint(uint64(len(obs[id])))
+		h.Write([]byte(obs[id]))
+	}
+
+	failedIDs := append([]event.ID(nil), failed...)
+	sortEventIDs(failedIDs)
+	h.Write([]byte{'F'})
+	writeUvarint(uint64(len(failedIDs)))
+	for _, id := range failedIDs {
+		writeUvarint(uint64(id))
+	}
+
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func sortEventIDs(ids []event.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -23,6 +23,8 @@ import (
 //	runner.prefix_cache_hits   executions resumed from a cached prefix snapshot
 //	runner.prefix_cache_misses cache-enabled executions replayed from genesis
 //	runner.prefix_evictions    snapshots evicted by the LRU byte budget
+//	runner.subsumed_interleavings  interleavings skipped by state subsumption
+//	runner.subsumption_table_bytes bytes held by the subsumption table (gauge)
 //	runner.events_executed     events actually replayed
 //	runner.events_skipped      events skipped via prefix restore
 //	runner.snapshot_bytes      bytes currently held by prefix caches (gauge)
@@ -49,6 +51,8 @@ type runTelemetry struct {
 	eventsExecuted *telemetry.Counter
 	eventsSkipped  *telemetry.Counter
 	snapshotBytes  *telemetry.Gauge
+	subsumed       *telemetry.Counter
+	subsumeBytes   *telemetry.Gauge
 	hitDepth       *telemetry.Histogram
 	liveSessions   *telemetry.Gauge
 }
@@ -76,6 +80,8 @@ func newRunTelemetry(reg *telemetry.Registry) *runTelemetry {
 		eventsExecuted: reg.Counter("runner.events_executed"),
 		eventsSkipped:  reg.Counter("runner.events_skipped"),
 		snapshotBytes:  reg.Gauge("runner.snapshot_bytes"),
+		subsumed:       reg.Counter("runner.subsumed_interleavings"),
+		subsumeBytes:   reg.Gauge("runner.subsumption_table_bytes"),
 		hitDepth:       reg.HistogramWithBounds("runner.prefix_hit_depth", prefixDepthBounds),
 		liveSessions:   reg.Gauge("live.sessions"),
 	}
@@ -190,6 +196,23 @@ func (t *runTelemetry) onPrefixMiss() {
 		return
 	}
 	t.prefixMisses.Inc()
+}
+
+// onSubsumed counts one interleaving skipped by state subsumption.
+func (t *runTelemetry) onSubsumed() {
+	if t == nil {
+		return
+	}
+	t.subsumed.Inc()
+}
+
+// onSubsumeBytes applies one subsumption-table operation's byte delta
+// (insertions positive, evictions and invalidations negative).
+func (t *runTelemetry) onSubsumeBytes(delta int64) {
+	if t == nil || delta == 0 {
+		return
+	}
+	t.subsumeBytes.Add(delta)
 }
 
 // onEvents accounts one execution's replayed vs. prefix-skipped events.

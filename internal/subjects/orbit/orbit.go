@@ -290,10 +290,28 @@ type snapshot struct {
 	Sealed     bool            `json:"sealed"`
 }
 
-// Snapshot implements replica.State.
+// Snapshot implements replica.State. With the correct tie-breaker the
+// DAG's local arrival order is incidental (linearization uses clock,
+// identity, and hash), so entries are serialized in canonical
+// (Clock, Identity, Hash) order — equal logical states snapshot to equal
+// bytes. With BugTieBreaker arrival order IS behavior (issue #513) and is
+// kept verbatim so a Restore(Snapshot()) round trip replays faithfully.
 func (d *DB) Snapshot() ([]byte, error) {
+	entries := d.log.Entries()
+	if !d.flags.BugTieBreaker {
+		sort.Slice(entries, func(i, j int) bool {
+			a, b := entries[i], entries[j]
+			if a.Clock != b.Clock {
+				return a.Clock < b.Clock
+			}
+			if a.Identity != b.Identity {
+				return a.Identity < b.Identity
+			}
+			return a.Hash < b.Hash
+		})
+	}
 	return json.Marshal(snapshot{
-		Entries:    d.log.Entries(),
+		Entries:    entries,
 		HeadCache:  d.headCache,
 		RepoLocked: d.repoLocked,
 		Dirty:      d.dirty,

@@ -285,19 +285,29 @@ func (n *Node) ApplySync(payload []byte) error {
 type snapshot struct {
 	Source      []row  `json:"source"`
 	Sink        []row  `json:"sink"`
+	Buffer      []row  `json:"buffer,omitempty"`
+	PeakBuffer  int    `json:"peak_buffer,omitempty"`
 	Version     uint64 `json:"version"`
 	Seq         uint64 `json:"seq"`
 	SnapshotCut uint64 `json:"snapshot_cut"`
 }
 
-// Snapshot implements replica.State.
+// Snapshot implements replica.State. The encoding is canonical: equal
+// logical states always serialize to identical bytes (tables sorted by
+// key; the buffer keeps its in-flight order, which IS state — Drain
+// applies it in order).
 func (n *Node) Snapshot() ([]byte, error) {
-	snap := snapshot{Version: n.version, Seq: n.seq, SnapshotCut: n.snapshotCut}
+	snap := snapshot{Version: n.version, Seq: n.seq, SnapshotCut: n.snapshotCut, PeakBuffer: n.peakBuffer}
 	for _, r := range n.source {
 		snap.Source = append(snap.Source, *r)
 	}
 	for _, r := range n.sink {
 		snap.Sink = append(snap.Sink, *r)
+	}
+	sort.Slice(snap.Source, func(i, j int) bool { return snap.Source[i].Key < snap.Source[j].Key })
+	sort.Slice(snap.Sink, func(i, j int) bool { return snap.Sink[i].Key < snap.Sink[j].Key })
+	for _, r := range n.buffer {
+		snap.Buffer = append(snap.Buffer, *r)
 	}
 	return json.Marshal(snap)
 }
@@ -312,6 +322,7 @@ func (n *Node) Restore(data []byte) error {
 	fresh.version = snap.Version
 	fresh.seq = snap.Seq
 	fresh.snapshotCut = snap.SnapshotCut
+	fresh.peakBuffer = snap.PeakBuffer
 	for i := range snap.Source {
 		cp := snap.Source[i]
 		fresh.source[cp.Key] = &cp
@@ -319,6 +330,10 @@ func (n *Node) Restore(data []byte) error {
 	for i := range snap.Sink {
 		cp := snap.Sink[i]
 		fresh.sink[cp.Key] = &cp
+	}
+	for i := range snap.Buffer {
+		cp := snap.Buffer[i]
+		fresh.buffer = append(fresh.buffer, &cp)
 	}
 	*n = *fresh
 	return nil

@@ -256,10 +256,36 @@ type storeSnapshot struct {
 	Arrival int                           `json:"arrival"`
 }
 
-// Snapshot implements replica.State: a faithful dump of the record table
-// including arrival bookkeeping.
+// arrivalMatters reports whether any seeded defect reads the arrival
+// bookkeeping. When none does, Arrival values are incidental to behavior
+// and must not leak into the snapshot encoding — equal logical states
+// reached through different interleavings would otherwise serialize
+// differently, defeating snapshot-hash state subsumption.
+func (s *Store) arrivalMatters() bool {
+	return s.flags.ArrivalWins || s.flags.BugEqualTimestampArrival || s.flags.BugMapOrder
+}
+
+// Snapshot implements replica.State: a dump of the record table. Arrival
+// bookkeeping is carried only when a seeded defect reads it (a checkpoint
+// that dropped it would then change behavior across a Restore(Snapshot())
+// round trip); otherwise it is normalized to zero so the encoding is
+// canonical. Map keys serialize sorted (encoding/json), so no explicit
+// ordering is needed.
 func (s *Store) Snapshot() ([]byte, error) {
-	return json.Marshal(storeSnapshot{Keys: s.keys, Arrival: s.arrival})
+	if s.arrivalMatters() {
+		return json.Marshal(storeSnapshot{Keys: s.keys, Arrival: s.arrival})
+	}
+	norm := make(map[string]map[string]*record, len(s.keys))
+	for key, members := range s.keys {
+		ms := make(map[string]*record, len(members))
+		for m, r := range members {
+			cp := *r
+			cp.Arrival = 0
+			ms[m] = &cp
+		}
+		norm[key] = ms
+	}
+	return json.Marshal(storeSnapshot{Keys: norm})
 }
 
 // Restore implements replica.State.

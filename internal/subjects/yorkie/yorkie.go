@@ -19,6 +19,7 @@ package yorkie
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -281,8 +282,23 @@ type snapshot struct {
 }
 
 // Snapshot implements replica.State: the op log replays deterministically.
+//
+// With correct semantics the log is serialized sorted by stamp, which
+// makes the encoding canonical: replicas that applied the same op set in
+// different sync orders snapshot to identical bytes. Stamp order is a
+// topological order of causality — an op's issuer witnessed every stamp
+// it references (AfterID, parent creation), so references always sort
+// before their dependents and the replay is faithful. Each seeded defect
+// flag makes remote application arrival-order-dependent, so under any
+// flag the log keeps its insertion order verbatim.
 func (d *Doc) Snapshot() ([]byte, error) {
-	return json.Marshal(snapshot{OpLog: d.opLog, Clock: d.clock.Counter()})
+	ops := d.opLog
+	if !d.flags.BugMoveAfter && !d.flags.BugNestedSet && !d.flags.NoStampResolution {
+		ops = make([]docOp, len(d.opLog))
+		copy(ops, d.opLog)
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Stamp.Less(ops[j].Stamp) })
+	}
+	return json.Marshal(snapshot{OpLog: ops, Clock: d.clock.Counter()})
 }
 
 // Restore implements replica.State.
