@@ -12,6 +12,7 @@
 //	erpi-bench -subsume       # state-subsumption sweep -> BENCH_subsume.json
 //	erpi-bench -live          # live-replay session sweep -> BENCH_live.json
 //	erpi-bench -dist          # distributed-coordinator sweep -> BENCH_dist.json
+//	erpi-bench -obs           # telemetry/federation overhead -> BENCH_obs.json
 package main
 
 import (
@@ -55,9 +56,12 @@ func run() int {
 		dist    = flag.Bool("dist", false, "distributed-coordinator sweep over worker counts")
 		distN   = flag.Int("dist-slice", bench.DefaultDistSlice, "interleavings per distributed run")
 		distOut = flag.String("dist-out", "BENCH_dist.json", "machine-readable distributed report path")
+		obs     = flag.Bool("obs", false, "telemetry and federation overhead measurement")
+		obsN    = flag.Int("obs-slice", bench.DefaultObsSlice, "interleavings per observability run")
+		obsOut  = flag.String("obs-out", "BENCH_obs.json", "machine-readable observability report path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*subsume && !*live && !*dist {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*subsume && !*live && !*dist && !*obs {
 		flag.Usage()
 		return 2
 	}
@@ -176,6 +180,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *distOut)
+	}
+	if *all || *obs {
+		report, err := bench.RunObs(*obsN)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WriteObsJSON(*obsOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *obsOut)
 	}
 	if *all || *fuzzx {
 		rows, err := bench.RunFuzzExt(3, *cap)

@@ -27,6 +27,7 @@ import (
 
 	"github.com/er-pi/erpi/internal/coordinator"
 	"github.com/er-pi/erpi/internal/lockserver"
+	"github.com/er-pi/erpi/internal/logx"
 	"github.com/er-pi/erpi/internal/runner"
 	"github.com/er-pi/erpi/internal/telemetry"
 )
@@ -78,8 +79,12 @@ func runServe(args []string) int {
 		statusAddr  = fs.String("status-addr", "", "serve the jobs API, progress, and metrics on this host:port")
 		resume      = fs.Bool("resume", true, "recover jobs found under -journal-root")
 		localN      = fs.Int("local-workers", 0, "also run this many in-process workers")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	_ = fs.Parse(args)
+	if err := logx.SetLevel(*logLevel); err != nil {
+		return fail(err)
+	}
 	if *journalRoot == "" {
 		return fail(fmt.Errorf("serve: -journal-root is required"))
 	}
@@ -125,6 +130,9 @@ func runServe(args []string) int {
 			return fail(err)
 		}
 		defer status.Close()
+		// Fleet view: /progress, /metrics, and /trace now aggregate every
+		// worker's telemetry reports on top of the coordinator's own.
+		status.ServeFederation(svc.Federation())
 		status.Handle("/jobs", svc.APIHandler())
 		status.Handle("/jobs/", svc.APIHandler())
 		fmt.Printf("status: http://%s/jobs\n", status.Addr())
@@ -134,8 +142,11 @@ func runServe(args []string) int {
 	defer cancel()
 	for i := 0; i < *localN; i++ {
 		name := fmt.Sprintf("local-%d", i+1)
+		// Each local worker gets its own registry so its lane in the fleet
+		// view is distinct from the coordinator's.
+		wreg := telemetry.New()
 		go func() {
-			_ = coordinator.RunWorker(ctx, coordinator.WorkerOptions{Addr: svc.Addr(), Name: name})
+			_ = coordinator.RunWorker(ctx, coordinator.WorkerOptions{Addr: svc.Addr(), Name: name, Telemetry: wreg})
 		}()
 	}
 
@@ -149,22 +160,27 @@ func runServe(args []string) int {
 func runWork(args []string) int {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
 	var (
-		addr = fs.String("addr", "", "coordinator worker address (required)")
-		name = fs.String("name", "", "unique worker name (default w<pid>)")
-		job  = fs.String("job", "", "serve only this job id")
-		once = fs.Bool("once", false, "exit after the first job completes")
+		addr     = fs.String("addr", "", "coordinator worker address (required)")
+		name     = fs.String("name", "", "unique worker name (default w<pid>)")
+		job      = fs.String("job", "", "serve only this job id")
+		once     = fs.Bool("once", false, "exit after the first job completes")
+		logLevel = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	_ = fs.Parse(args)
+	if err := logx.SetLevel(*logLevel); err != nil {
+		return fail(err)
+	}
 	if *addr == "" {
 		return fail(fmt.Errorf("work: -addr is required"))
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	err := coordinator.RunWorker(ctx, coordinator.WorkerOptions{
-		Addr: *addr,
-		Name: *name,
-		Job:  *job,
-		Once: *once,
+		Addr:      *addr,
+		Name:      *name,
+		Job:       *job,
+		Once:      *once,
+		Telemetry: telemetry.New(),
 	})
 	if err != nil && ctx.Err() == nil {
 		return fail(err)
@@ -175,17 +191,21 @@ func runWork(args []string) int {
 func runSubmit(args []string) int {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	var (
-		api     = fs.String("api", "", "coordinator status URL, e.g. http://127.0.0.1:8080 (required)")
-		bugName = fs.String("bug", "", "Table-1 bug benchmark to explore")
-		miscon  = fs.String("miscon", "", "misconception scenario to explore (e.g. CRDTs#4)")
-		mode    = fs.String("mode", "erpi", "exploration mode: erpi, dfs, rand")
-		seed    = fs.Int64("seed", 1, "seed for rand mode")
-		capN    = fs.Int("cap", runner.DefaultMaxInterleavings, "max interleavings")
-		rangeSz = fs.Int("range-size", 0, "override the service's range size")
-		stop    = fs.Bool("stop-on-violation", false, "end the job at the first assertion failure")
-		wait    = fs.Int("wait", 0, "seconds to block for completion (0 = return immediately)")
+		api      = fs.String("api", "", "coordinator status URL, e.g. http://127.0.0.1:8080 (required)")
+		bugName  = fs.String("bug", "", "Table-1 bug benchmark to explore")
+		miscon   = fs.String("miscon", "", "misconception scenario to explore (e.g. CRDTs#4)")
+		mode     = fs.String("mode", "erpi", "exploration mode: erpi, dfs, rand")
+		seed     = fs.Int64("seed", 1, "seed for rand mode")
+		capN     = fs.Int("cap", runner.DefaultMaxInterleavings, "max interleavings")
+		rangeSz  = fs.Int("range-size", 0, "override the service's range size")
+		stop     = fs.Bool("stop-on-violation", false, "end the job at the first assertion failure")
+		wait     = fs.Int("wait", 0, "seconds to block for completion (0 = return immediately)")
+		logLevel = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	_ = fs.Parse(args)
+	if err := logx.SetLevel(*logLevel); err != nil {
+		return fail(err)
+	}
 	if *api == "" {
 		return fail(fmt.Errorf("submit: -api is required"))
 	}

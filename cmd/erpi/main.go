@@ -5,6 +5,8 @@
 //	erpi -bug OrbitDB-5 -mode dfs         # the DFS baseline
 //	erpi -bug Yorkie-2 -mode rand -seed 7 # the Rand baseline
 //	erpi -miscon "CRDTs#4"                # detect a misconception scenario
+//	erpi explain forensic-000042.json     # narrate a violation forensic bundle
+//	erpi promcheck metrics.txt            # validate Prometheus text exposition
 package main
 
 import (
@@ -19,13 +21,67 @@ import (
 	"github.com/er-pi/erpi/internal/bugs"
 	"github.com/er-pi/erpi/internal/checkpoint"
 	"github.com/er-pi/erpi/internal/coordinator"
+	"github.com/er-pi/erpi/internal/forensics"
+	"github.com/er-pi/erpi/internal/logx"
 	"github.com/er-pi/erpi/internal/miscon"
 	"github.com/er-pi/erpi/internal/runner"
 	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 func main() {
+	// Subcommands dispatch before flag parsing so their operands never
+	// collide with exploration flags.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "explain":
+			os.Exit(runExplain(os.Args[2:]))
+		case "promcheck":
+			os.Exit(runPromcheck(os.Args[2:]))
+		}
+	}
 	os.Exit(run())
+}
+
+// runExplain renders one or more forensic bundles as causal narratives.
+func runExplain(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: erpi explain <bundle.json> [...]")
+		return 2
+	}
+	for _, path := range paths {
+		b, err := forensics.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erpi explain:", err)
+			return 1
+		}
+		if err := forensics.Explain(os.Stdout, b); err != nil {
+			fmt.Fprintln(os.Stderr, "erpi explain:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runPromcheck validates Prometheus text exposition from a file (or stdin
+// with no argument) — the CI stand-in for promtool check metrics.
+func runPromcheck(args []string) int {
+	in := io.Reader(os.Stdin)
+	src := "stdin"
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erpi promcheck:", err)
+			return 1
+		}
+		defer f.Close()
+		in, src = f, args[0]
+	}
+	if err := telemetry.ValidatePrometheus(in); err != nil {
+		fmt.Fprintf(os.Stderr, "erpi promcheck: %s: %v\n", src, err)
+		return 1
+	}
+	fmt.Printf("%s: valid Prometheus text exposition\n", src)
+	return 0
 }
 
 func run() int {
@@ -43,12 +99,17 @@ func run() int {
 		statusAddr = flag.String("status-addr", "", "serve live progress, metrics, pprof, and a Chrome trace on this host:port")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON file after the run (open in about://tracing)")
 		coordURL   = flag.String("coordinator", "", "submit to a running erpi-coordinator's status URL (e.g. http://host:8080) and watch, instead of exploring locally")
+		forensicD  = flag.String("forensics", "erpi-forensics", "capture a forensic bundle per violating interleaving into this directory (created only on violation; empty disables)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	flag.Parse()
 
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "erpi:", err)
 		return 1
+	}
+	if err := logx.SetLevel(*logLevel); err != nil {
+		return fail(err)
 	}
 
 	if *coordURL != "" && !*list {
@@ -125,6 +186,7 @@ func run() int {
 		LiveWorkers:      *liveN,
 		StopOnViolation:  !*verbose,
 		Assertions:       asserts,
+		ForensicDir:      *forensicD,
 	}
 	if *session != "" {
 		dir, err := checkpoint.Open(*session)
@@ -183,6 +245,9 @@ func run() int {
 		} else {
 			fmt.Println(" ", res.Violations[0])
 		}
+		for _, path := range res.Bundles {
+			fmt.Printf("forensics: %s (run `erpi explain %s`)\n", path, path)
+		}
 		return 0
 	}
 	fmt.Printf("not reproduced within %d interleavings (exhausted=%v)\n", *capN, res.Exhausted)
@@ -232,6 +297,9 @@ func submitRemote(api string, spec coordinator.JobSpec, fail func(error) int) in
 		fmt.Printf("REPRODUCED at interleaving #%d\n", st.FirstViolation)
 		for _, v := range st.Violations {
 			fmt.Printf("  #%d [%s] violates %s: %s\n", v.Index, v.Key, v.Assertion, v.Error)
+		}
+		for _, path := range st.Bundles {
+			fmt.Printf("forensics: %s on the coordinator host (run `erpi explain %s` there)\n", path, path)
 		}
 		return 0
 	}

@@ -303,6 +303,19 @@ func WithSubsumption(bytes int64) Option {
 	return func(s *Session) { s.cfg.SubsumptionTable = bytes }
 }
 
+// WithForensics captures a self-contained forensic bundle for each
+// violating interleaving into dir (created on first violation): the event
+// schedule, fault plan, per-step canonical state timeline, a fault-free
+// baseline for divergence alignment, and the run's telemetry span slice.
+// Render a bundle with `erpi explain <bundle.json>`. Capture re-executes
+// the violating interleaving after the fact — the exploration hot path is
+// untouched, so results and determinism pins are identical with or
+// without it. At most MaxForensicBundles (default 8) are written per run;
+// paths appear in Result.Bundles.
+func WithForensics(dir string) Option {
+	return func(s *Session) { s.cfg.ForensicDir = dir }
+}
+
 // WithStopOnViolation ends exploration at the first violation.
 func WithStopOnViolation() Option {
 	return func(s *Session) { s.cfg.StopOnViolation = true }

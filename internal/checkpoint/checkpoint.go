@@ -8,7 +8,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -16,6 +15,7 @@ import (
 
 	"github.com/er-pi/erpi/internal/event"
 	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/logx"
 )
 
 // journalSyncEvery is how many journal appends accumulate before the
@@ -261,7 +261,8 @@ func (d *Dir) LoadExplored() (map[string]bool, error) {
 			continue
 		}
 		if !validKey(line) {
-			log.Printf("checkpoint: skipping corrupt journal line %d: %q", lineNo, line)
+			logx.L().Warn("skipping corrupt journal line",
+				"component", "checkpoint", "line", lineNo, "content", line)
 			continue
 		}
 		out[line] = true

@@ -2,12 +2,16 @@ package coordinator
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"github.com/er-pi/erpi/internal/checkpoint"
+	"github.com/er-pi/erpi/internal/forensics"
 	"github.com/er-pi/erpi/internal/interleave"
+	"github.com/er-pi/erpi/internal/logx"
 	"github.com/er-pi/erpi/internal/runner"
 	"github.com/er-pi/erpi/internal/telemetry"
 )
@@ -71,6 +75,7 @@ type jobManifest struct {
 	Violations     []JobViolation `json:"violations,omitempty"`
 	FirstViolation int            `json:"first_violation,omitempty"`
 	Exhausted      bool           `json:"exhausted"`
+	Bundles        []string       `json:"bundles,omitempty"`
 	Error          string         `json:"error,omitempty"`
 }
 
@@ -93,7 +98,10 @@ type JobStatus struct {
 	RangesLeased   int            `json:"ranges_leased"`
 	Requeues       int            `json:"requeues"`
 	Fenced         int            `json:"fence_rejections"`
-	Error          string         `json:"error,omitempty"`
+	// Bundles lists the forensic bundle files captured for this job's
+	// violations (under the job's journal directory).
+	Bundles []string `json:"bundles,omitempty"`
+	Error   string   `json:"error,omitempty"`
 }
 
 // Job is one exploration workload being served to workers. All mutable
@@ -108,6 +116,7 @@ type Job struct {
 	asserts   []runner.Assertion
 	journal   *checkpoint.Dir
 	resLog    *resultLog
+	dir       string
 	rangeSize int
 	leaseTTL  time.Duration
 
@@ -131,6 +140,7 @@ type Job struct {
 	quarantined    int
 	subsumed       int // interleavings pruned by worker subsumption tables
 	violations     []JobViolation
+	bundles        []string // forensic bundles captured for violations
 	firstViolation int
 	fenced         int
 	requeues       int
@@ -166,6 +176,7 @@ func openJob(id string, spec JobSpec, dir string, rangeSize int, leaseTTL time.D
 		scenario:  scenario,
 		asserts:   asserts,
 		journal:   journal,
+		dir:       dir,
 		rangeSize: rangeSize,
 		leaseTTL:  leaseTTL,
 		state:     StateRunning,
@@ -185,6 +196,7 @@ func openJob(id string, spec JobSpec, dir string, rangeSize int, leaseTTL time.D
 		j.quarantined = m.Quarantined
 		j.subsumed = m.Subsumed
 		j.violations = m.Violations
+		j.bundles = m.Bundles
 		j.firstViolation = m.FirstViolation
 		j.exhausted = m.Exhausted
 		j.noMore = true
@@ -473,6 +485,9 @@ func (j *Job) advanceLocked() error {
 						}
 					}
 				}
+				if len(line.Violations) > 0 {
+					j.captureForensicLocked(index, r.ils[i], line.Violations)
+				}
 			}
 			lines[i] = line
 			j.aggregated++
@@ -501,6 +516,38 @@ func (j *Job) advanceLocked() error {
 		}
 	}
 	return nil
+}
+
+// captureForensicLocked re-executes a violating interleaving locally and
+// writes its forensic bundle under the job's journal directory (DESIGN.md
+// §4.13). Runs on the aggregation path, so bundles appear in exploration
+// index order; failures are logged, never fatal. Bounded by
+// runner.DefaultMaxForensicBundles per job.
+func (j *Job) captureForensicLocked(index int, il interleave.Interleaving, viols []JobViolation) {
+	if len(j.bundles) >= runner.DefaultMaxForensicBundles {
+		return
+	}
+	recs := make([]forensics.Violation, 0, len(viols))
+	for _, v := range viols {
+		recs = append(recs, forensics.Violation{Assertion: v.Assertion, Error: v.Error})
+	}
+	b, err := runner.BuildBundle(j.scenario, j.spec.execConfig(), il, index, recs, j.tel.spans())
+	if err != nil {
+		logx.L().Warn("forensic capture failed",
+			"component", "coordinator", "job", j.id, "index", index, "err", err)
+		return
+	}
+	dir := filepath.Join(j.dir, "forensics")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		logx.L().Warn("forensic dir", "component", "coordinator", "dir", dir, "err", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("forensic-%06d.json", index))
+	if err := forensics.WriteFile(path, b); err != nil {
+		logx.L().Warn("forensic write failed", "component", "coordinator", "path", path, "err", err)
+		return
+	}
+	j.bundles = append(j.bundles, path)
 }
 
 // poisonLocked quarantines an entire range that has burned through its
@@ -656,6 +703,7 @@ func (j *Job) persistLocked() {
 		Violations:     j.violations,
 		FirstViolation: j.firstViolation,
 		Exhausted:      j.exhausted,
+		Bundles:        j.bundles,
 	}
 	if j.err != nil {
 		m.Error = j.err.Error()
@@ -694,6 +742,7 @@ func (j *Job) Status() JobStatus {
 		RangesLeased:   j.leasedN,
 		Requeues:       j.requeues,
 		Fenced:         j.fenced,
+		Bundles:        append([]string(nil), j.bundles...),
 	}
 	if j.state != StateRunning {
 		st.Digest = j.digestSum
@@ -713,6 +762,18 @@ func (j *Job) Digest() string {
 		return j.digestSum
 	}
 	return j.digest.Sum()
+}
+
+// leasesByWorker adds this job's currently leased range counts into the
+// per-worker tally (the federation's lease source).
+func (j *Job) leasesByWorker(out map[string]int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, r := range j.ranges {
+		if r.status == rangeLeased && r.worker != "" {
+			out[r.worker]++
+		}
+	}
 }
 
 // LeaseKey is the lockserver mutex key guarding a range of this job.

@@ -3,9 +3,10 @@ package coordinator
 import (
 	"bufio"
 	"encoding/json"
-	"log"
 	"os"
 	"path/filepath"
+
+	"github.com/er-pi/erpi/internal/logx"
 )
 
 // resultLine is one aggregated interleaving's durable record: its key, the
@@ -102,7 +103,8 @@ func loadResultLines(dir string) ([]resultLine, error) {
 		}
 		var line resultLine
 		if err := json.Unmarshal(raw, &line); err != nil || line.Key == "" {
-			log.Printf("coordinator: skipping corrupt result line %d in %s", lineNo, dir)
+			logx.L().Warn("skipping corrupt result line",
+				"component", "coordinator", "line", lineNo, "dir", dir)
 			continue
 		}
 		out = append(out, line)

@@ -81,6 +81,15 @@ func (t *svcTel) span(stage telemetry.Stage) telemetry.SpanStart {
 	return t.reg.StartSpan(stage, 0, telemetry.CoordinatorWorker)
 }
 
+// spans returns the coordinator registry's retained spans (nil without
+// telemetry) — the slice forensic bundles embed.
+func (t *svcTel) spans() []telemetry.Span {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Tracer().Spans()
+}
+
 func (t *svcTel) workerJoined() {
 	if t != nil {
 		t.workersLive.Add(1)
@@ -148,6 +157,7 @@ type Service struct {
 	opts Options
 	ln   net.Listener
 	tel  *svcTel
+	fed  *telemetry.Federation
 
 	lockMu sync.Mutex
 	lock   *lockserver.Client // lazy janitor client for lease inspection
@@ -186,9 +196,11 @@ func New(opts Options) (*Service, error) {
 		opts: opts,
 		ln:   ln,
 		tel:  newSvcTel(opts.Telemetry),
+		fed:  telemetry.NewFederation(opts.Telemetry),
 		jobs: make(map[string]*Job),
 		stop: make(chan struct{}),
 	}
+	s.fed.SetLeaseSource(s.leasesByWorker)
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.janitor()
@@ -197,6 +209,22 @@ func New(opts Options) (*Service, error) {
 
 // Addr is the bound worker address.
 func (s *Service) Addr() string { return s.ln.Addr().String() }
+
+// Federation is the coordinator's fleet-wide telemetry view, fed by
+// worker telemetry reports. Mount it on a status server
+// (StatusServer.ServeFederation) to get cluster-level /progress,
+// /metrics, and /trace.
+func (s *Service) Federation() *telemetry.Federation { return s.fed }
+
+// leasesByWorker counts currently leased ranges per worker name across
+// every job — the fleet progress view's ledger column.
+func (s *Service) leasesByWorker() map[string]int {
+	out := make(map[string]int)
+	for _, j := range s.Jobs() {
+		j.leasesByWorker(out)
+	}
+	return out
+}
 
 // Submit opens a new job from the spec and starts serving it.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
@@ -534,6 +562,17 @@ func (s *Service) serveConn(conn net.Conn) {
 				reply.Type = msgFenced
 			}
 			if !send(reply) {
+				return
+			}
+		case msgTelemetry:
+			if msg.Telemetry != nil {
+				rep := *msg.Telemetry
+				if rep.Worker == "" {
+					rep.Worker = worker
+				}
+				s.fed.Report(rep)
+			}
+			if !send(&wireMsg{Type: msgOK}) {
 				return
 			}
 		case msgCommit:

@@ -87,6 +87,11 @@ func TestRunnerConfigDistributionCoverage(t *testing.T) {
 		"OnOutcome":        true, // digest/violation aggregation
 		"Journal":          true, // explored.log owned by the job
 		"Telemetry":        true, // Options.Telemetry on the service
+		// Forensic bundles are captured on the coordinator's aggregation
+		// path (Job.captureForensicLocked re-executes locally), never by
+		// workers — violations are only known after aggregation.
+		"ForensicDir":        true,
+		"MaxForensicBundles": true,
 	}
 	notDistributed := map[string]bool{
 		// Per-process or order-dependent machinery the distributed path

@@ -28,6 +28,7 @@ import (
 	"github.com/er-pi/erpi/internal/event"
 	"github.com/er-pi/erpi/internal/interleave"
 	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
 )
 
 // Protocol message types. The worker drives a strict request/response
@@ -39,6 +40,7 @@ const (
 	msgLease     = "lease"     // request a range (reply: range | drain | done | error)
 	msgHeartbeat = "heartbeat" // extend a held range's deadline (reply: ok | fenced | error)
 	msgCommit    = "commit"    // deliver a range's results (reply: ok | fenced | error)
+	msgTelemetry = "telemetry" // report metrics/progress + span delta (reply: ok | error)
 
 	// coordinator → worker
 	msgRange  = "range"  // a granted range with its interleavings inline
@@ -78,6 +80,12 @@ type wireMsg struct {
 	// commit (worker→coordinator): one result per interleaving, in range
 	// order.
 	Results []wireResult `json:"results,omitempty"`
+
+	// telemetry (worker→coordinator): the worker's cumulative metrics and
+	// progress plus its span delta, folded into the coordinator's fleet
+	// view. Strictly additive to the protocol: workers that never send it
+	// and coordinators that ignore it interoperate unchanged.
+	Telemetry *telemetry.WorkerReport `json:"telemetry,omitempty"`
 
 	// drain: how long the worker should wait before retrying.
 	RetryMs int64 `json:"retry_ms,omitempty"`

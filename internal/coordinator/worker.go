@@ -31,6 +31,11 @@ type WorkerOptions struct {
 	RetryInterval time.Duration
 	// Telemetry, when set, receives the worker's execution metrics.
 	Telemetry *telemetry.Registry
+	// TelemetryInterval throttles telemetry reports to the coordinator
+	// (default 200ms; negative disables reporting). Reports are forced at
+	// range boundaries regardless of the throttle, so the coordinator's
+	// fleet view is current whenever a range commits.
+	TelemetryInterval time.Duration
 
 	// Test hooks — nil in production.
 	//
@@ -98,6 +103,51 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 type worker struct {
 	o        WorkerOptions
 	executed int // lifetime execution count (CrashAfterExecutions hook)
+
+	// Telemetry reporting state: the tracer ring position already shipped
+	// and the last report time (throttle). Survives redials — metric
+	// snapshots are cumulative, so a reconnect never double-counts.
+	spanMark   int
+	lastReport time.Time
+}
+
+// defaultTelemetryInterval is the report throttle when WorkerOptions
+// leaves TelemetryInterval zero.
+const defaultTelemetryInterval = 200 * time.Millisecond
+
+// report ships the worker's telemetry to the coordinator: cumulative
+// metrics and progress plus the span delta since the previous report.
+// No-op without a registry (or with reporting disabled); throttled to
+// TelemetryInterval unless forced.
+func (w *worker) report(sess *session, force bool) error {
+	if w.o.Telemetry == nil || w.o.TelemetryInterval < 0 {
+		return nil
+	}
+	interval := w.o.TelemetryInterval
+	if interval == 0 {
+		interval = defaultTelemetryInterval
+	}
+	if !force && time.Since(w.lastReport) < interval {
+		return nil
+	}
+	spans, mark := w.o.Telemetry.Tracer().SpansSince(w.spanMark)
+	rep := telemetry.WorkerReport{
+		Worker:         w.o.Name,
+		EpochUnixNanos: w.o.Telemetry.Tracer().Epoch().UnixNano(),
+		Metrics:        w.o.Telemetry.Snapshot(),
+		Progress:       w.o.Telemetry.Progress().Snapshot(),
+		Spans:          spans,
+	}
+	reply, err := sess.roundTrip(&wireMsg{Type: msgTelemetry, Worker: w.o.Name, Telemetry: &rep})
+	if err != nil {
+		return err
+	}
+	if reply.Type != msgOK {
+		return fmt.Errorf("coordinator: unexpected telemetry reply %q", reply.Type)
+	}
+	w.spanMark = mark
+	w.lastReport = time.Now()
+	return nil
 }
 
 // session is one connection's lockstep transport.
@@ -221,8 +271,21 @@ func (w *worker) serveOnce(ctx context.Context) error {
 	}
 
 	job := hello.Job
+	// Seed the coordinator's fleet view as soon as the job binds, before
+	// the first range lands.
+	if err := w.report(sess, true); err != nil {
+		return err
+	}
+	// Best-effort final flush on every exit path (done, drain, cancel,
+	// transport error): reports are cumulative, so a duplicate is folded
+	// idempotently, and without it a cancellation racing the last commit
+	// would leave the fleet view short of this worker's final ranges.
+	defer func() { _ = w.report(sess, true) }()
 	for {
 		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := w.report(sess, false); err != nil {
 			return err
 		}
 		reply, err := sess.roundTrip(&wireMsg{Type: msgLease})
@@ -243,7 +306,14 @@ func (w *worker) serveOnce(ctx context.Context) error {
 		}
 		err = w.runRange(ctx, sess, exec, lock, job, ttl, reply)
 		switch {
-		case err == nil, errors.Is(err, errRangeAbandoned):
+		case err == nil:
+			// Force a report at the range boundary so fleet counters are
+			// current the moment the commit is visible.
+			if err := w.report(sess, true); err != nil {
+				return err
+			}
+			continue
+		case errors.Is(err, errRangeAbandoned):
 			continue
 		default:
 			return err
@@ -302,7 +372,8 @@ func (w *worker) runRange(ctx context.Context, sess *session, exec *runner.Execu
 			sess.conn.Close()
 			return ErrWorkerCrashed
 		}
-		// Heartbeat long ranges so slow executions don't look like death.
+		// Heartbeat long ranges so slow executions don't look like death,
+		// and stream telemetry so the fleet view tracks mid-range progress.
 		if time.Since(lastContact) > ttl/2 {
 			hb, err := sess.roundTrip(&wireMsg{Type: msgHeartbeat, Range: grant.Range, Epoch: grant.Epoch})
 			if err != nil {
@@ -313,6 +384,10 @@ func (w *worker) runRange(ctx context.Context, sess *session, exec *runner.Execu
 			if hb.Type == msgFenced {
 				w.abandon(mutex)
 				return errRangeAbandoned
+			}
+			if err := w.report(sess, false); err != nil {
+				w.abandon(mutex)
+				return err
 			}
 		}
 		outcome, attempts, execErr := exec.Execute(ctx, il, index)

@@ -1,0 +1,278 @@
+package forensics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// Explain renders a bundle as a human-readable causal narrative: which
+// delivery ordering diverged from the recorded schedule, where the
+// replica states first departed from the baseline run, and how the final
+// per-replica states differ. This is what `erpi explain <bundle>` prints.
+func Explain(w io.Writer, b *Bundle) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	var out strings.Builder
+
+	fmt.Fprintf(&out, "ER-π forensic bundle: %s — interleaving #%d\n", b.Scenario, b.Index)
+	fmt.Fprintf(&out, "key: %s\n", b.Key)
+	fmt.Fprintf(&out, "mode: %s  seed: %d  events: %d  steps captured: %d\n",
+		b.Mode, b.Seed, len(b.Events), len(b.Steps))
+	out.WriteByte('\n')
+
+	explainViolations(&out, b)
+	explainDelivery(&out, b)
+	explainStateDivergence(&out, b)
+	explainFinalStates(&out, b)
+	explainObservations(&out, b)
+	explainFaults(&out, b)
+	explainTiming(&out, b)
+
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+func explainViolations(out *strings.Builder, b *Bundle) {
+	fmt.Fprintf(out, "violations (%d):\n", len(b.Violations))
+	if len(b.Violations) == 0 {
+		fmt.Fprintln(out, "  (none recorded — bundle captured outside a violation?)")
+	}
+	for i, v := range b.Violations {
+		fmt.Fprintf(out, "  %d. %s: %s\n", i+1, v.Assertion, v.Error)
+	}
+	out.WriteByte('\n')
+}
+
+// divergencePos returns the first position where the delivered order
+// departs from the recorded schedule (-1 when they agree).
+func (b *Bundle) divergencePos() int {
+	n := len(b.Interleaving)
+	if len(b.RecordedOrder) < n {
+		n = len(b.RecordedOrder)
+	}
+	for i := 0; i < n; i++ {
+		if b.Interleaving[i] != b.RecordedOrder[i] {
+			return i
+		}
+	}
+	if len(b.Interleaving) != len(b.RecordedOrder) {
+		return n
+	}
+	return -1
+}
+
+func (b *Bundle) eventLabel(id int) string {
+	if ev := b.Event(id); ev != nil {
+		return ev.String()
+	}
+	return fmt.Sprintf("ev%d", id)
+}
+
+func explainDelivery(out *strings.Builder, b *Bundle) {
+	fmt.Fprintln(out, "delivery divergence:")
+	pos := b.divergencePos()
+	if pos < 0 {
+		fmt.Fprintln(out, "  this interleaving delivers events in the recorded order")
+		fmt.Fprintln(out, "  (the violation is not order-induced — check the fault plan below)")
+		out.WriteByte('\n')
+		return
+	}
+	fmt.Fprintf(out, "  first diverges from the recorded schedule at step %d:\n", pos)
+	if pos < len(b.Interleaving) {
+		fmt.Fprintf(out, "    delivered: %s\n", b.eventLabel(b.Interleaving[pos]))
+	}
+	if pos < len(b.RecordedOrder) {
+		fmt.Fprintf(out, "    recorded:  %s\n", b.eventLabel(b.RecordedOrder[pos]))
+	}
+	// How far does the recorded schedule postpone the event delivered
+	// early (or vice versa)?
+	if pos < len(b.Interleaving) {
+		id := b.Interleaving[pos]
+		for j := pos + 1; j < len(b.RecordedOrder); j++ {
+			if b.RecordedOrder[j] == id {
+				fmt.Fprintf(out, "    %s was recorded %d step(s) later, at step %d\n",
+					fmt.Sprintf("ev%d", id), j-pos, j)
+				break
+			}
+		}
+	}
+	out.WriteByte('\n')
+}
+
+func explainStateDivergence(out *strings.Builder, b *Bundle) {
+	if len(b.Steps) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "state divergence:")
+	if len(b.BaselineStepHashes) == 0 {
+		fmt.Fprintln(out, "  (no baseline timeline in bundle)")
+		out.WriteByte('\n')
+		return
+	}
+	n := len(b.Steps)
+	if len(b.BaselineStepHashes) < n {
+		n = len(b.BaselineStepHashes)
+	}
+	div := -1
+	for i := 0; i < n; i++ {
+		if b.Steps[i].StateHash != b.BaselineStepHashes[i] {
+			div = i
+			break
+		}
+	}
+	if div < 0 {
+		fmt.Fprintln(out, "  replica states track the recorded run at every captured step;")
+		fmt.Fprintln(out, "  the divergence appears only after finalize (see final states)")
+		out.WriteByte('\n')
+		return
+	}
+	step := b.Steps[div]
+	fmt.Fprintf(out, "  replica states first depart from the recorded run after step %d (%s):\n",
+		step.Pos, b.eventLabel(step.EventID))
+	for _, rs := range step.Replicas {
+		fmt.Fprintf(out, "    %-4s %s\n", rs.Replica+":", shortFP(rs.Fingerprint))
+	}
+	out.WriteByte('\n')
+}
+
+func explainFinalStates(out *strings.Builder, b *Bundle) {
+	fmt.Fprintln(out, "final replica states (after finalize):")
+	reps := make([]string, 0, len(b.Final.Fingerprints))
+	for r := range b.Final.Fingerprints {
+		reps = append(reps, r)
+	}
+	sort.Strings(reps)
+	for _, r := range reps {
+		fp := b.Final.Fingerprints[r]
+		line := fmt.Sprintf("  %-4s %s", r+":", shortFP(fp))
+		if b.Baseline != nil {
+			base, ok := b.Baseline.Fingerprints[r]
+			switch {
+			case !ok:
+				line += "  (not present in recorded run)"
+			case base != fp:
+				line += fmt.Sprintf("  DIFFERS from recorded %s", shortFP(base))
+			default:
+				line += "  (matches recorded run)"
+			}
+		}
+		fmt.Fprintln(out, line)
+	}
+	conv := fmt.Sprintf("  converged: %v", b.Final.Converged)
+	if b.Baseline != nil {
+		conv += fmt.Sprintf(" (recorded run: %v)", b.Baseline.Converged)
+	}
+	fmt.Fprintln(out, conv)
+	out.WriteByte('\n')
+}
+
+func explainObservations(out *strings.Builder, b *Bundle) {
+	if b.Baseline == nil || len(b.Final.Observations) == 0 {
+		return
+	}
+	var ids []int
+	for id := range b.Final.Observations {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var diffs []string
+	for _, id := range ids {
+		got := b.Final.Observations[id]
+		want, ok := b.Baseline.Observations[id]
+		if ok && got == want {
+			continue
+		}
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("  %s → %q (absent in recorded run)", b.eventLabel(id), got))
+			continue
+		}
+		diffs = append(diffs, fmt.Sprintf("  %s → %q (recorded run: %q)", b.eventLabel(id), got, want))
+	}
+	if len(diffs) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "observation diffs:")
+	for _, d := range diffs {
+		fmt.Fprintln(out, d)
+	}
+	out.WriteByte('\n')
+}
+
+func explainFaults(out *strings.Builder, b *Bundle) {
+	wrote := false
+	if b.Faults != nil && len(b.Faults.Faults) > 0 {
+		fmt.Fprintf(out, "fault plan (seed %d):\n", b.Faults.Seed)
+		for _, f := range b.Faults.Faults {
+			scope := "every interleaving"
+			if f.Interleaving != 0 {
+				scope = fmt.Sprintf("interleaving #%d", f.Interleaving)
+			}
+			fmt.Fprintf(out, "  %s in %s\n", f.String(), scope)
+		}
+		wrote = true
+	}
+	if len(b.Final.FailedOps) > 0 {
+		fmt.Fprintf(out, "failed ops: %s\n", joinEventIDs(b, b.Final.FailedOps))
+		wrote = true
+	}
+	if len(b.Final.DroppedSyncs) > 0 {
+		fmt.Fprintf(out, "dropped syncs: %s\n", joinEventIDs(b, b.Final.DroppedSyncs))
+		wrote = true
+	}
+	if wrote {
+		out.WriteByte('\n')
+	}
+}
+
+func joinEventIDs(b *Bundle, ids []int) string {
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, b.eventLabel(id))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func explainTiming(out *strings.Builder, b *Bundle) {
+	if len(b.Spans) == 0 {
+		return
+	}
+	type agg struct {
+		stage string
+		dur   int64
+	}
+	byStage := make(map[string]int64)
+	for _, sp := range b.Spans {
+		if int(sp.Index) != b.Index {
+			continue
+		}
+		byStage[telemetry.Stage(sp.Stage).String()] += sp.Dur
+	}
+	if len(byStage) == 0 {
+		return
+	}
+	rows := make([]agg, 0, len(byStage))
+	for s, d := range byStage {
+		rows = append(rows, agg{s, d})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].stage < rows[j].stage })
+	fmt.Fprintln(out, "stage timing for this interleaving:")
+	for _, r := range rows {
+		fmt.Fprintf(out, "  %-18s %v\n", r.stage, time.Duration(r.dur).Round(time.Microsecond))
+	}
+	out.WriteByte('\n')
+}
+
+// shortFP abbreviates long state fingerprints for the narrative while
+// keeping short ones verbatim.
+func shortFP(fp string) string {
+	if len(fp) <= 40 {
+		return fp
+	}
+	return fp[:16] + "…" + fp[len(fp)-16:]
+}

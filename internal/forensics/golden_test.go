@@ -1,0 +1,86 @@
+package forensics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the explain golden file")
+
+// TestExplainGolden pins the full `erpi explain` narrative for a real
+// Roshi-2 bundle (testdata/bundle.json was captured by an actual
+// violating run). Regenerate with `go test ./internal/forensics -update`
+// after deliberate narrative changes.
+func TestExplainGolden(t *testing.T) {
+	b, err := Load(filepath.Join("testdata", "bundle.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Explain(&out, b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "explain.golden")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("explain narrative drifted from golden (re-run with -update if deliberate):\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+	}
+}
+
+// TestBundleRoundTrip pins that persisting and reloading a bundle loses
+// nothing the narrative depends on.
+func TestBundleRoundTrip(t *testing.T) {
+	b, err := Load(filepath.Join("testdata", "bundle.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := WriteFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, z bytes.Buffer
+	if err := Explain(&a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Explain(&z, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), z.Bytes()) {
+		t.Fatal("narrative changed across a write/load round trip")
+	}
+}
+
+func TestValidateRejectsBrokenBundles(t *testing.T) {
+	good, err := Load(filepath.Join("testdata", "bundle.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(b Bundle) Bundle{
+		"wrong version":   func(b Bundle) Bundle { b.Version = 99; return b },
+		"no scenario":     func(b Bundle) Bundle { b.Scenario = ""; return b },
+		"no interleaving": func(b Bundle) Bundle { b.Interleaving = nil; return b },
+		"no events":       func(b Bundle) Bundle { b.Events = nil; return b },
+	}
+	for name, mutate := range cases {
+		broken := mutate(*good)
+		if err := broken.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken bundle", name)
+		}
+	}
+}

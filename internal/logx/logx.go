@@ -1,0 +1,51 @@
+// Package logx is the engine's shared structured logger: a process-wide
+// leveled log/slog logger the binaries configure once (-log-level) and
+// every component reaches through L(). Components attach themselves with
+// structured attrs (component/worker/job) instead of formatting prefixes
+// into the message, so fleet logs aggregate and filter mechanically.
+package logx
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+var (
+	level  slog.LevelVar // defaults to LevelInfo
+	logger atomic.Pointer[slog.Logger]
+)
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &level})))
+}
+
+// L returns the process logger.
+func L() *slog.Logger { return logger.Load() }
+
+// With returns the process logger with attrs attached — the usual way a
+// component binds itself: logx.With("component", "checkpoint").
+func With(args ...any) *slog.Logger { return L().With(args...) }
+
+// SetLogger replaces the process logger (tests capturing output).
+func SetLogger(l *slog.Logger) { logger.Store(l) }
+
+// SetLevel sets the process log level from a flag string: debug, info,
+// warn, or error (case-insensitive).
+func SetLevel(s string) error {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		level.Set(slog.LevelDebug)
+	case "", "info":
+		level.Set(slog.LevelInfo)
+	case "warn", "warning":
+		level.Set(slog.LevelWarn)
+	case "error":
+		level.Set(slog.LevelError)
+	default:
+		return fmt.Errorf("logx: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+	return nil
+}

@@ -127,8 +127,12 @@ func NewExecutor(s Scenario, cfg Config) (*Executor, error) {
 // (the index keys deterministic fault arming, so distributed workers must
 // pass the coordinator-assigned index, not a local counter). It returns
 // the outcome, the number of attempts made, and the final error when every
-// attempt failed — the same triple the engines quarantine on.
+// attempt failed — the same triple the engines quarantine on. With
+// Telemetry attached, each call counts toward runner.explored and the
+// progress snapshot, mirroring the engines' per-index accounting — this
+// is what a distributed worker's federation reports are built from.
 func (e *Executor) Execute(ctx context.Context, il interleave.Interleaving, index int) (*Outcome, int, error) {
+	e.exec.tel.onExplored()
 	return executeWithRetry(ctx, e.exec, e.s, e.cfg, il, index, e.jit)
 }
 

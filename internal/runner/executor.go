@@ -64,6 +64,9 @@ type executor struct {
 	// subEvery is the subsumption check stride in events when no prefix
 	// cache supplies snapshot depths.
 	subEvery int
+	// step, when non-nil, observes the cluster after every delivered
+	// position (forensic re-execution only; nil on every engine hot path).
+	step func(pos int) error
 }
 
 func (x *executor) buildPairs() {
@@ -130,6 +133,14 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 	for pos := start; pos < len(il); pos++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if x.step != nil && pos > start {
+			// Observe the state the previous position left behind (the
+			// loop's continue paths — failed ops, dropped syncs — land here
+			// too, so every position gets exactly one observation).
+			if err := x.step(pos - 1); err != nil {
+				return nil, err
+			}
 		}
 		if pos > start {
 			wantCache := useCache && x.cache.wantSnapshot(pos, divergence, x.pivot)
@@ -228,6 +239,11 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 			}
 		default:
 			return nil, fmt.Errorf("event %s: unsupported kind", ev)
+		}
+	}
+	if x.step != nil && len(il) > start {
+		if err := x.step(len(il) - 1); err != nil {
+			return nil, err
 		}
 	}
 	x.tel.onEvents(len(il)-start, start)

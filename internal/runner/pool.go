@@ -406,6 +406,11 @@ func (p *pool) process(r workResult) {
 	if violated && p.res.FirstViolation == 0 {
 		p.res.FirstViolation = r.index
 	}
+	if violated {
+		// Runs on the coordinator goroutine, in index order, exactly like
+		// the sequential engine — bundle numbering is deterministic.
+		captureForensic(p.s, p.cfg, p.res, r.il, r.index, p.res.Violations)
+	}
 	if violated && p.cfg.StopOnViolation {
 		p.stopViol = true
 		p.stop()

@@ -267,6 +267,18 @@ type Config struct {
 	// the same order, with the same results as one without, and a nil
 	// registry costs nothing on the hot path.
 	Telemetry *telemetry.Registry
+	// ForensicDir, when set, captures a forensic bundle for each violating
+	// interleaving (up to MaxForensicBundles) by re-executing it on a fresh
+	// cluster with per-step state capture, and writes the bundles there as
+	// JSON for `erpi explain` (DESIGN.md §4.13). Capture is post-hoc
+	// re-execution only: the exploration hot path is untouched, so results
+	// and determinism pins are identical with forensics on or off. Empty
+	// disables capture.
+	ForensicDir string
+	// MaxForensicBundles caps bundles written per run (default
+	// DefaultMaxForensicBundles; forensics are a diagnostic artifact, not
+	// an exhaustive violation archive).
+	MaxForensicBundles int
 }
 
 // DefaultMaxInterleavings is the paper's exploration cap.
@@ -322,6 +334,10 @@ type Result struct {
 	// point an interleaving may have been executed (and counted) more
 	// than once.
 	DedupSaturated bool
+	// Bundles lists the forensic bundle files written under
+	// Config.ForensicDir, one per captured violating interleaving (empty
+	// when forensics are off or nothing violated).
+	Bundles []string
 }
 
 // ExecError records one quarantined interleaving: an event order whose
@@ -572,6 +588,9 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 		tel.onViolations(newViolations)
 		if violated && res.FirstViolation == 0 {
 			res.FirstViolation = res.Explored
+		}
+		if violated {
+			captureForensic(s, cfg, res, il, res.Explored, res.Violations)
 		}
 		if violated && cfg.StopOnViolation {
 			break

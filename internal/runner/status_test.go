@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// TestStatusServerUnderPooledRun scrapes the per-process status server
+// fed by a Workers>1 run: the JSON /metrics default, the negotiated
+// Prometheus exposition, and /progress must all agree with the run's
+// result.
+func TestStatusServerUnderPooledRun(t *testing.T) {
+	s := townReportScenario(t)
+	reg := telemetry.New()
+	srv, err := telemetry.NewStatusServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, err := Run(s, Config{
+		Mode:             ModeDFS,
+		Workers:          4,
+		MaxInterleavings: 200,
+		Telemetry:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path, accept string) string {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL()+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics", "")), &snap); err != nil {
+		t.Fatalf("JSON /metrics: %v", err)
+	}
+	if got := snap.Counters["runner.explored"]; got != int64(res.Explored) {
+		t.Fatalf("scraped explored = %d, run explored %d", got, res.Explored)
+	}
+
+	prom := get("/metrics", "text/plain")
+	if err := telemetry.ValidatePrometheus(strings.NewReader(prom)); err != nil {
+		t.Fatalf("pooled /metrics fails Prometheus validation: %v", err)
+	}
+	if !strings.Contains(prom, "erpi_runner_explored_total") {
+		t.Fatalf("exposition missing explored counter:\n%s", prom)
+	}
+
+	var prog telemetry.ProgressSnapshot
+	if err := json.Unmarshal([]byte(get("/progress", "")), &prog); err != nil {
+		t.Fatalf("/progress: %v", err)
+	}
+	if prog.Explored != int64(res.Explored) {
+		t.Fatalf("progress explored = %d, want %d", prog.Explored, res.Explored)
+	}
+}

@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for registry
+// snapshots. The JSON snapshot stays the default wire shape — Prometheus
+// output is selected by Accept-header content negotiation on /metrics —
+// so existing scrapers and the byte-stability guarantees of the status
+// server are untouched.
+//
+// Mapping: every metric name is prefixed with "erpi_" and sanitized to
+// the Prometheus grammar (dots and dashes become underscores). Counters
+// get the conventional "_total" suffix; gauges keep their name;
+// histograms expand to cumulative "_bucket{le=...}" series plus "_sum"
+// and "_count". Output is sorted by metric name so two snapshots with
+// equal values render byte-identically.
+
+// PrometheusContentType is the Content-Type served for the text
+// exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WantsPrometheus reports whether an HTTP request's Accept header asks
+// for the Prometheus text exposition instead of the default JSON: any
+// listed media type of text/plain or application/openmetrics-text (what
+// a Prometheus server sends) selects it. An absent Accept header, */*,
+// or application/json keeps the JSON default.
+func WantsPrometheus(h http.Header) bool {
+	for _, accept := range h.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mediaType := strings.TrimSpace(part)
+			if i := strings.IndexByte(mediaType, ';'); i >= 0 {
+				mediaType = strings.TrimSpace(mediaType[:i])
+			}
+			switch strings.ToLower(mediaType) {
+			case "text/plain", "application/openmetrics-text":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name: "erpi_" prefix, with every byte outside [a-zA-Z0-9_:] replaced
+// by '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("erpi_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format, sorted by metric name.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum)
+		}
+		// The overflow bucket closes the family: le="+Inf" must equal the
+		// total observation count.
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+	return bw.Flush()
+}
+
+// ValidatePrometheus checks a text exposition for format violations:
+// malformed metric names, labels, or values; samples typed before their
+// TYPE line; duplicate TYPE declarations; histogram bucket series whose
+// cumulative counts decrease or whose le="+Inf" bucket disagrees with
+// _count. It is the format check CI runs against the coordinator's
+// /metrics output. Returns nil for a valid exposition.
+func ValidatePrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)
+	samples := 0
+	// histogram bookkeeping: family -> last cumulative bucket value, count value
+	lastBucket := make(map[string]int64)
+	infBucket := make(map[string]int64)
+	countVal := make(map[string]int64)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		family, suffix := promFamily(name, types)
+		if typ, ok := types[family]; ok && typ == "histogram" {
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+				}
+				if le != "+Inf" {
+					if _, err := strconv.ParseFloat(le, 64); err != nil {
+						return fmt.Errorf("line %d: bucket le=%q is not a number", lineNo, le)
+					}
+				}
+				if int64(value) < lastBucket[family] {
+					return fmt.Errorf("line %d: %s cumulative bucket counts decrease", lineNo, family)
+				}
+				lastBucket[family] = int64(value)
+				if le == "+Inf" {
+					infBucket[family] = int64(value)
+				}
+			case "_count":
+				countVal[family] = int64(value)
+			case "_sum":
+			default:
+				return fmt.Errorf("line %d: bare sample %s for histogram family %s", lineNo, name, family)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition has no samples")
+	}
+	for family, inf := range infBucket {
+		if c, ok := countVal[family]; ok && c != inf {
+			return fmt.Errorf("histogram %s: le=\"+Inf\" bucket %d != _count %d", family, inf, c)
+		}
+	}
+	return nil
+}
+
+// promFamily strips a histogram/summary series suffix, returning the
+// declared family name and the suffix ("" when the sample name itself is
+// declared or carries no known suffix).
+func promFamily(name string, types map[string]string) (family, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, s); ok {
+			if _, declared := types[base]; declared {
+				return base, s
+			}
+		}
+	}
+	return name, ""
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample parses one sample line: name[{labels}] value [timestamp].
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = make(map[string]string)
+	if rest[i] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parsePromLabels(rest[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample value %q is not a float", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample timestamp %q is not an integer", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parsePromLabels(s string, out map[string]string) error {
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) < 2 || s[0] != '"' {
+			return fmt.Errorf("label %s value is not quoted", name)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("label %s value is unterminated", name)
+		}
+		out[name] = s[1:end]
+		s = s[end+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+	}
+	return nil
+}

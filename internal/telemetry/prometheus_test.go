@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func promRegistry() *Registry {
+	r := New()
+	r.Counter("runner.explored").Add(42)
+	r.Counter("coordinator.ranges-leased").Add(7)
+	r.Gauge("pool.workers").Set(3)
+	r.Histogram("stage.execute_ns").Observe(500)
+	r.Histogram("stage.execute_ns").Observe(100000)
+	return r
+}
+
+func TestWritePrometheusValidates(t *testing.T) {
+	snap := promRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE erpi_runner_explored_total counter",
+		"erpi_runner_explored_total 42",
+		"# TYPE erpi_coordinator_ranges_leased_total counter",
+		"# TYPE erpi_pool_workers gauge",
+		"erpi_pool_workers 3",
+		"# TYPE erpi_stage_execute_ns histogram",
+		"erpi_stage_execute_ns_count 2",
+		`_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails validation: %v", err)
+	}
+	// Equal snapshots must render byte-identically (sorted output).
+	var again bytes.Buffer
+	if err := WritePrometheus(&again, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty exposition":    "",
+		"bad metric name":     "9bad_name 1\n",
+		"bad value":           "erpi_x abc\n",
+		"duplicate TYPE":      "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"unknown type":        "# TYPE m widget\nm 1\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket{foo=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"decreasing buckets":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf bucket vs count": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, in := range cases {
+		if err := ValidatePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validation accepted %q", name, in)
+		}
+	}
+}
+
+func TestWantsPrometheus(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"*/*", false},
+		{"application/json", false},
+		{"text/plain", true},
+		{"text/plain; version=0.0.4", true},
+		{"application/openmetrics-text; version=1.0.0", true},
+		{"application/openmetrics-text;version=1.0.0;charset=utf-8,text/plain;version=0.0.4;q=0.5,*/*;q=0.1", true},
+		{"text/html, application/json", false},
+	}
+	for _, tc := range cases {
+		h := http.Header{}
+		if tc.accept != "" {
+			h.Set("Accept", tc.accept)
+		}
+		if got := WantsPrometheus(h); got != tc.want {
+			t.Errorf("WantsPrometheus(%q) = %v, want %v", tc.accept, got, tc.want)
+		}
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv, err := NewStatusServer("127.0.0.1:0", promRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(accept string) (string, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL()+"/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Default stays JSON, byte-stable across scrapes of an idle registry.
+	plain1, ct := get("")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("default content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(plain1), &snap); err != nil {
+		t.Fatalf("default /metrics is not the JSON snapshot: %v", err)
+	}
+	if snap.Counters["runner.explored"] != 42 {
+		t.Fatalf("JSON snapshot counters: %v", snap.Counters)
+	}
+	plain2, _ := get("application/json")
+	if plain1 != plain2 {
+		t.Fatal("JSON /metrics output is not byte-stable")
+	}
+
+	// Prometheus scrapers negotiate the text exposition.
+	prom, ct := get("text/plain")
+	if ct != PrometheusContentType {
+		t.Fatalf("negotiated content type = %q", ct)
+	}
+	if !strings.Contains(prom, "erpi_runner_explored_total 42") {
+		t.Fatalf("prometheus exposition missing counter:\n%s", prom)
+	}
+	if err := ValidatePrometheus(strings.NewReader(prom)); err != nil {
+		t.Fatalf("negotiated exposition invalid: %v", err)
+	}
+}

@@ -80,19 +80,21 @@ func (s Stage) String() string {
 // (generation, dedup, dispatch, assertions).
 const CoordinatorWorker = -1
 
-// Span is one recorded stage execution.
+// Span is one recorded stage execution. The JSON tags make spans
+// directly serializable — they travel in the coordinator federation's
+// wire reports and in forensic bundles.
 type Span struct {
 	// Stage is the pipeline phase.
-	Stage Stage
+	Stage Stage `json:"stage"`
 	// Index is the 1-based interleaving index (0 for run-level work).
-	Index int32
+	Index int32 `json:"index"`
 	// Worker is the executing worker id (CoordinatorWorker for the
 	// coordinator).
-	Worker int32
+	Worker int32 `json:"worker"`
 	// Start is nanoseconds since the tracer's epoch.
-	Start int64
+	Start int64 `json:"start_ns"`
 	// Dur is the span length in nanoseconds.
-	Dur int64
+	Dur int64 `json:"dur_ns"`
 }
 
 // DefaultSpanCapacity bounds the tracer ring buffer (1<<15 spans ≈ 1 MiB).
@@ -156,6 +158,36 @@ func (t *Tracer) Spans() []Span {
 	out = append(out, t.ring[at:]...)
 	out = append(out, t.ring[:at]...)
 	return out
+}
+
+// SpansSince returns the retained spans recorded after the first `since`
+// spans ever recorded (oldest first) together with the new total recorded
+// count. Feeding the returned total back as the next call's `since` yields
+// exactly the spans recorded in between — the delta primitive federation
+// reports are built from. Spans the ring already overwrote are silently
+// skipped; a `since` beyond the current total returns an empty delta.
+func (t *Tracer) SpansSince(since int) ([]Span, int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.n
+	first := since
+	if first < 0 {
+		first = 0
+	}
+	if retained := total - t.capacity; first < retained {
+		first = retained
+	}
+	if first >= total {
+		return nil, total
+	}
+	out := make([]Span, 0, total-first)
+	for i := first; i < total; i++ {
+		out = append(out, t.ring[i%t.capacity])
+	}
+	return out, total
 }
 
 // Dropped reports how many spans the ring has overwritten.

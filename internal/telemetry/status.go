@@ -44,6 +44,9 @@ type StatusServer struct {
 	ln  net.Listener
 	mux *http.ServeMux
 	srv *http.Server
+	// fed, when set, upgrades /progress, /metrics, and /trace to the
+	// fleet-wide federated view (coordinator + every reporting worker).
+	fed atomic.Pointer[Federation]
 }
 
 // NewStatusServer binds addr (host:port; port 0 picks a free port) and
@@ -79,6 +82,10 @@ func (s *StatusServer) Handle(pattern string, h http.Handler) {
 	s.mux.Handle(pattern, h)
 }
 
+// ServeFederation switches the server's /progress, /metrics, and /trace
+// endpoints to the fleet-wide federated view. Safe to call while serving.
+func (s *StatusServer) ServeFederation(f *Federation) { s.fed.Store(f) }
+
 // Addr returns the bound address (resolving a requested port 0).
 func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
 
@@ -89,17 +96,43 @@ func (s *StatusServer) URL() string { return "http://" + s.Addr() }
 func (s *StatusServer) Close() error { return s.srv.Close() }
 
 func (s *StatusServer) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	if f := s.fed.Load(); f != nil {
+		writeJSON(w, f.Progress())
+		return
+	}
 	writeJSON(w, s.reg.Progress().Snapshot())
 }
 
-func (s *StatusServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.reg.Snapshot())
+func (s *StatusServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var snap Snapshot
+	if f := s.fed.Load(); f != nil {
+		snap = f.Snapshot()
+	} else {
+		snap = s.reg.Snapshot()
+	}
+	// Content negotiation: Prometheus scrapers (Accept: text/plain or
+	// application/openmetrics-text) get the text exposition; everything
+	// else keeps the JSON default, byte-identical to before.
+	if WantsPrometheus(r.Header) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		if err := WritePrometheus(w, snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, snap)
 }
 
 func (s *StatusServer) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="erpi-trace.json"`)
-	if err := s.reg.WriteTrace(w); err != nil {
+	var err error
+	if f := s.fed.Load(); f != nil {
+		err = f.WriteTrace(w)
+	} else {
+		err = s.reg.WriteTrace(w)
+	}
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -34,25 +34,37 @@ type traceFile struct {
 // spanTid maps a span's worker id onto a trace thread id.
 func spanTid(worker int32) int { return int(worker) + 1 }
 
-// WriteTrace exports spans as Chrome trace_event JSON.
-func WriteTrace(w io.Writer, spans []Span) error {
-	file := traceFile{DisplayTimeUnit: "ms"}
-	tids := make(map[int]int32) // tid -> worker
+// appendSpanEvents renders spans into trace rows on one trace process
+// (pid), shifting every span start by shiftNs (federated lanes re-base
+// remote workers' tracer epochs onto the coordinator's).
+func appendSpanEvents(file *traceFile, spans []Span, pid int, shiftNs int64) {
 	for _, sp := range spans {
-		tid := spanTid(sp.Worker)
-		tids[tid] = sp.Worker
 		file.TraceEvents = append(file.TraceEvents, traceEvent{
 			Name: sp.Stage.String(),
 			Cat:  "stage",
 			Ph:   "X",
-			Ts:   float64(sp.Start) / 1e3,
+			Ts:   float64(sp.Start+shiftNs) / 1e3,
 			Dur:  float64(sp.Dur) / 1e3,
-			Pid:  1,
-			Tid:  tid,
+			Pid:  pid,
+			Tid:  spanTid(sp.Worker),
 			Args: map[string]any{"interleaving": sp.Index},
 		})
 	}
-	// Thread-name metadata rows label the timeline lanes.
+}
+
+// appendLaneMetadata emits the metadata rows naming one trace process and
+// its thread lanes (one per engine worker seen in spans).
+func appendLaneMetadata(file *traceFile, spans []Span, pid int, process string) {
+	file.TraceEvents = append(file.TraceEvents, traceEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  pid,
+		Args: map[string]any{"name": process},
+	})
+	tids := make(map[int]int32) // tid -> worker
+	for _, sp := range spans {
+		tids[spanTid(sp.Worker)] = sp.Worker
+	}
 	order := make([]int, 0, len(tids))
 	for tid := range tids {
 		order = append(order, tid)
@@ -66,11 +78,18 @@ func WriteTrace(w io.Writer, spans []Span) error {
 		file.TraceEvents = append(file.TraceEvents, traceEvent{
 			Name: "thread_name",
 			Ph:   "M",
-			Pid:  1,
+			Pid:  pid,
 			Tid:  tid,
 			Args: map[string]any{"name": name},
 		})
 	}
+}
+
+// WriteTrace exports spans as Chrome trace_event JSON.
+func WriteTrace(w io.Writer, spans []Span) error {
+	file := traceFile{DisplayTimeUnit: "ms"}
+	appendSpanEvents(&file, spans, 1, 0)
+	appendLaneMetadata(&file, spans, 1, "erpi")
 	enc := json.NewEncoder(w)
 	return enc.Encode(file)
 }
