@@ -8,6 +8,7 @@
 //	erpi-bench -fig9          # Figure 9: per-algorithm pruning contribution
 //	erpi-bench -fig10         # Figure 10: succeed-or-crash micro-benchmark
 //	erpi-bench -pool          # pool throughput sweep -> BENCH_pool.json
+//	erpi-bench -fuzz          # generation-batched fuzz sweep -> BENCH_fuzz.json
 //	erpi-bench -prefix        # incremental-replay sweep -> BENCH_prefix.json
 //	erpi-bench -subsume       # state-subsumption sweep -> BENCH_subsume.json
 //	erpi-bench -live          # live-replay session sweep -> BENCH_live.json
@@ -44,6 +45,9 @@ func run() int {
 		pool    = flag.Bool("pool", false, "pool throughput sweep over worker counts")
 		poolN   = flag.Int("pool-slice", bench.DefaultPoolSlice, "interleavings per pool run")
 		poolOut = flag.String("pool-out", "BENCH_pool.json", "machine-readable pool report path")
+		fuzz    = flag.Bool("fuzz", false, "generation-batched fuzz sweep over worker counts")
+		fuzzN   = flag.Int("fuzz-slice", bench.DefaultFuzzSlice, "interleavings per fuzz run")
+		fuzzOut = flag.String("fuzz-out", "BENCH_fuzz.json", "machine-readable fuzz report path")
 		prefix  = flag.Bool("prefix", false, "incremental-replay sweep over prefix-cache budgets")
 		prefN   = flag.Int("prefix-slice", bench.DefaultPrefixSlice, "interleavings per prefix run")
 		prefOut = flag.String("prefix-out", "BENCH_prefix.json", "machine-readable prefix report path")
@@ -61,7 +65,7 @@ func run() int {
 		obsOut  = flag.String("obs-out", "BENCH_obs.json", "machine-readable observability report path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*prefix && !*subsume && !*live && !*dist && !*obs {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*fuzz && !*prefix && !*subsume && !*live && !*dist && !*obs {
 		flag.Usage()
 		return 2
 	}
@@ -128,6 +132,22 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *poolOut)
+	}
+	if *all || *fuzz {
+		report, err := bench.RunFuzz(*fuzzN, nil)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WriteFuzzJSON(*fuzzOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *fuzzOut)
+		if !report.TrajectoryMatch {
+			return fail(fmt.Errorf("fuzz corpus trajectory diverged across worker counts"))
+		}
 	}
 	if *all || *prefix {
 		report, err := bench.RunPrefix(*prefN, nil)

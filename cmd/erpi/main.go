@@ -4,6 +4,7 @@
 //	erpi -bug Roshi-1                     # reproduce a Table-1 bug with ER-π pruning
 //	erpi -bug OrbitDB-5 -mode dfs         # the DFS baseline
 //	erpi -bug Yorkie-2 -mode rand -seed 7 # the Rand baseline
+//	erpi -bug Roshi-3 -mode fuzz -workers 8 # generation-batched feedback fuzzing
 //	erpi -miscon "CRDTs#4"                # detect a misconception scenario
 //	erpi explain forensic-000042.json     # narrate a violation forensic bundle
 //	erpi promcheck metrics.txt            # validate Prometheus text exposition
@@ -89,8 +90,9 @@ func run() int {
 		list       = flag.Bool("list", false, "list available benchmarks")
 		bugName    = flag.String("bug", "", "Table-1 bug benchmark to reproduce")
 		misconName = flag.String("miscon", "", "misconception scenario to detect (e.g. CRDTs#4)")
-		mode       = flag.String("mode", "erpi", "exploration mode: erpi, dfs, rand")
-		seed       = flag.Int64("seed", 1, "seed for rand mode")
+		mode       = flag.String("mode", "erpi", "exploration mode: erpi, dfs, rand, fuzz")
+		seed       = flag.Int64("seed", 1, "seed for rand and fuzz modes")
+		fuzzGen    = flag.Int("fuzz-gen", 0, "fuzz mode: children per generation (0 = adaptive from the corpus novelty rate)")
 		capN       = flag.Int("cap", runner.DefaultMaxInterleavings, "max interleavings to explore")
 		verbose    = flag.Bool("v", false, "print every violation, not just the first")
 		session    = flag.String("session", "", "journal directory: persist progress and resume interrupted runs")
@@ -114,12 +116,13 @@ func run() int {
 
 	if *coordURL != "" && !*list {
 		return submitRemote(*coordURL, coordinator.JobSpec{
-			Bug:              *bugName,
-			Miscon:           *misconName,
-			Mode:             *mode,
-			Seed:             *seed,
-			MaxInterleavings: *capN,
-			StopOnViolation:  !*verbose,
+			Bug:                *bugName,
+			Miscon:             *misconName,
+			Mode:               *mode,
+			Seed:               *seed,
+			FuzzGenerationSize: *fuzzGen,
+			MaxInterleavings:   *capN,
+			StopOnViolation:    !*verbose,
 		}, fail)
 	}
 
@@ -179,14 +182,15 @@ func run() int {
 	}
 
 	cfg := runner.Config{
-		Mode:             runner.Mode(*mode),
-		Seed:             *seed,
-		MaxInterleavings: *capN,
-		Workers:          *workers,
-		LiveWorkers:      *liveN,
-		StopOnViolation:  !*verbose,
-		Assertions:       asserts,
-		ForensicDir:      *forensicD,
+		Mode:               runner.Mode(*mode),
+		Seed:               *seed,
+		FuzzGenerationSize: *fuzzGen,
+		MaxInterleavings:   *capN,
+		Workers:            *workers,
+		LiveWorkers:        *liveN,
+		StopOnViolation:    !*verbose,
+		Assertions:         asserts,
+		ForensicDir:        *forensicD,
 	}
 	if *session != "" {
 		dir, err := checkpoint.Open(*session)
@@ -226,6 +230,10 @@ func run() int {
 	}
 	if res.DedupSaturated {
 		fmt.Println("warning: dedup set saturated; some interleavings may have run twice")
+	}
+	if res.Fuzz != nil {
+		fmt.Printf("fuzz: %d generations, corpus %d, coverage %d signatures, trajectory %.12s\n",
+			res.Fuzz.Generations, res.Fuzz.CorpusSize, res.Fuzz.Coverage, res.Fuzz.TrajectoryDigest)
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, cfg.Telemetry); err != nil {

@@ -249,6 +249,17 @@ func WithMaxInterleavings(n int) Option {
 // WithSeed seeds ModeRand.
 func WithSeed(seed int64) Option { return func(s *Session) { s.cfg.Seed = seed } }
 
+// WithFuzzGeneration fixes how many mutated children ModeFuzz synthesizes
+// per generation — the unit of corpus evolution and the pool's fuzz
+// quiesce barrier. Larger generations keep more workers busy between
+// barriers; smaller ones mutate from a fresher corpus. Zero or negative
+// restores the default adaptive sizing, which reacts to the corpus-novelty
+// rate. Either way the corpus trajectory depends only on the seed and the
+// observed behaviour signatures, never on worker count.
+func WithFuzzGeneration(n int) Option {
+	return func(s *Session) { s.cfg.FuzzGenerationSize = n }
+}
+
 // WithWorkers sets how many interleavings replay concurrently, each
 // against its own cluster from the session's factory (which must then be
 // safe for concurrent calls). Zero or negative means one worker per

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"github.com/er-pi/erpi/internal/bugs"
+	"github.com/er-pi/erpi/internal/replica"
+	"github.com/er-pi/erpi/internal/runner"
+	"github.com/er-pi/erpi/internal/telemetry"
+)
+
+// Fuzz benchmark: throughput and coverage rate of the generation-batched
+// feedback fuzzer as the worker pool widens. Every run replays the same
+// ModeFuzz budget over Roshi-3 with the same seed; the generation barrier
+// guarantees the corpus trajectory and the deduplicated signature set are
+// identical at every worker count, so each run also records both digests
+// and the report carries a single trajectory_match verdict CI gates on.
+
+// DefaultFuzzSlice is how many fuzz interleavings each run replays.
+const DefaultFuzzSlice = 512
+
+// defaultFuzzSeed pins the corpus trajectory the report compares.
+const defaultFuzzSeed = 1
+
+// fuzzWireRTT is the simulated per-execution latency charged through
+// Scenario.Finalize (which runs on the worker goroutine, exactly where a
+// real library's network or disk round trip would land). Against the
+// in-process checkpointed store the replay is CPU-bound and worker
+// counts can't matter; charging a realistic RTT makes each execution
+// latency-bound — the regime the generation-batched pool exists for,
+// since concurrent workers overlap their waits while the corpus still
+// evolves on one deterministic trajectory. Same technique as the live
+// benchmark's liveWireRTT.
+const fuzzWireRTT = time.Millisecond
+
+// FuzzRun is one worker-count measurement.
+type FuzzRun struct {
+	Workers   int     `json:"workers"`
+	Explored  int     `json:"explored"`
+	Seconds   float64 `json:"seconds"`
+	PerSecond float64 `json:"interleavings_per_second"`
+	// Speedup is the throughput ratio against the Workers=1 run.
+	Speedup float64 `json:"speedup_vs_sequential"`
+	// Coverage is the number of distinct behaviour signatures observed;
+	// CoveragePerSecond is the rate the run discovered them at.
+	Coverage          int     `json:"coverage"`
+	CoveragePerSecond float64 `json:"coverage_per_second"`
+	Generations       int     `json:"generations"`
+	CorpusSize        int     `json:"corpus_size"`
+	// TrajectoryDigest pins the corpus evolution (admission order);
+	// SignatureDigest pins the deduplicated outcome-signature set. Both
+	// must be identical across the report's runs.
+	TrajectoryDigest string      `json:"trajectory_digest"`
+	SignatureDigest  string      `json:"signature_digest"`
+	Stages           []PoolStage `json:"stage_means"`
+}
+
+// FuzzReport is the BENCH_fuzz.json shape.
+type FuzzReport struct {
+	Benchmark      string `json:"benchmark"`
+	Mode           string `json:"mode"`
+	Interleavings  int    `json:"interleavings"`
+	GenerationSize int    `json:"generation_size"` // 0 = adaptive
+	Seed           int64  `json:"seed"`
+	// SimulatedWireRTTNs is the per-execution latency charged through
+	// Scenario.Finalize (see fuzzWireRTT).
+	SimulatedWireRTTNs int64 `json:"simulated_wire_rtt_ns"`
+	// TrajectoryMatch reports that every run produced the same corpus
+	// trajectory and signature digests — the same-seed determinism pin CI
+	// fails on when false.
+	TrajectoryMatch bool      `json:"trajectory_match"`
+	Runs            []FuzzRun `json:"runs"`
+}
+
+// RunFuzz measures generation-batched fuzz throughput at each worker count
+// (default 1/2/4/8) over the Roshi-3 workload. slice <= 0 uses
+// DefaultFuzzSlice.
+func RunFuzz(slice int, workers []int) (*FuzzReport, error) {
+	if slice <= 0 {
+		slice = DefaultFuzzSlice
+	}
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	bug, ok := bugs.ByName("Roshi-3")
+	if !ok {
+		return nil, fmt.Errorf("bench: Roshi-3 missing from the corpus")
+	}
+	scenario, err := bug.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Charge the simulated wire RTT on the worker goroutine, after the
+	// replay and before the scenario's own finalizer (if any).
+	finalize := scenario.Finalize
+	scenario.Finalize = func(c *replica.Cluster) error {
+		time.Sleep(fuzzWireRTT)
+		if finalize != nil {
+			return finalize(c)
+		}
+		return nil
+	}
+	report := &FuzzReport{
+		Benchmark:          bug.Name,
+		Mode:               string(runner.ModeFuzz),
+		Interleavings:      slice,
+		Seed:               defaultFuzzSeed,
+		SimulatedWireRTTNs: int64(fuzzWireRTT),
+	}
+	var base float64
+	for _, w := range workers {
+		reg := telemetry.New()
+		sigs := make(map[string]struct{})
+		start := time.Now()
+		res, err := runner.Run(scenario, runner.Config{
+			Mode:             runner.ModeFuzz,
+			Seed:             defaultFuzzSeed,
+			Workers:          w,
+			MaxInterleavings: slice,
+			Telemetry:        reg,
+			OnOutcome: func(o *runner.Outcome) {
+				sigs[runner.OutcomeSignature(o)] = struct{}{}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if res.Explored != slice {
+			return nil, fmt.Errorf("bench: fuzz workers=%d explored %d, want %d", w, res.Explored, slice)
+		}
+		if res.Fuzz == nil {
+			return nil, fmt.Errorf("bench: fuzz workers=%d returned no fuzz stats", w)
+		}
+		run := FuzzRun{
+			Workers:           w,
+			Explored:          res.Explored,
+			Seconds:           elapsed.Seconds(),
+			PerSecond:         float64(res.Explored) / elapsed.Seconds(),
+			Coverage:          res.Fuzz.Coverage,
+			CoveragePerSecond: float64(res.Fuzz.Coverage) / elapsed.Seconds(),
+			Generations:       res.Fuzz.Generations,
+			CorpusSize:        res.Fuzz.CorpusSize,
+			TrajectoryDigest:  res.Fuzz.TrajectoryDigest,
+			SignatureDigest:   signatureDigest(sigs),
+			Stages:            stageMeans(reg.Snapshot()),
+		}
+		if base == 0 {
+			base = run.PerSecond
+		}
+		run.Speedup = run.PerSecond / base
+		report.Runs = append(report.Runs, run)
+	}
+	report.TrajectoryMatch = true
+	for _, run := range report.Runs {
+		if run.TrajectoryDigest != report.Runs[0].TrajectoryDigest ||
+			run.SignatureDigest != report.Runs[0].SignatureDigest {
+			report.TrajectoryMatch = false
+		}
+	}
+	return report, nil
+}
+
+// signatureDigest folds the deduplicated signature set into one stable
+// hex digest (sorted, so arrival order is irrelevant).
+func signatureDigest(sigs map[string]struct{}) string {
+	keys := make([]string, 0, len(sigs))
+	for s := range sigs {
+		keys = append(keys, s)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, s := range keys {
+		fmt.Fprintf(h, "%s;", s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WriteFuzzJSON writes the report as indented JSON to path (the CI
+// artifact BENCH_fuzz.json).
+func (r *FuzzReport) WriteFuzzJSON(path string) error {
+	return writeJSON(r, path)
+}
+
+// Render prints the report as a human-readable table.
+func (r *FuzzReport) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "fuzz throughput: %s, %s x %d interleavings, seed %d, %v simulated wire RTT\n",
+		r.Benchmark, r.Mode, r.Interleavings, r.Seed, time.Duration(r.SimulatedWireRTTNs))
+	fmt.Fprintln(tw, "workers\tinterleavings/s\tspeedup\tcoverage/s\tgenerations\tcorpus")
+	for _, run := range r.Runs {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.2fx\t%.1f\t%d\t%d\n",
+			run.Workers, run.PerSecond, run.Speedup, run.CoveragePerSecond, run.Generations, run.CorpusSize)
+	}
+	if r.TrajectoryMatch {
+		fmt.Fprintln(tw, "corpus trajectory: identical at every worker count")
+	} else {
+		fmt.Fprintln(tw, "corpus trajectory: DIVERGED across worker counts (determinism regression)")
+	}
+	return tw.Flush()
+}

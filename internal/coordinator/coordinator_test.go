@@ -34,11 +34,12 @@ func sequentialBaseline(t *testing.T, spec JobSpec) (string, int) {
 	}
 	d := NewDigest()
 	res, err := runner.Run(scenario, runner.Config{
-		Mode:             runner.Mode(spec.Mode),
-		Seed:             spec.Seed,
-		MaxInterleavings: spec.MaxInterleavings,
-		Workers:          1,
-		OnOutcome:        d.Observe,
+		Mode:               runner.Mode(spec.Mode),
+		Seed:               spec.Seed,
+		FuzzGenerationSize: spec.FuzzGenerationSize,
+		MaxInterleavings:   spec.MaxInterleavings,
+		Workers:            1,
+		OnOutcome:          d.Observe,
 	})
 	if err != nil {
 		t.Fatalf("sequential run: %v", err)
@@ -455,7 +456,6 @@ func TestSpecValidation(t *testing.T) {
 	}{
 		{"neither", JobSpec{}},
 		{"both", JobSpec{Bug: "Roshi-1", Miscon: "CRDTs#4"}},
-		{"fuzz", JobSpec{Bug: "Roshi-1", Mode: "fuzz"}},
 		{"badmode", JobSpec{Bug: "Roshi-1", Mode: "bogus"}},
 	}
 	for _, c := range cases {
@@ -470,6 +470,12 @@ func TestSpecValidation(t *testing.T) {
 	}
 	if good.Mode != string(runner.ModeERPi) {
 		t.Fatalf("mode defaulted to %q, want erpi", good.Mode)
+	}
+	// ModeFuzz distributes by generation since the generation-batched
+	// fuzzer landed; the spec must validate.
+	fz := JobSpec{Bug: "Roshi-1", Mode: "fuzz", FuzzGenerationSize: 16}
+	if err := fz.validate(); err != nil {
+		t.Fatalf("fuzz spec rejected: %v", err)
 	}
 }
 

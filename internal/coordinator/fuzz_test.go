@@ -1,0 +1,121 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzSpec is the distributed fuzz workload every test in this file
+// leases out: a seeded generation-batched exploration whose corpus lives
+// on the coordinator.
+func fuzzSpec() JobSpec {
+	return JobSpec{
+		Bug:                "Roshi-1",
+		Mode:               "fuzz",
+		Seed:               7,
+		FuzzGenerationSize: 16,
+		MaxInterleavings:   testCap,
+	}
+}
+
+// TestDistributedFuzzMatchesSequential pins distributed generation-batched
+// fuzzing against the in-process engine: the coordinator owns the corpus,
+// carves each generation into leased ranges, holds further carving at the
+// generation boundary until every range aggregates, and evolves exactly
+// once — so two concurrent workers must land on the sequential run's
+// keyed-signature digest and explored count, with zero double commits.
+func TestDistributedFuzzMatchesSequential(t *testing.T) {
+	spec := fuzzSpec()
+	wantDigest, wantExplored := sequentialBaseline(t, spec)
+
+	root := t.TempDir()
+	svc := startService(t, Options{JournalRoot: root, LeaseTTL: 500 * time.Millisecond})
+	j, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, name := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			errs[i] = RunWorker(context.Background(), WorkerOptions{Addr: svc.Addr(), Name: name, Once: true})
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	st := waitDone(t, j)
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done (%+v)", st.State, st)
+	}
+	if st.Explored != wantExplored {
+		t.Fatalf("explored = %d, want %d", st.Explored, wantExplored)
+	}
+	if st.Digest != wantDigest {
+		t.Fatalf("digest mismatch:\n distributed %s\n sequential  %s", st.Digest, wantDigest)
+	}
+	assertUniqueKeys(t, journalKeys(t, filepath.Join(root, j.ID())), wantExplored)
+}
+
+// TestDistributedFuzzResume pins the crash-resume trajectory: a
+// coordinator restarted mid-fuzz-job replays the journaled results into
+// the rebuilt explorer (classifying each already-executed child with its
+// recorded signature), so the finished job still matches the sequential
+// digest instead of evolving a different corpus after the restart.
+func TestDistributedFuzzResume(t *testing.T) {
+	spec := fuzzSpec()
+	wantDigest, wantExplored := sequentialBaseline(t, spec)
+
+	root := t.TempDir()
+	svc := startService(t, Options{JournalRoot: root, LeaseTTL: 500 * time.Millisecond})
+	j, err := svc.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Execute part of the job, then stop the coordinator mid-flight. The
+	// crash lands the worker mid-generation, so the restart rebuilds an
+	// explorer with a partially classified generation in progress.
+	err = RunWorker(context.Background(), WorkerOptions{
+		Addr: svc.Addr(), Name: "doomed", CrashAfterExecutions: 40,
+	})
+	if !errors.Is(err, ErrWorkerCrashed) {
+		t.Fatalf("doomed worker returned %v, want ErrWorkerCrashed", err)
+	}
+	id := j.ID()
+	if err := svc.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	svc2 := startService(t, Options{JournalRoot: root, LeaseTTL: 500 * time.Millisecond})
+	if err := svc2.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	j2, ok := svc2.Job(id)
+	if !ok {
+		t.Fatalf("job %s not restored", id)
+	}
+	if err := RunWorker(context.Background(), WorkerOptions{Addr: svc2.Addr(), Name: "late", Once: true}); err != nil {
+		t.Fatalf("late worker: %v", err)
+	}
+	st := waitDone(t, j2)
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done (%+v)", st.State, st)
+	}
+	if st.Explored != wantExplored {
+		t.Fatalf("explored = %d, want %d", st.Explored, wantExplored)
+	}
+	if st.Digest != wantDigest {
+		t.Fatalf("digest mismatch across restart:\n distributed %s\n sequential  %s", st.Digest, wantDigest)
+	}
+}

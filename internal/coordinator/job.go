@@ -104,6 +104,21 @@ type JobStatus struct {
 	Error   string   `json:"error,omitempty"`
 }
 
+// genExplorer is the fuzz explorer's generation protocol as the
+// coordinator sees it (the runner engines share the same contract): a
+// generation of children is enumerated, classified by interleaving key,
+// and the corpus evolves only when every emitted child is classified.
+// Distributed fuzzing maps the barrier onto range aggregation — carving
+// stops at a generation boundary until every carved range has committed
+// and aggregated, then the corpus evolves and carving resumes.
+type genExplorer interface {
+	GenerationEnd() bool
+	Pending() int
+	Evolve()
+	ReportOutcome(key, signature string)
+	ReportDropped(key string)
+}
+
 // Job is one exploration workload being served to workers. All mutable
 // state is guarded by mu; connection goroutines (lease/heartbeat/commit)
 // and the janitor (reap/workerGone) contend on it.
@@ -120,16 +135,23 @@ type Job struct {
 	rangeSize int
 	leaseTTL  time.Duration
 
-	mu        sync.Mutex
-	state     string
-	err       error
-	explorer  interleave.Explorer
-	seen      map[string]struct{} // dedup: resumed ∪ carved keys
-	resumed   int
-	maxNew    int // remaining fresh-interleaving budget
-	assigned  int // fresh interleavings carved so far
-	noMore    bool
-	exhausted bool
+	mu       sync.Mutex
+	state    string
+	err      error
+	explorer interleave.Explorer
+	seen     map[string]struct{} // dedup: resumed ∪ carved keys
+	// resumedSigs replays classification evidence across restarts
+	// (ModeFuzz only): committed key → its original outcome signature, ""
+	// for keys that never produced one (subsumed/quarantined). When the
+	// regenerated explorer re-emits a resumed key, the original
+	// classification is fed back so the corpus trajectory continues
+	// exactly where the crashed coordinator left it.
+	resumedSigs map[string]string
+	resumed     int
+	maxNew      int // remaining fresh-interleaving budget
+	assigned    int // fresh interleavings carved so far
+	noMore      bool
+	exhausted   bool
 
 	ranges   []*jobRange
 	pendingQ []int // range ids awaiting (re)lease, ascending
@@ -226,6 +248,9 @@ func openJob(id string, spec JobSpec, dir string, rangeSize int, leaseTTL time.D
 	if err != nil {
 		return nil, err
 	}
+	if runner.Mode(spec.Mode) == runner.ModeFuzz {
+		j.resumedSigs = make(map[string]string)
+	}
 	for _, line := range lines {
 		if _, committed := prior[line.Key]; !committed {
 			continue
@@ -237,6 +262,9 @@ func openJob(id string, spec JobSpec, dir string, rangeSize int, leaseTTL time.D
 			j.quarantined++
 		default:
 			j.digest.Add(line.Key, line.Sig)
+			if j.resumedSigs != nil {
+				j.resumedSigs[line.Key] = line.Sig
+			}
 		}
 		for _, v := range line.Violations {
 			j.violations = append(j.violations, v)
@@ -321,12 +349,26 @@ func (j *Job) lease(worker string) *wireMsg {
 
 // carveLocked pulls up to rangeSize fresh interleavings from the explorer,
 // skipping keys already seen (journal resume, rand-mode repeats). Returns
-// nil when the space or the budget is exhausted.
+// nil when the space or the budget is exhausted — or, in ModeFuzz, when a
+// generation boundary holds carving until every outstanding range has
+// aggregated and classified (the distributed fuzz barrier: lease answers
+// msgDrain meanwhile, and the generation evolves once the ledger drains).
 func (j *Job) carveLocked() *jobRange {
+	ge, isGen := j.explorer.(genExplorer)
 	var ils []interleave.Interleaving
 	var keys []string
 	start := j.assigned + 1
 	for len(ils) < j.rangeSize && j.assigned < j.maxNew {
+		if isGen && ge.GenerationEnd() {
+			// A fuzz generation is fully carved. Stop here — including the
+			// range under construction — and only evolve once every carved
+			// range has aggregated, so the corpus never sees partial
+			// evidence.
+			if len(ils) > 0 || j.nextAgg <= len(j.ranges) || ge.Pending() != 0 {
+				break
+			}
+			ge.Evolve()
+		}
 		il, ok := j.explorer.Next()
 		if !ok {
 			j.noMore = true
@@ -335,6 +377,16 @@ func (j *Job) carveLocked() *jobRange {
 		}
 		key := il.Key()
 		if _, dup := j.seen[key]; dup {
+			if isGen {
+				// A resumed key never re-executes: replay its original
+				// classification so the generation still completes with
+				// the evidence the first execution produced.
+				if sig, ok := j.resumedSigs[key]; ok && sig != "" {
+					ge.ReportOutcome(key, sig)
+				} else {
+					ge.ReportDropped(key)
+				}
+			}
 			continue
 		}
 		j.seen[key] = struct{}{}
@@ -450,6 +502,7 @@ func (j *Job) commit(worker string, rangeID, epoch int, results []wireResult) (b
 // synced *before* the journal keys are appended, so a journaled key always
 // has a durable result line (the resume path depends on it).
 func (j *Job) advanceLocked() error {
+	ge, isGen := j.explorer.(genExplorer)
 	for j.nextAgg <= len(j.ranges) {
 		r := j.ranges[j.nextAgg-1]
 		if r.status != rangeCommitted {
@@ -467,14 +520,27 @@ func (j *Job) advanceLocked() error {
 				line.Subsumed = true
 				j.subsumed++
 				j.tel.subsumed()
+				if isGen {
+					ge.ReportDropped(r.keys[i])
+				}
 			} else if res.Error != "" {
 				line.Error = res.Error
 				j.quarantined++
 				j.tel.quarantined()
+				if isGen {
+					ge.ReportDropped(r.keys[i])
+				}
 			} else if res.Outcome != nil {
 				outcome := res.Outcome.outcome(index, r.ils[i])
 				line.Sig = runner.OutcomeSignature(outcome)
 				j.digest.Add(r.keys[i], line.Sig)
+				if isGen {
+					// Same classification the in-process engines feed back,
+					// so the corpus trajectory matches a local run exactly.
+					// (Coordinator jobs carry no fault schedule, so there is
+					// no fault-armed drop path here.)
+					ge.ReportOutcome(r.keys[i], line.Sig)
+				}
 				for _, a := range j.asserts {
 					if err := a.Check(outcome); err != nil {
 						v := JobViolation{Index: index, Key: r.keys[i], Assertion: a.Name(), Error: err.Error()}
@@ -488,6 +554,10 @@ func (j *Job) advanceLocked() error {
 				if len(line.Violations) > 0 {
 					j.captureForensicLocked(index, r.ils[i], line.Violations)
 				}
+			} else if isGen {
+				// A result with no outcome, error, or subsumption marker
+				// (protocol edge) still consumes its classification slot.
+				ge.ReportDropped(r.keys[i])
 			}
 			lines[i] = line
 			j.aggregated++

@@ -21,12 +21,20 @@ type JobSpec struct {
 	Bug string `json:"bug,omitempty"`
 	// Miscon names a Table-2 misconception scenario (e.g. "CRDTs#4").
 	Miscon string `json:"miscon,omitempty"`
-	// Mode is the exploration mode (default "erpi"). ModeFuzz is rejected:
-	// its corpus feedback loop is order-dependent and inherently
-	// sequential, so distributing it would change which interleavings run.
+	// Mode is the exploration mode (default "erpi"). ModeFuzz distributes
+	// by generation: the coordinator owns the corpus, carves each
+	// generation's children into leased ranges, classifies the reported
+	// signatures in carve order, and evolves the corpus only when a whole
+	// generation has aggregated — so the corpus trajectory matches an
+	// in-process run with the same seed exactly.
 	Mode string `json:"mode,omitempty"`
-	// Seed drives rand-mode enumeration and retry jitter.
+	// Seed drives rand/fuzz-mode enumeration and retry jitter.
 	Seed int64 `json:"seed,omitempty"`
+	// FuzzGenerationSize fixes ModeFuzz's generation size (0 = adaptive);
+	// runner.Config.FuzzGenerationSize semantics. Part of the spec because
+	// coordinator and resumed coordinators must synthesize identical
+	// generations.
+	FuzzGenerationSize int `json:"fuzz_generation_size,omitempty"`
 	// MaxInterleavings caps the job (0 = runner default; negative =
 	// unbounded). Like the runner's, the cap is session-wide: journaled
 	// interleavings count toward it across coordinator restarts.
@@ -62,9 +70,7 @@ func (sp *JobSpec) validate() error {
 		sp.Mode = string(runner.ModeERPi)
 	}
 	switch runner.Mode(sp.Mode) {
-	case runner.ModeERPi, runner.ModeDFS, runner.ModeRand:
-	case runner.ModeFuzz:
-		return fmt.Errorf("coordinator: mode fuzz is order-dependent and cannot be distributed")
+	case runner.ModeERPi, runner.ModeDFS, runner.ModeRand, runner.ModeFuzz:
 	default:
 		return fmt.Errorf("coordinator: unknown mode %q", sp.Mode)
 	}
@@ -133,7 +139,11 @@ func (sp *JobSpec) execConfig() runner.Config {
 // exploreConfig is the runner.Config the coordinator's explorer is built
 // from (mode + seed drive enumeration; pruning comes from the scenario).
 func (sp *JobSpec) exploreConfig() runner.Config {
-	return runner.Config{Mode: runner.Mode(sp.Mode), Seed: sp.Seed}
+	return runner.Config{
+		Mode:               runner.Mode(sp.Mode),
+		Seed:               sp.Seed,
+		FuzzGenerationSize: sp.FuzzGenerationSize,
+	}
 }
 
 // label names the workload for status displays.

@@ -27,6 +27,7 @@ func TestJobSpecWireRoundTrip(t *testing.T) {
 		Miscon:                "CRDTs#4", // mutually exclusive with Bug for validate, fine on the wire
 		Mode:                  "dfs",
 		Seed:                  42,
+		FuzzGenerationSize:    16,
 		MaxInterleavings:      96,
 		RangeSize:             8,
 		StopOnViolation:       true,
@@ -92,6 +93,10 @@ func TestRunnerConfigDistributionCoverage(t *testing.T) {
 		// workers — violations are only known after aggregation.
 		"ForensicDir":        true,
 		"MaxForensicBundles": true,
+		// Fuzz generations are carved, classified, and evolved on the
+		// coordinator (JobSpec.FuzzGenerationSize → exploreConfig); workers
+		// just execute the leased children.
+		"FuzzGenerationSize": true,
 	}
 	notDistributed := map[string]bool{
 		// Per-process or order-dependent machinery the distributed path

@@ -93,6 +93,7 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 		Index:        index,
 		Interleaving: il,
 		Observations: make(map[event.ID]string),
+		FaultArmed:   armed,
 	}
 	pending := make(map[event.ID][]byte)
 	// Prepare the cluster: restore the deepest cached prefix and replay

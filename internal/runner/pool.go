@@ -54,6 +54,14 @@ import (
 // explorer — a barrier, matching the sequential engine's poll points
 // exactly at the cost of a bubble in the pipeline every PollEvery
 // interleavings.
+//
+// ModeFuzz reuses those quiesce mechanics as its generation barrier
+// (DESIGN.md §4.14): the fuzzer synthesizes a whole generation of mutated
+// children up front, the pool pipelines them across all workers, and when
+// the synthesis buffer drains the coordinator waits for every in-flight
+// child to return and classify before letting the corpus evolve — so
+// which permutations enter the corpus depends only on the seed and the
+// classified signatures, never on worker count or completion order.
 type pool struct {
 	ctx      context.Context
 	s        Scenario
@@ -98,6 +106,8 @@ type pool struct {
 	pollWait bool               // quiescing for a ConstraintPoll boundary
 	pollIdx  int                // the boundary index being drained
 	pollSkip bool               // boundary index quarantined: skip this poll
+	genWait  bool               // quiescing for a fuzz generation boundary
+	genSince time.Time          // when the fuzz barrier armed (tel only)
 }
 
 // workItem is one interleaving dispatched to a worker, tagged with the
@@ -198,7 +208,7 @@ func (p *pool) worker(ctx context.Context, w int) {
 // coordinate is the producer + aggregator loop.
 func (p *pool) coordinate() error {
 	for {
-		if !p.noMore && !p.pollWait && p.next == nil {
+		if !p.noMore && !p.pollWait && !p.genWait && p.next == nil {
 			if err := p.pull(); err != nil {
 				return err
 			}
@@ -210,7 +220,19 @@ func (p *pool) coordinate() error {
 			}
 			continue
 		}
+		if p.genWait && p.inflight == 0 && p.nextProc > p.assigned {
+			// Fuzz generation quiesced: every child of the generation is
+			// executed, processed, and classified — safe to evolve.
+			p.fuzzBarrier()
+			continue
+		}
 		if p.next == nil && p.inflight == 0 {
+			// Mirror the sequential engine: a generation that completed
+			// exactly at the cap still evolves (a partial one never does —
+			// evolveFuzz guards GenerationEnd and Pending).
+			if ge, ok := p.explorer.(generationExplorer); ok {
+				p.evolveFuzz(ge)
+			}
 			return nil // nothing to dispatch, nothing in flight: done
 		}
 		if p.next != nil {
@@ -248,6 +270,19 @@ func (p *pool) pull() error {
 			p.stop()
 			return nil
 		}
+		if ge, ok := p.explorer.(generationExplorer); ok && ge.GenerationEnd() {
+			// Fuzz generation boundary: the synthesis buffer is empty, so
+			// the next Next() would evolve the corpus. That is only sound
+			// once every emitted child has executed and classified.
+			if p.inflight > 0 || p.nextProc <= p.assigned {
+				p.genWait = true
+				if p.tel != nil {
+					p.genSince = time.Now()
+				}
+				return nil
+			}
+			p.evolveFuzz(ge)
+		}
 		genSpan := p.tel.span(telemetry.StageGenerate, p.assigned+1, telemetry.CoordinatorWorker)
 		il, ok := p.explorer.Next()
 		genSpan.End()
@@ -265,6 +300,10 @@ func (p *pool) pull() error {
 		dedupSpan.End()
 		if dup {
 			p.tel.onDedupSkipped()
+			// A resumed/re-pruned key never executes: classify it as
+			// yielding no corpus evidence so a fuzz generation can still
+			// complete.
+			reportDropped(p.explorer, key)
 			continue // journal resume, or re-pruning regenerated the explorer
 		}
 		p.assigned++
@@ -363,6 +402,7 @@ func (p *pool) process(r workResult) {
 			if p.pollWait && r.index == p.pollIdx {
 				p.pollSkip = true
 			}
+			reportDropped(p.explorer, r.il.Key())
 			p.res.Subsumed++
 			return
 		}
@@ -371,6 +411,7 @@ func (p *pool) process(r workResult) {
 			// interleaving is quarantined (its `continue` jumps the poll).
 			p.pollSkip = true
 		}
+		reportDropped(p.explorer, r.il.Key())
 		p.tel.onQuarantined()
 		p.res.Quarantined = append(p.res.Quarantined, ExecError{
 			Index:        r.index,
@@ -383,9 +424,7 @@ func (p *pool) process(r workResult) {
 	if p.cfg.OnOutcome != nil {
 		p.cfg.OnOutcome(r.outcome)
 	}
-	if fb, ok := p.explorer.(feedbackExplorer); ok {
-		fb.Report(behaviorSignature(r.outcome))
-	}
+	reportFeedback(p.explorer, r.il, r.outcome)
 	violated := false
 	assertSpan := p.tel.span(telemetry.StageAssert, r.index, telemetry.CoordinatorWorker)
 	newViolations := 0
@@ -424,6 +463,38 @@ func (p *pool) stop() {
 	p.halted = true
 	p.next = nil
 	p.pollWait = false
+	p.genWait = false
+}
+
+// fuzzBarrier closes one fuzz generation after the pool drained behind it:
+// records the quiesce bubble (from arming the barrier to full drain) and
+// evolves the corpus. Mirrors poll() for the ConstraintPoll barrier.
+func (p *pool) fuzzBarrier() {
+	p.genWait = false
+	if p.tel != nil {
+		p.tel.observeSpan(telemetry.StageQuiesce, p.assigned, telemetry.CoordinatorWorker,
+			p.genSince, time.Since(p.genSince))
+	}
+	ge, ok := p.explorer.(generationExplorer)
+	if !ok {
+		return
+	}
+	p.evolveFuzz(ge)
+}
+
+// evolveFuzz folds a fully-classified generation into the fuzzer's corpus
+// under a StageFuzzEvolve span and publishes the corpus gauges. Children
+// that never executed (assignment crashed mid-generation) leave Pending
+// non-zero; the corpus must not evolve on partial evidence, matching the
+// sequential engine's break-without-evolve.
+func (p *pool) evolveFuzz(ge generationExplorer) {
+	if !ge.GenerationEnd() || ge.Pending() != 0 {
+		return
+	}
+	span := p.tel.span(telemetry.StageFuzzEvolve, p.assigned, telemetry.CoordinatorWorker)
+	ge.Evolve()
+	span.End()
+	p.tel.onFuzzGeneration(ge.Generations(), ge.CorpusSize(), ge.NoveltyRate())
 }
 
 // poll runs the quiesced ConstraintPoll and regenerates the explorer over

@@ -116,6 +116,13 @@ type Outcome struct {
 	DroppedSyncs []event.ID
 	// Converged reports whether all replicas ended with equal fingerprints.
 	Converged bool
+	// FaultArmed reports that the fault schedule armed at least one fault
+	// for this execution. Fault-armed replays bypass the prefix cache (a
+	// crash or truncation makes cached prefix states wrong) and, in
+	// ModeFuzz, the corpus feedback batch — their signatures reflect the
+	// fault schedule, not the order mutation, so they must not steer the
+	// corpus.
+	FaultArmed bool
 }
 
 // Assertion checks a property after each interleaving. Implementations may
@@ -159,8 +166,10 @@ type Config struct {
 	// negative means runtime.GOMAXPROCS(0); 1 forces the sequential
 	// engine. Exploration order, violation sets, and FirstViolation are
 	// identical at every worker count — see pool.go for the ordering
-	// guarantees. ModeFuzz is inherently sequential (its corpus feedback
-	// loop is order-dependent) and always runs with one worker.
+	// guarantees. ModeFuzz explores in generations (whole batches of
+	// mutated children synthesized up front, corpus evolution once per
+	// generation at a pool quiesce barrier), so its corpus trajectory and
+	// signature set are also identical at every worker count.
 	Workers int
 	// LiveWorkers, when > 0, routes exploration through the live replay
 	// path (ExecuteLive semantics: one goroutine per replica re-issues its
@@ -169,9 +178,10 @@ type Config struct {
 	// coordinator is the same as the checkpointed pool's, so which
 	// interleavings run, outcome delivery order, violations, and
 	// FirstViolation are identical at every worker count — and identical
-	// to a sequential ExecuteLive loop. ModeFuzz clamps to 1 (its corpus
-	// feedback loop is order-dependent). When zero, Workers selects the
-	// checkpointed engine as before.
+	// to a sequential ExecuteLive loop. ModeFuzz clamps the live path to 1
+	// session (live replay cannot batch generations across real gate
+	// sessions without changing timing-sensitive semantics). When zero,
+	// Workers selects the checkpointed engine as before.
 	LiveWorkers int
 	// LiveGates supplies each live worker's gate-session factory (nil
 	// defaults to in-process LocalGate sessions). Lock-server-backed runs
@@ -223,6 +233,15 @@ type Config struct {
 	// see the fault package). A schedule with no faults is observationally
 	// identical to running without one.
 	Faults *fault.Schedule
+	// FuzzGenerationSize fixes how many mutated children ModeFuzz
+	// synthesizes per generation (the unit of corpus evolution and the
+	// pool's fuzz quiesce barrier). Zero selects adaptive sizing: the
+	// generation starts at fuzz.DefaultGenerationSize and grows when the
+	// corpus-novelty rate is low (amortizing the barrier) or shrinks when
+	// it is high (mutating from the freshest corpus). Both fixed and
+	// adaptive sizing depend only on seed and classification outcomes,
+	// never on worker count, so the corpus trajectory stays pinned.
+	FuzzGenerationSize int
 	// MaxExploredKeys caps the in-memory dedup set that prevents
 	// re-executing interleavings (default ~1M entries; negative =
 	// unbounded). Beyond the cap, dedup degrades to best-effort — an
@@ -338,6 +357,31 @@ type Result struct {
 	// Config.ForensicDir, one per captured violating interleaving (empty
 	// when forensics are off or nothing violated).
 	Bundles []string
+	// Fuzz holds the corpus statistics of a ModeFuzz run (nil for every
+	// other mode).
+	Fuzz *FuzzStats
+}
+
+// FuzzStats summarizes a ModeFuzz run's corpus evolution. All fields are
+// deterministic for a given seed and generation size — identical at every
+// worker count — except none: the whole struct is part of the parity pin.
+type FuzzStats struct {
+	// Generations is how many generations completed (evolved the corpus).
+	Generations int
+	// CorpusSize is the final corpus size (behaviour-novel interleavings).
+	CorpusSize int
+	// Coverage is the number of distinct behaviour signatures observed.
+	Coverage int
+	// NoveltyRate is the last completed generation's novel-signature
+	// fraction (drives adaptive generation sizing).
+	NoveltyRate float64
+	// TrajectoryDigest folds every corpus admission (generation, key,
+	// signature, in admission order) into a hex digest — equal digests
+	// mean byte-identical corpus evolution.
+	TrajectoryDigest string
+	// Exhausted reports the fuzzer declared the reachable mutation space
+	// exhausted (mirrored into Result.Exhausted by the engines).
+	Exhausted bool
 }
 
 // ExecError records one quarantined interleaving: an event order whose
@@ -391,10 +435,11 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	if live {
 		workers = cfg.LiveWorkers
 	}
-	if cfg.Mode == ModeFuzz {
-		// The fuzzer's corpus feedback loop is order-dependent: which
-		// mutants get generated depends on the signature of every prior
-		// execution, so it runs sequentially regardless of Workers.
+	if cfg.Mode == ModeFuzz && live {
+		// Checkpointed fuzzing parallelizes by generation (pool.go's fuzz
+		// barrier), but live replay still clamps to one session: live
+		// sessions cannot batch generations without changing the
+		// timing-sensitive gate semantics the live path exists to test.
 		workers = 1
 	}
 	if s.Log == nil || s.Log.Len() == 0 {
@@ -467,6 +512,16 @@ func RunContext(ctx context.Context, s Scenario, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ge, ok := explorer.(generationExplorer); ok {
+		res.Fuzz = &FuzzStats{
+			Generations:      ge.Generations(),
+			CorpusSize:       ge.CorpusSize(),
+			Coverage:         ge.Coverage(),
+			NoveltyRate:      ge.NoveltyRate(),
+			TrajectoryDigest: ge.TrajectoryDigest(),
+			Exhausted:        ge.Exhausted(),
+		}
+	}
 	res.DedupSaturated = explored.Saturated()
 	if cfg.Journal != nil {
 		if err := cfg.Journal.Flush(); err != nil {
@@ -512,6 +567,10 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 		dedupSpan.End()
 		if dup {
 			tel.onDedupSkipped()
+			// A skipped fuzz child still needs classifying (as dropped) or
+			// its generation would never complete.
+			reportDropped(explorer, key)
+			maybeEvolveFuzz(explorer, tel)
 			continue // journal resume, or re-pruning regenerated the explorer
 		}
 		res.Explored++
@@ -550,6 +609,8 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 				// interleaving counted toward the cap before the skip — it
 				// just produced no outcome to assert on.
 				res.Subsumed++
+				reportDropped(explorer, key)
+				maybeEvolveFuzz(explorer, tel)
 				continue
 			}
 			// Quarantine instead of aborting: exploration continues and the
@@ -561,14 +622,15 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 				Attempts:     attempts,
 				Err:          execErr,
 			})
+			reportDropped(explorer, key)
+			maybeEvolveFuzz(explorer, tel)
 			continue
 		}
 		if cfg.OnOutcome != nil {
 			cfg.OnOutcome(outcome)
 		}
-		if fb, ok := explorer.(feedbackExplorer); ok {
-			fb.Report(behaviorSignature(outcome))
-		}
+		reportFeedback(explorer, il, outcome)
+		maybeEvolveFuzz(explorer, tel)
 		violated := false
 		assertSpan := tel.span(telemetry.StageAssert, res.Explored, telemetry.CoordinatorWorker)
 		newViolations := 0
@@ -767,9 +829,80 @@ func pivotOf(e interleave.Explorer) int {
 }
 
 // feedbackExplorer is implemented by coverage-guided explorers that want
-// the behaviour signature of each executed interleaving.
+// the behaviour signature of each executed interleaving, delivered
+// positionally (oldest unclassified emission first). The engines prefer
+// generationExplorer when available.
 type feedbackExplorer interface {
 	Report(signature string)
+}
+
+// generationExplorer is the engines' contract with the generation-batched
+// fuzzer (DESIGN.md §4.14): children are classified by interleaving key —
+// so results may arrive in any order from any number of workers — and the
+// corpus evolves exactly once per generation, at a point where every
+// emitted child is classified (the pool's fuzz quiesce barrier).
+type generationExplorer interface {
+	interleave.Explorer
+	// GenerationEnd reports the synthesis buffer is drained: evolve (after
+	// classification completes) before pulling again.
+	GenerationEnd() bool
+	// Pending counts emitted-but-unclassified children.
+	Pending() int
+	// ReportOutcome / ReportDropped classify one emitted child by key.
+	ReportOutcome(key, signature string)
+	ReportDropped(key string)
+	// Evolve folds the classified generation into the corpus (idempotent
+	// outside a fully-emitted generation).
+	Evolve()
+	Generations() int
+	CorpusSize() int
+	Coverage() int
+	NoveltyRate() float64
+	TrajectoryDigest() string
+	Exhausted() bool
+}
+
+// reportFeedback classifies one executed interleaving's outcome with the
+// explorer. Generation explorers get key-addressed classification —
+// fault-armed executions are dropped from the corpus feedback, mirroring
+// their prefix-cache bypass — and legacy feedback explorers get the
+// positional Report.
+func reportFeedback(explorer interleave.Explorer, il interleave.Interleaving, o *Outcome) {
+	if ge, ok := explorer.(generationExplorer); ok {
+		if o.FaultArmed {
+			ge.ReportDropped(il.Key())
+		} else {
+			ge.ReportOutcome(il.Key(), behaviorSignature(o))
+		}
+		return
+	}
+	if fb, ok := explorer.(feedbackExplorer); ok {
+		fb.Report(behaviorSignature(o))
+	}
+}
+
+// reportDropped classifies one emitted interleaving as yielding no corpus
+// evidence (dedup skip, subsumption, quarantine). No-op for non-fuzz
+// explorers.
+func reportDropped(explorer interleave.Explorer, key string) {
+	if ge, ok := explorer.(generationExplorer); ok {
+		ge.ReportDropped(key)
+	}
+}
+
+// maybeEvolveFuzz runs the fuzzer's once-per-generation corpus evolution
+// when the generation is fully emitted and classified, under a
+// StageFuzzEvolve span, publishing the fuzz gauges. The sequential
+// engine's analog of the pool's fuzz quiesce barrier.
+func maybeEvolveFuzz(explorer interleave.Explorer, tel *runTelemetry) {
+	ge, ok := explorer.(generationExplorer)
+	if !ok || !ge.GenerationEnd() || ge.Pending() != 0 {
+		return
+	}
+	span := tel.span(telemetry.StageFuzzEvolve, ge.Explored(), telemetry.CoordinatorWorker)
+	ge.Evolve()
+	span.End()
+	tel.onFuzzGeneration(ge.Generations(), ge.CorpusSize(), ge.NoveltyRate())
 }
 
 // OutcomeSignature digests an outcome into the engine's stable behaviour
@@ -836,7 +969,9 @@ func newExplorer(s Scenario, cfg Config, pruning prune.Config) (interleave.Explo
 		if err != nil {
 			return nil, err
 		}
-		return fuzz.New(space, cfg.Seed), nil
+		f := fuzz.New(space, cfg.Seed)
+		f.SetGenerationSize(cfg.FuzzGenerationSize)
+		return f, nil
 	default:
 		return nil, fmt.Errorf("runner: unknown mode %q", cfg.Mode)
 	}

@@ -29,6 +29,9 @@ import (
 //	runner.events_skipped      events skipped via prefix restore
 //	runner.snapshot_bytes      bytes currently held by prefix caches (gauge)
 //	runner.prefix_hit_depth    restored prefix depths (histogram, in events)
+//	fuzz.generations           completed ModeFuzz corpus generations
+//	fuzz.corpus_size           behaviour-novel interleavings in the corpus (gauge)
+//	fuzz.novelty_rate_permille last generation's novel fraction × 1000 (gauge)
 //	live.sessions              live gate sessions currently open (gauge)
 //	journal.fsync_batches      durable journal flushes
 //	journal.fsync_keys         appends covered by those flushes
@@ -55,6 +58,9 @@ type runTelemetry struct {
 	subsumeBytes   *telemetry.Gauge
 	hitDepth       *telemetry.Histogram
 	liveSessions   *telemetry.Gauge
+	fuzzGens       *telemetry.Counter
+	fuzzCorpus     *telemetry.Gauge
+	fuzzNovelty    *telemetry.Gauge
 }
 
 // prefixDepthBounds buckets the prefix-hit-depth histogram by restored
@@ -84,6 +90,9 @@ func newRunTelemetry(reg *telemetry.Registry) *runTelemetry {
 		subsumeBytes:   reg.Gauge("runner.subsumption_table_bytes"),
 		hitDepth:       reg.HistogramWithBounds("runner.prefix_hit_depth", prefixDepthBounds),
 		liveSessions:   reg.Gauge("live.sessions"),
+		fuzzGens:       reg.Counter("fuzz.generations"),
+		fuzzCorpus:     reg.Gauge("fuzz.corpus_size"),
+		fuzzNovelty:    reg.Gauge("fuzz.novelty_rate_permille"),
 	}
 }
 
@@ -177,6 +186,20 @@ func (t *runTelemetry) onViolations(n int) {
 	}
 	t.violations.Add(int64(n))
 	t.reg.Progress().AddViolations(int64(n))
+}
+
+// onFuzzGeneration publishes one completed corpus evolution: total
+// generations, current corpus size, and the generation's novelty rate
+// (stored in permille so the gauge stays integer-valued).
+func (t *runTelemetry) onFuzzGeneration(generations, corpus int, rate float64) {
+	if t == nil {
+		return
+	}
+	t.fuzzGens.Inc()
+	t.fuzzCorpus.Set(int64(corpus))
+	permille := int64(rate * 1000)
+	t.fuzzNovelty.Set(permille)
+	t.reg.Progress().SetFuzz(int64(generations), int64(corpus), permille)
 }
 
 // onPrefixHit counts one execution resumed from a cached prefix of the

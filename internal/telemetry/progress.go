@@ -20,6 +20,10 @@ type Progress struct {
 	violations  atomic.Int64
 	dedupSat    atomic.Bool
 
+	fuzzGenerations atomic.Int64
+	fuzzCorpus      atomic.Int64
+	fuzzNovelty     atomic.Int64 // permille: novelty rate × 1000
+
 	mu      sync.Mutex
 	workers []atomic.Int64 // per worker: interleaving index in flight, 0 = idle
 }
@@ -39,6 +43,9 @@ func (p *Progress) BeginRun(total, workers int) {
 	p.quarantined.Store(0)
 	p.violations.Store(0)
 	p.dedupSat.Store(false)
+	p.fuzzGenerations.Store(0)
+	p.fuzzCorpus.Store(0)
+	p.fuzzNovelty.Store(0)
 	p.doneAt.Store(0)
 	p.start.Store(time.Now().UnixNano())
 }
@@ -95,6 +102,20 @@ func (p *Progress) AddViolations(n int64) {
 	p.violations.Add(n)
 }
 
+// SetFuzz publishes a ModeFuzz run's corpus state after one generation
+// evolved: completed generations, corpus size, and the last generation's
+// novelty rate in permille (novel signatures per thousand executed
+// children). Zero-valued outside fuzz runs, which keeps the fields out of
+// the /progress payload via omitempty.
+func (p *Progress) SetFuzz(generations, corpus, noveltyPermille int64) {
+	if p == nil {
+		return
+	}
+	p.fuzzGenerations.Store(generations)
+	p.fuzzCorpus.Store(corpus)
+	p.fuzzNovelty.Store(noveltyPermille)
+}
+
 // SetDedupSaturated marks the run's dedup set as saturated: beyond this
 // point dedup is best-effort and an interleaving may execute twice. The
 // flag makes a degraded run visible at /progress without log scraping.
@@ -125,10 +146,16 @@ type ProgressSnapshot struct {
 	// DedupSaturated reports the dedup set hit its cap and degraded to
 	// best-effort (mirrors Result.DedupSaturated, live instead of at
 	// run end).
-	DedupSaturated bool             `json:"dedup_saturated"`
-	PerSecond      float64          `json:"per_second"`
-	ETASeconds     float64          `json:"eta_seconds"`
-	Workers        []WorkerSnapshot `json:"workers"`
+	DedupSaturated bool `json:"dedup_saturated"`
+	// FuzzGenerations / FuzzCorpusSize / FuzzNoveltyRate mirror a ModeFuzz
+	// run's corpus evolution (zero and omitted for every other mode).
+	// FuzzNoveltyRate is the last generation's novel-signature fraction.
+	FuzzGenerations int64            `json:"fuzz_generations,omitempty"`
+	FuzzCorpusSize  int64            `json:"fuzz_corpus_size,omitempty"`
+	FuzzNoveltyRate float64          `json:"fuzz_novelty_rate,omitempty"`
+	PerSecond       float64          `json:"per_second"`
+	ETASeconds      float64          `json:"eta_seconds"`
+	Workers         []WorkerSnapshot `json:"workers"`
 }
 
 // Snapshot captures the current progress. Rate is explored/elapsed; ETA
@@ -138,12 +165,15 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		return ProgressSnapshot{}
 	}
 	s := ProgressSnapshot{
-		Explored:       p.explored.Load(),
-		Total:          p.total.Load(),
-		Resumed:        p.resumed.Load(),
-		Quarantined:    p.quarantined.Load(),
-		Violations:     p.violations.Load(),
-		DedupSaturated: p.dedupSat.Load(),
+		Explored:        p.explored.Load(),
+		Total:           p.total.Load(),
+		Resumed:         p.resumed.Load(),
+		Quarantined:     p.quarantined.Load(),
+		Violations:      p.violations.Load(),
+		DedupSaturated:  p.dedupSat.Load(),
+		FuzzGenerations: p.fuzzGenerations.Load(),
+		FuzzCorpusSize:  p.fuzzCorpus.Load(),
+		FuzzNoveltyRate: float64(p.fuzzNovelty.Load()) / 1000,
 	}
 	start := p.start.Load()
 	if start == 0 {

@@ -13,7 +13,10 @@ func promRegistry() *Registry {
 	r := New()
 	r.Counter("runner.explored").Add(42)
 	r.Counter("coordinator.ranges-leased").Add(7)
+	r.Counter("fuzz.generations").Add(4)
 	r.Gauge("pool.workers").Set(3)
+	r.Gauge("fuzz.corpus_size").Set(17)
+	r.Gauge("fuzz.novelty_rate_permille").Set(250)
 	r.Histogram("stage.execute_ns").Observe(500)
 	r.Histogram("stage.execute_ns").Observe(100000)
 	return r
@@ -32,6 +35,12 @@ func TestWritePrometheusValidates(t *testing.T) {
 		"# TYPE erpi_coordinator_ranges_leased_total counter",
 		"# TYPE erpi_pool_workers gauge",
 		"erpi_pool_workers 3",
+		"# TYPE erpi_fuzz_generations_total counter",
+		"erpi_fuzz_generations_total 4",
+		"# TYPE erpi_fuzz_corpus_size gauge",
+		"erpi_fuzz_corpus_size 17",
+		"# TYPE erpi_fuzz_novelty_rate_permille gauge",
+		"erpi_fuzz_novelty_rate_permille 250",
 		"# TYPE erpi_stage_execute_ns histogram",
 		"erpi_stage_execute_ns_count 2",
 		`_bucket{le="+Inf"} 2`,

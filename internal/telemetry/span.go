@@ -48,8 +48,12 @@ const (
 	// StageRangeCommit is the coordinator accepting one range's results:
 	// fencing checks, in-order aggregation, and journal/result persistence.
 	StageRangeCommit
+	// StageFuzzEvolve is the fuzzer folding one fully-classified
+	// generation into its corpus at the fuzz quiesce barrier (the
+	// per-generation bubble in a ModeFuzz pipeline).
+	StageFuzzEvolve
 
-	stageMax = StageRangeCommit
+	stageMax = StageFuzzEvolve
 )
 
 var stageNames = [...]string{
@@ -67,6 +71,7 @@ var stageNames = [...]string{
 	StageLiveSetup:       "live-setup",
 	StageLease:           "lease",
 	StageRangeCommit:     "range-commit",
+	StageFuzzEvolve:      "fuzz-evolve",
 }
 
 func (s Stage) String() string {

@@ -190,11 +190,23 @@ func TestProgressSnapshot(t *testing.T) {
 	if len(s.Workers) != 2 || s.Workers[0].State != "executing" || s.Workers[1].State != "idle" {
 		t.Fatalf("worker states: %+v", s.Workers)
 	}
+	p.SetFuzz(3, 17, 250)
+	s = p.Snapshot()
+	if s.FuzzGenerations != 3 || s.FuzzCorpusSize != 17 || s.FuzzNoveltyRate != 0.25 {
+		t.Fatalf("fuzz snapshot: %+v", s)
+	}
 	p.SetWorker(0, 0)
 	p.EndRun()
 	s = p.Snapshot()
 	if s.Running || s.ETASeconds != 0 {
 		t.Fatalf("post-run snapshot: %+v", s)
+	}
+	if s.FuzzGenerations != 3 {
+		t.Fatalf("fuzz counters must survive EndRun: %+v", s)
+	}
+	p.BeginRun(10, 1)
+	if s := p.Snapshot(); s.FuzzGenerations != 0 || s.FuzzCorpusSize != 0 || s.FuzzNoveltyRate != 0 {
+		t.Fatalf("BeginRun must reset fuzz counters: %+v", s)
 	}
 }
 
