@@ -11,15 +11,21 @@
 //	erpi-bench -fuzz          # generation-batched fuzz sweep -> BENCH_fuzz.json
 //	erpi-bench -prefix        # incremental-replay sweep -> BENCH_prefix.json
 //	erpi-bench -subsume       # state-subsumption sweep -> BENCH_subsume.json
+//	erpi-bench -hash          # incremental-hashing micro+parity -> BENCH_hash.json
 //	erpi-bench -live          # live-replay session sweep -> BENCH_live.json
 //	erpi-bench -dist          # distributed-coordinator sweep -> BENCH_dist.json
 //	erpi-bench -obs           # telemetry/federation overhead -> BENCH_obs.json
+//
+// Any mode accepts -cpuprofile/-memprofile to capture pprof profiles of
+// the whole invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/er-pi/erpi/internal/bench"
 )
@@ -54,6 +60,9 @@ func run() int {
 		subsume = flag.Bool("subsume", false, "state-subsumption sweep over table budgets")
 		subN    = flag.Int("subsume-slice", bench.DefaultSubsumeSlice, "interleavings per subsumption run")
 		subOut  = flag.String("subsume-out", "BENCH_subsume.json", "machine-readable subsumption report path")
+		hash    = flag.Bool("hash", false, "incremental snapshot-hashing micro benchmark and parity pins")
+		hashN   = flag.Int("hash-slice", bench.DefaultHashSlice, "interleavings per hash-parity engine run")
+		hashOut = flag.String("hash-out", "BENCH_hash.json", "machine-readable hash report path")
 		live    = flag.Bool("live", false, "live-replay sweep over concurrent session counts")
 		liveN   = flag.Int("live-slice", bench.DefaultLiveSlice, "interleavings per live run")
 		liveOut = flag.String("live-out", "BENCH_live.json", "machine-readable live report path")
@@ -63,15 +72,42 @@ func run() int {
 		obs     = flag.Bool("obs", false, "telemetry and federation overhead measurement")
 		obsN    = flag.Int("obs-slice", bench.DefaultObsSlice, "interleavings per observability run")
 		obsOut  = flag.String("obs-out", "BENCH_obs.json", "machine-readable observability report path")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this path")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	)
 	flag.Parse()
-	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*fuzz && !*prefix && !*subsume && !*live && !*dist && !*obs {
+	if !*all && !*table1 && !*table2 && !*fig8 && !*fig9 && !*fig10 && !*fuzzx && !*pool && !*fuzz && !*prefix && !*subsume && !*hash && !*live && !*dist && !*obs {
 		flag.Usage()
 		return 2
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "erpi-bench:", err)
 		return 1
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "erpi-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "erpi-bench:", err)
+			}
+		}()
 	}
 	if *all || *table1 {
 		rows, err := bench.RunTable1()
@@ -174,6 +210,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("wrote %s\n\n", *subOut)
+	}
+	if *all || *hash {
+		report, err := bench.RunHash(*hashN)
+		if err != nil {
+			return fail(err)
+		}
+		if err := report.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+		if err := report.WriteHashJSON(*hashOut); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", *hashOut)
 	}
 	if *all || *live {
 		report, err := bench.RunLive(*liveN, nil)

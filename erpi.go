@@ -314,6 +314,29 @@ func WithSubsumption(bytes int64) Option {
 	return func(s *Session) { s.cfg.SubsumptionTable = bytes }
 }
 
+// WithSnapshotHashing selects the snapshot-hashing strategy (DESIGN.md
+// §4.15). Incremental (the default) re-serializes and re-hashes only the
+// replicas dirtied since the last snapshot, serving the rest from
+// per-replica version-keyed caches; incremental=false forces a full
+// re-serialization and re-hash of every replica at every snapshot. The
+// digest DEFINITION is identical either way — full mode is a bisection
+// escape hatch, not a different hash — so context hashes, outcome
+// signatures, and determinism pins are byte-identical in both modes.
+func WithSnapshotHashing(incremental bool) Option {
+	return func(s *Session) { s.cfg.FullSnapshotHashing = !incremental }
+}
+
+// WithPrefixDeltas toggles delta accounting in the prefix cache (default
+// on): snapshots share the immutable state buffers of replicas that did
+// not change between neighboring prefixes, and each distinct buffer is
+// charged against the byte budget once, so the same budget holds far
+// more prefixes. Off, every snapshot is charged its full logical size.
+// Cache contents and restore results are identical either way — only
+// byte accounting (and therefore eviction pressure) changes.
+func WithPrefixDeltas(on bool) Option {
+	return func(s *Session) { s.cfg.NoPrefixDeltas = !on }
+}
+
 // WithForensics captures a self-contained forensic bundle for each
 // violating interleaving into dir (created on first violation): the event
 // schedule, fault plan, per-step canonical state timeline, a fault-free

@@ -113,6 +113,11 @@ func TestRunnerConfigDistributionCoverage(t *testing.T) {
 		"MaxExploredKeys":     true, // dedup owned by the journal
 		"PrefixCacheBytes":    true, // per-worker accelerator, not spec-driven
 		"PrefixSnapshotEvery": true,
+		// Hashing-strategy escape hatches: results are byte-identical with
+		// either setting, so distributing them could never change a job's
+		// outcome — workers always run the (default) incremental path.
+		"FullSnapshotHashing": true,
+		"NoPrefixDeltas":      true,
 	}
 
 	tp := reflect.TypeOf(runner.Config{})

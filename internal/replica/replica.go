@@ -65,29 +65,78 @@ type State interface {
 	Fingerprint() string
 }
 
+// Versioned is an optional State extension: a monotone counter bumped on
+// every mutation (apply, sync, restore). The cluster uses it to prove a
+// replica's state unchanged since the last serialization and reuse the
+// cached bytes, hash, and fingerprint (DESIGN.md §4.15). An implementation
+// may over-count (bump on a no-op) — that only costs a cache miss — but
+// must never under-count: a mutation without a bump would let a stale
+// snapshot stand in for live state.
+type Versioned interface {
+	StateVersion() uint64
+}
+
+// StateBuf is one replica's serialized state with its SHA-256 digest.
+// Bufs are immutable once built and shared freely: consecutive cluster
+// snapshots reuse the same *StateBuf for replicas that did not change
+// between them, which is what makes the prefix cache's delta accounting
+// (charging each distinct buffer once) work.
+type StateBuf struct {
+	Data []byte
+	Hash [sha256.Size]byte
+}
+
+func newStateBuf(data []byte) *StateBuf {
+	return &StateBuf{Data: data, Hash: sha256.Sum256(data)}
+}
+
 // Node binds a State to a replica identity.
 type Node struct {
 	ID    event.ReplicaID
 	State State
+
+	// Version-keyed caches (valid only while the state implements
+	// Versioned and its counter still equals the recorded one).
+	bufVer uint64
+	buf    *StateBuf
+	fpVer  uint64
+	fp     string
+	fpOK   bool
 }
 
 // Cluster is the set of replicas one scenario replays against.
 type Cluster struct {
 	nodes       map[event.ReplicaID]*Node
-	checkpoints map[event.ReplicaID][]byte
+	checkpoints map[event.ReplicaID]*StateBuf
+	ids         []event.ReplicaID
+	// full disables incremental reuse (Config escape hatch): every
+	// snapshot and fingerprint is recomputed from scratch. The hash
+	// DEFINITIONS are identical either way — full mode only trades speed
+	// for bisectability, never changes a digest.
+	full bool
 }
 
 // NewCluster builds a cluster from per-replica states.
 func NewCluster(states map[event.ReplicaID]State) *Cluster {
 	c := &Cluster{
 		nodes:       make(map[event.ReplicaID]*Node, len(states)),
-		checkpoints: make(map[event.ReplicaID][]byte),
+		checkpoints: make(map[event.ReplicaID]*StateBuf),
 	}
 	for id, st := range states {
 		c.nodes[id] = &Node{ID: id, State: st}
 	}
+	c.ids = make([]event.ReplicaID, 0, len(c.nodes))
+	for id := range c.nodes {
+		c.ids = append(c.ids, id)
+	}
+	sort.Slice(c.ids, func(i, j int) bool { return c.ids[i] < c.ids[j] })
 	return c
 }
+
+// SetFullHashing disables (true) or re-enables (false) incremental state
+// reuse. Digests are identical either way; full mode exists so a
+// suspected caching bug can be bisected out with one switch.
+func (c *Cluster) SetFullHashing(full bool) { c.full = full }
 
 // Node returns the node for a replica.
 func (c *Cluster) Node(id event.ReplicaID) (*Node, error) {
@@ -98,24 +147,55 @@ func (c *Cluster) Node(id event.ReplicaID) (*Node, error) {
 	return n, nil
 }
 
-// IDs returns the sorted replica identities.
+// IDs returns the sorted replica identities. The slice is shared — do
+// not mutate it.
 func (c *Cluster) IDs() []event.ReplicaID {
-	out := make([]event.ReplicaID, 0, len(c.nodes))
-	for id := range c.nodes {
-		out = append(out, id)
+	return c.ids
+}
+
+// nodeBuf returns the node's current serialized state, reusing the cached
+// buffer when the state's version counter proves it unchanged since the
+// last serialization. reused reports a cache hit.
+func (c *Cluster) nodeBuf(n *Node) (buf *StateBuf, reused bool, err error) {
+	v, versioned := n.State.(Versioned)
+	if versioned && !c.full {
+		ver := v.StateVersion()
+		if n.buf != nil && n.bufVer == ver {
+			return n.buf, true, nil
+		}
+		data, err := n.State.Snapshot()
+		if err != nil {
+			return nil, false, err
+		}
+		buf = newStateBuf(data)
+		n.buf, n.bufVer = buf, ver
+		return buf, false, nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	data, err := n.State.Snapshot()
+	if err != nil {
+		return nil, false, err
+	}
+	return newStateBuf(data), false, nil
+}
+
+// adoptBuf records buf as the node's current serialized state, so the
+// first snapshot after a restore re-serializes only replicas the suffix
+// actually touched.
+func (n *Node) adoptBuf(buf *StateBuf) {
+	if v, ok := n.State.(Versioned); ok {
+		n.buf, n.bufVer = buf, v.StateVersion()
+	}
+	n.fpOK = false
 }
 
 // Checkpoint snapshots every replica's current state.
 func (c *Cluster) Checkpoint() error {
 	for id, n := range c.nodes {
-		snap, err := n.State.Snapshot()
+		buf, _, err := c.nodeBuf(n)
 		if err != nil {
 			return fmt.Errorf("replica: checkpoint %s: %w", id, err)
 		}
-		c.checkpoints[id] = snap
+		c.checkpoints[id] = buf
 	}
 	return nil
 }
@@ -128,11 +208,11 @@ func (c *Cluster) CheckpointNode(id event.ReplicaID) error {
 	if !ok {
 		return fmt.Errorf("replica: unknown replica %s", id)
 	}
-	snap, err := n.State.Snapshot()
+	buf, _, err := c.nodeBuf(n)
 	if err != nil {
 		return fmt.Errorf("replica: checkpoint %s: %w", id, err)
 	}
-	c.checkpoints[id] = snap
+	c.checkpoints[id] = buf
 	return nil
 }
 
@@ -148,9 +228,10 @@ func (c *Cluster) ResetNode(id event.ReplicaID) error {
 	if !ok {
 		return fmt.Errorf("replica: no checkpoint for %s", id)
 	}
-	if err := n.State.Restore(snap); err != nil {
+	if err := n.State.Restore(snap.Data); err != nil {
 		return fmt.Errorf("replica: reset %s: %w", id, err)
 	}
+	n.adoptBuf(snap)
 	return nil
 }
 
@@ -161,9 +242,10 @@ func (c *Cluster) Reset() error {
 		if !ok {
 			return fmt.Errorf("replica: no checkpoint for %s", id)
 		}
-		if err := n.State.Restore(snap); err != nil {
+		if err := n.State.Restore(snap.Data); err != nil {
 			return fmt.Errorf("replica: reset %s: %w", id, err)
 		}
+		n.adoptBuf(snap)
 	}
 	return nil
 }
@@ -177,32 +259,49 @@ func (c *Cluster) Reset() error {
 type ClusterSnapshot struct {
 	// IDs are the replica identities in ascending order.
 	IDs []event.ReplicaID
-	// Snaps holds each replica's serialized state, parallel to IDs.
-	Snaps [][]byte
+	// Bufs holds each replica's serialized state with its per-replica
+	// SHA-256, parallel to IDs. Bufs are immutable and may be shared
+	// across snapshots (the node-level cache returns the same *StateBuf
+	// while a replica is clean).
+	Bufs []*StateBuf
 	// Bytes is the total size of the snapshot payloads — the unit the
 	// prefix cache's byte budget accounts in.
 	Bytes int64
+	// Dirty counts the replicas that had to be re-serialized to build
+	// this snapshot; Reused is the payload bytes served from per-replica
+	// caches instead (snapshot.dirty_replicas / snapshot.bytes_reused).
+	Dirty  int
+	Reused int64
 }
 
 // CanonicalSnapshot serializes every replica's current (possibly mid-run)
 // state without touching the genesis checkpoints, in canonical sorted-ID
-// order.
+// order. Replicas whose version counter proves them unchanged since their
+// last serialization reuse the cached buffer — the per-depth cost is
+// O(dirty replicas), not O(cluster).
 func (c *Cluster) CanonicalSnapshot() (*ClusterSnapshot, error) {
-	snap := &ClusterSnapshot{IDs: c.IDs(), Snaps: make([][]byte, 0, len(c.nodes))}
+	snap := &ClusterSnapshot{IDs: c.ids, Bufs: make([]*StateBuf, 0, len(c.nodes))}
 	for _, id := range snap.IDs {
-		data, err := c.nodes[id].State.Snapshot()
+		buf, reused, err := c.nodeBuf(c.nodes[id])
 		if err != nil {
 			return nil, fmt.Errorf("replica: snapshot %s: %w", id, err)
 		}
-		snap.Snaps = append(snap.Snaps, data)
-		snap.Bytes += int64(len(data))
+		snap.Bufs = append(snap.Bufs, buf)
+		snap.Bytes += int64(len(buf.Data))
+		if reused {
+			snap.Reused += int64(len(buf.Data))
+		} else {
+			snap.Dirty++
+		}
 	}
 	return snap, nil
 }
 
 // RestoreSnapshot restores every replica from a mid-run snapshot (as
 // produced by CanonicalSnapshot). Every node in the cluster must be
-// covered; the genesis checkpoints are left untouched.
+// covered; the genesis checkpoints are left untouched. Restored buffers
+// are adopted into the per-node caches, so the next CanonicalSnapshot
+// re-serializes only replicas the resumed suffix touches.
 func (c *Cluster) RestoreSnapshot(snap *ClusterSnapshot) error {
 	if len(snap.IDs) != len(c.nodes) {
 		return fmt.Errorf("replica: snapshot covers %d replicas, cluster has %d", len(snap.IDs), len(c.nodes))
@@ -212,9 +311,10 @@ func (c *Cluster) RestoreSnapshot(snap *ClusterSnapshot) error {
 		if !ok {
 			return fmt.Errorf("replica: snapshot for unknown replica %s", id)
 		}
-		if err := n.State.Restore(snap.Snaps[i]); err != nil {
+		if err := n.State.Restore(snap.Bufs[i].Data); err != nil {
 			return fmt.Errorf("replica: restore %s: %w", id, err)
 		}
+		n.adoptBuf(snap.Bufs[i])
 	}
 	return nil
 }
@@ -224,30 +324,71 @@ func (c *Cluster) RestoreSnapshot(snap *ClusterSnapshot) error {
 // followed by its uvarint-length-prefixed state snapshot. The encoding is
 // injective — length prefixes prevent boundary ambiguity — so two
 // snapshots encode identically iff every replica's serialized state is
-// identical, which is what makes hashing it sound for state subsumption.
+// identical.
 func (s *ClusterSnapshot) AppendCanonical(b []byte) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for i, id := range s.IDs {
 		n := binary.PutUvarint(tmp[:], uint64(len(id)))
 		b = append(b, tmp[:n]...)
 		b = append(b, id...)
-		n = binary.PutUvarint(tmp[:], uint64(len(s.Snaps[i])))
+		n = binary.PutUvarint(tmp[:], uint64(len(s.Bufs[i].Data)))
 		b = append(b, tmp[:n]...)
-		b = append(b, s.Snaps[i]...)
+		b = append(b, s.Bufs[i].Data...)
 	}
 	return b
 }
 
-// Hash returns the SHA-256 digest of the canonical encoding.
-func (s *ClusterSnapshot) Hash() [sha256.Size]byte {
-	return sha256.Sum256(s.AppendCanonical(nil))
+// AppendHashEncoding appends the snapshot's hash-of-hashes preimage to b:
+// for each replica in sorted ID order, a uvarint-length-prefixed ID
+// followed by the replica's fixed-size state SHA-256. Two snapshots
+// produce equal encodings iff every replica's serialized state hashes
+// equal — with SHA-256 collision resistance, iff the states are
+// byte-identical, the same soundness AppendCanonical gives at a fraction
+// of the bytes (Merkle-CRDT-style composition; DESIGN.md §4.15).
+func (s *ClusterSnapshot) AppendHashEncoding(b []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	for i, id := range s.IDs {
+		n := binary.PutUvarint(tmp[:], uint64(len(id)))
+		b = append(b, tmp[:n]...)
+		b = append(b, id...)
+		b = append(b, s.Bufs[i].Hash[:]...)
+	}
+	return b
 }
 
-// Fingerprints returns every replica's current state fingerprint.
+// Hash returns the SHA-256 digest over the hash-of-hashes encoding. This
+// is THE cluster state digest everywhere (subsumption context hashes,
+// forensic step hashes): incremental and full hashing modes compute the
+// exact same value, they only differ in how much serialization it costs.
+func (s *ClusterSnapshot) Hash() [sha256.Size]byte {
+	var stack [192]byte
+	return sha256.Sum256(s.AppendHashEncoding(stack[:0]))
+}
+
+// nodeFingerprint returns the node's fingerprint through the
+// version-keyed cache.
+func (c *Cluster) nodeFingerprint(n *Node) string {
+	v, versioned := n.State.(Versioned)
+	if !versioned || c.full {
+		return n.State.Fingerprint()
+	}
+	ver := v.StateVersion()
+	if n.fpOK && n.fpVer == ver {
+		return n.fp
+	}
+	n.fp, n.fpVer, n.fpOK = n.State.Fingerprint(), ver, true
+	return n.fp
+}
+
+// Fingerprints returns every replica's current state fingerprint,
+// reusing cached fingerprints for replicas unchanged since the last call
+// (the assert stage re-fingerprints the cluster after Finalize; with
+// version tracking that reuses the execution-time work instead of
+// re-serializing converged state).
 func (c *Cluster) Fingerprints() map[event.ReplicaID]string {
 	out := make(map[event.ReplicaID]string, len(c.nodes))
 	for id, n := range c.nodes {
-		out[id] = n.State.Fingerprint()
+		out[id] = c.nodeFingerprint(n)
 	}
 	return out
 }
@@ -257,7 +398,7 @@ func (c *Cluster) Converged() bool {
 	var first string
 	started := false
 	for _, n := range c.nodes {
-		fp := n.State.Fingerprint()
+		fp := c.nodeFingerprint(n)
 		if !started {
 			first, started = fp, true
 			continue

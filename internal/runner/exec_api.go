@@ -56,6 +56,7 @@ func newWorkerEnv(s Scenario, cfg Config, w int, tel *runTelemetry, sub *subsume
 	if err != nil {
 		return nil, nil, fmt.Errorf("runner: cluster setup: %w", err)
 	}
+	cluster.SetFullHashing(cfg.FullSnapshotHashing)
 	if err := cluster.Checkpoint(); err != nil {
 		return nil, nil, err
 	}
@@ -64,6 +65,7 @@ func newWorkerEnv(s Scenario, cfg Config, w int, tel *runTelemetry, sub *subsume
 		// Private per-worker cache: no cross-worker sharing, so what a
 		// worker computes never depends on what other workers ran.
 		exec.cache = newPrefixCache(cfg.PrefixCacheBytes, cfg.PrefixSnapshotEvery)
+		exec.cache.share = !cfg.NoPrefixDeltas
 	}
 	exec.sub = sub
 	exec.subEvery = cfg.PrefixSnapshotEvery

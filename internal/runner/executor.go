@@ -64,6 +64,13 @@ type executor struct {
 	// subEvery is the subsumption check stride in events when no prefix
 	// cache supplies snapshot depths.
 	subEvery int
+	// contrib memoizes each event ID's additive multiset contribution;
+	// rolling is the running digest of the executed prefix, updated O(1)
+	// per event in place of the per-depth sort-and-rehash. rolling always
+	// equals multisetHash(il[:pos]) at the top of the position loop — the
+	// invariant the canon property suite pins.
+	contrib map[event.ID]msetDigest
+	rolling msetDigest
 	// step, when non-nil, observes the cluster after every delivered
 	// position (forensic re-execution only; nil on every engine hot path).
 	step func(pos int) error
@@ -73,6 +80,10 @@ func (x *executor) buildPairs() {
 	x.sendFor = make(map[event.ID]event.ID)
 	for _, pair := range x.log.SyncPairs() {
 		x.sendFor[pair[1]] = pair[0]
+	}
+	x.contrib = make(map[event.ID]msetDigest, x.log.Len())
+	for _, id := range x.log.IDs() {
+		x.contrib[id] = msetContribution(id)
 	}
 	x.built = true
 }
@@ -102,6 +113,7 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 	// path — a crash or truncation makes cached prefix states wrong — and
 	// neither read nor populate the cache.
 	start, divergence := 0, 0
+	x.rolling = msetDigest{}
 	useCache := x.cache != nil && !armed
 	// Fault-armed interleavings bypass subsumption both ways, like the
 	// cache: a crash or truncation makes the hashed context wrong, and a
@@ -114,6 +126,7 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 		if snap, depth := x.cache.lookup(il); snap != nil {
 			err = x.restorePrefix(snap, pending, outcome)
 			start = depth
+			x.rolling = snap.mset
 			x.tel.onPrefixHit(depth)
 		} else {
 			err = x.cluster.Reset()
@@ -144,6 +157,10 @@ func (x *executor) execute(ctx context.Context, il interleave.Interleaving, inde
 			}
 		}
 		if pos > start {
+			// Fold the event the previous iteration delivered (or skipped
+			// via a continue path — its ID is part of the prefix either
+			// way) into the rolling multiset digest.
+			x.rolling.add(x.contrib[il[pos-1]])
 			wantCache := useCache && x.cache.wantSnapshot(pos, divergence, x.pivot)
 			wantSub := useSub && (wantCache || (!useCache && pos%x.subEvery == 0))
 			if wantCache || wantSub {
@@ -288,7 +305,9 @@ func (x *executor) contextPoint(il interleave.Interleaving, depth int, pending m
 		if err != nil {
 			return false, err
 		}
+		x.tel.onSnapshotWork(states.Dirty, states.Reused)
 		snap = newPrefixSnapshot(states, pending, outcome)
+		snap.mset = x.rolling
 		if x.sub != nil {
 			// Hash at capture time (even when this depth only feeds the
 			// cache): any later re-walk of the same literal prefix reuses
@@ -296,14 +315,17 @@ func (x *executor) contextPoint(il interleave.Interleaving, depth int, pending m
 			snap.ctxHash = contextHash(states, pending, outcome.Observations, outcome.FailedOps)
 		}
 		if wantCache {
-			delta, evicted := x.cache.insert(il, depth, snap)
+			delta, stateDelta, evicted := x.cache.insert(il, depth, snap)
 			x.tel.onSnapshot(delta, evicted)
+			x.tel.onPrefixDeltaBytes(stateDelta)
 		}
 	}
 	if !wantSub {
 		return false, nil
 	}
-	skip, delta := x.sub.visit(snap.ctxHash, multisetHash(il[:depth]), il[:depth])
+	// x.rolling is multisetHash(il[:depth]) by the loop invariant — the
+	// O(1)-maintained replacement for the per-depth sort-and-rehash.
+	skip, delta := x.sub.visit(snap.ctxHash, x.rolling, il[:depth])
 	x.tel.onSubsumeBytes(delta)
 	return skip, nil
 }

@@ -174,7 +174,7 @@ func captureStep(cl *replica.Cluster, il interleave.Interleaving, pos int, full 
 			step.Replicas = append(step.Replicas, forensics.ReplicaState{
 				Replica:     string(id),
 				Fingerprint: fps[id],
-				Snapshot:    snap.Snaps[i],
+				Snapshot:    snap.Bufs[i].Data,
 			})
 		}
 	}

@@ -191,7 +191,9 @@ func (p *pool) worker(ctx context.Context, w int) {
 		if exec.cache != nil {
 			if g := p.cacheGen.Load(); g != cacheGen {
 				cacheGen = g
-				p.tel.onSnapshot(-exec.cache.invalidate(), 0)
+				freed, stateFreed := exec.cache.invalidate()
+				p.tel.onSnapshot(-freed, 0)
+				p.tel.onPrefixDeltaBytes(-stateFreed)
 				exec.prevIL = nil
 			}
 		}

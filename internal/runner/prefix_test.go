@@ -34,8 +34,8 @@ func TestPrefixCacheTrie(t *testing.T) {
 		t.Fatalf("empty cache lookup = (%v, %d), want miss", got, depth)
 	}
 	s2 := snap(40)
-	if delta, evicted := c.insert(il(1, 2, 3, 4), 2, s2); delta != 40 || evicted != 0 {
-		t.Fatalf("insert depth 2: delta=%d evicted=%d", delta, evicted)
+	if delta, stateDelta, evicted := c.insert(il(1, 2, 3, 4), 2, s2); delta != 40 || stateDelta != 0 || evicted != 0 {
+		t.Fatalf("insert depth 2: delta=%d stateDelta=%d evicted=%d", delta, stateDelta, evicted)
 	}
 	s3 := snap(40)
 	c.insert(il(1, 2, 3, 4), 3, s3)
@@ -56,7 +56,7 @@ func TestPrefixCacheTrie(t *testing.T) {
 	// s2 was most recently used (just looked up); inserting 40 more bytes
 	// must evict the LRU snapshot, which is s3.
 	s5 := snap(40)
-	if delta, evicted := c.insert(il(9, 8, 7, 6, 5, 4), 5, s5); delta != 0 || evicted != 1 {
+	if delta, _, evicted := c.insert(il(9, 8, 7, 6, 5, 4), 5, s5); delta != 0 || evicted != 1 {
 		t.Fatalf("evicting insert: delta=%d evicted=%d, want 0, 1", delta, evicted)
 	}
 	if got, depth := c.lookup(il(1, 2, 3, 4)); got != s2 || depth != 2 {
@@ -70,12 +70,12 @@ func TestPrefixCacheTrie(t *testing.T) {
 	}
 
 	// A snapshot exceeding the whole budget is rejected.
-	if delta, _ := c.insert(il(4, 4, 4), 2, snap(1000)); delta != 0 {
+	if delta, _, _ := c.insert(il(4, 4, 4), 2, snap(1000)); delta != 0 {
 		t.Fatalf("oversized insert accepted: delta=%d", delta)
 	}
 
-	if freed := c.invalidate(); freed != 80 {
-		t.Fatalf("invalidate freed %d, want 80", freed)
+	if freed, stateFreed := c.invalidate(); freed != 80 || stateFreed != 0 {
+		t.Fatalf("invalidate freed %d/%d, want 80/0", freed, stateFreed)
 	}
 	if got, _ := c.lookup(il(1, 2, 3, 4)); got != nil {
 		t.Fatal("lookup after invalidate still hits")

@@ -22,15 +22,34 @@ import (
 // byte budget; eviction removes the least-recently-used snapshot and
 // prunes any trie branch left empty.
 //
+// Snapshots are stored as deltas by structural sharing: consecutive
+// snapshots reuse the same immutable *replica.StateBuf for every replica
+// that did not change between them (the cluster's version-keyed caches
+// guarantee pointer identity for clean replicas), so the cache refcounts
+// buffers and charges each distinct buffer against the byte budget ONCE —
+// a node effectively costs only the replicas that differ from other
+// cached prefixes, and the same budget holds far more prefixes. Restore
+// needs no path composition: every snapshot still carries its complete
+// Bufs array, so eviction order is unconstrained.
+//
 // A prefixCache is owned by exactly one executor (per worker in the
 // pool) and is not safe for concurrent use — per-worker ownership is
 // what keeps pool results byte-identical to the sequential engine.
 type prefixCache struct {
-	budget int64 // max total snapshot bytes (> 0)
+	budget int64 // max total charged snapshot bytes (> 0)
 	every  int   // snapshot insertion stride in events (> 0)
+	// share enables delta accounting; off (the bisection escape hatch)
+	// every snapshot is charged its full logical size.
+	share bool
 
 	root  *prefixNode
 	bytes int64
+
+	// refs counts cached snapshots referencing each state buffer;
+	// stateBytes is the charged (deduplicated) state-payload bytes —
+	// the runner.prefix_delta_bytes gauge.
+	refs       map[*replica.StateBuf]int
+	stateBytes int64
 
 	// LRU list of snapshot-bearing nodes; head is most recently used.
 	head, tail *prefixNode
@@ -66,13 +85,33 @@ type prefixSnapshot struct {
 	// cached prefix re-walk reuses it instead of re-serializing the
 	// cluster.
 	ctxHash [sha256.Size]byte
+	// mset is the rolling multiset digest of the captured prefix, so a
+	// restore resumes the executor's O(1) rolling updates without
+	// recomputing the prefix multiset.
+	mset msetDigest
+}
+
+// ownBytes is the snapshot's non-state payload (pending, observations,
+// failed ops, bookkeeping) — always charged in full; only the state
+// buffers participate in delta sharing.
+func (s *prefixSnapshot) ownBytes() int64 {
+	if s.states == nil {
+		return s.size
+	}
+	return s.size - s.states.Bytes
 }
 
 func newPrefixCache(budget int64, every int) *prefixCache {
 	if every <= 0 {
 		every = defaultPrefixSnapshotEvery
 	}
-	return &prefixCache{budget: budget, every: every, root: &prefixNode{}}
+	return &prefixCache{
+		budget: budget,
+		every:  every,
+		share:  true,
+		root:   &prefixNode{},
+		refs:   make(map[*replica.StateBuf]int),
+	}
 }
 
 // lookup walks the trie along il and returns the deepest cached snapshot
@@ -131,14 +170,50 @@ func (c *prefixCache) wantSnapshot(depth, divergence, pivot int) bool {
 	return depth%c.every == 0 || depth == divergence || depth == pivot
 }
 
+// charge accounts a snapshot against the budget: its own bytes in full,
+// plus — with delta sharing on — each state buffer only on its first
+// reference (refcount 0 → 1).
+func (c *prefixCache) charge(snap *prefixSnapshot) {
+	if !c.share || snap.states == nil {
+		c.bytes += snap.size
+		return
+	}
+	c.bytes += snap.ownBytes()
+	for _, buf := range snap.states.Bufs {
+		c.refs[buf]++
+		if c.refs[buf] == 1 {
+			c.bytes += int64(len(buf.Data))
+			c.stateBytes += int64(len(buf.Data))
+		}
+	}
+}
+
+// uncharge reverses charge for one snapshot (eviction / invalidation).
+func (c *prefixCache) uncharge(snap *prefixSnapshot) {
+	if !c.share || snap.states == nil {
+		c.bytes -= snap.size
+		return
+	}
+	c.bytes -= snap.ownBytes()
+	for _, buf := range snap.states.Bufs {
+		c.refs[buf]--
+		if c.refs[buf] == 0 {
+			delete(c.refs, buf)
+			c.bytes -= int64(len(buf.Data))
+			c.stateBytes -= int64(len(buf.Data))
+		}
+	}
+}
+
 // insert stores a snapshot for the prefix il[:depth], evicting
 // least-recently-used snapshots until the byte budget holds. It returns
-// the net change in cached bytes (insertion minus evictions) and the
-// number of snapshots evicted. A snapshot larger than the whole budget
-// is rejected outright.
-func (c *prefixCache) insert(il interleave.Interleaving, depth int, snap *prefixSnapshot) (delta int64, evicted int) {
+// the net change in charged bytes (insertion minus evictions), the net
+// change in charged deduplicated state bytes (the prefix_delta_bytes
+// gauge), and the number of snapshots evicted. A snapshot whose full
+// logical size exceeds the whole budget is rejected outright.
+func (c *prefixCache) insert(il interleave.Interleaving, depth int, snap *prefixSnapshot) (delta, stateDelta int64, evicted int) {
 	if snap.size > c.budget {
-		return 0, 0
+		return 0, 0, 0
 	}
 	node := c.root
 	for d := 0; d < depth; d++ {
@@ -156,40 +231,39 @@ func (c *prefixCache) insert(il interleave.Interleaving, depth int, snap *prefix
 		// Executions are pure functions of the prefix, so an existing
 		// snapshot is identical to the offered one; keep it.
 		c.touch(node)
-		return 0, 0
+		return 0, 0, 0
 	}
+	bytes0, state0 := c.bytes, c.stateBytes
 	node.snap = snap
-	c.bytes += snap.size
-	delta = snap.size
+	c.charge(snap)
 	c.pushFront(node)
 	for c.bytes > c.budget && c.tail != nil && c.tail != node {
-		delta -= c.drop(c.tail)
+		c.drop(c.tail)
 		evicted++
 	}
-	return delta, evicted
+	return c.bytes - bytes0, c.stateBytes - state0, evicted
 }
 
 // invalidate discards every cached snapshot (ConstraintPoll re-pruning
-// boundary) and returns the number of bytes freed.
-func (c *prefixCache) invalidate() int64 {
-	freed := c.bytes
+// boundary) and returns the charged and charged-state bytes freed.
+func (c *prefixCache) invalidate() (freed, stateFreed int64) {
+	freed, stateFreed = c.bytes, c.stateBytes
 	c.root = &prefixNode{}
-	c.bytes = 0
+	c.bytes, c.stateBytes = 0, 0
+	c.refs = make(map[*replica.StateBuf]int)
 	c.head, c.tail = nil, nil
-	return freed
+	return freed, stateFreed
 }
 
 // drop removes one snapshot-bearing node from the LRU list and the trie,
-// pruning newly-empty ancestors, and returns the bytes freed.
-func (c *prefixCache) drop(node *prefixNode) int64 {
-	freed := node.snap.size
-	c.bytes -= freed
+// pruning newly-empty ancestors.
+func (c *prefixCache) drop(node *prefixNode) {
+	c.uncharge(node.snap)
 	c.unlink(node)
 	node.snap = nil
 	for n := node; n.parent != nil && n.snap == nil && len(n.children) == 0; n = n.parent {
 		delete(n.parent.children, n.id)
 	}
-	return freed
 }
 
 func (c *prefixCache) touch(node *prefixNode) {

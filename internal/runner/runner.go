@@ -280,6 +280,20 @@ type Config struct {
 	// path. Fault-armed interleavings bypass the table both ways. Zero
 	// disables subsumption.
 	SubsumptionTable int64
+	// FullSnapshotHashing disables the incremental snapshot path
+	// (DESIGN.md §4.15): every CanonicalSnapshot re-serializes and
+	// re-hashes every replica instead of reusing the per-replica
+	// version-keyed caches. The hash DEFINITION is identical either way —
+	// this is a bisection escape hatch, not a different digest — so all
+	// hashes, signatures, and determinism pins are byte-identical with the
+	// flag on or off. Default off (incremental).
+	FullSnapshotHashing bool
+	// NoPrefixDeltas disables delta accounting in the prefix cache: every
+	// snapshot is charged its full logical size instead of sharing clean
+	// replicas' state buffers with neighboring prefixes. Cache contents
+	// and restore semantics are unchanged — only the byte accounting (and
+	// therefore eviction pressure) differs. Default off (deltas on).
+	NoPrefixDeltas bool
 	// Telemetry, when set, receives the run's metrics, live progress, and
 	// per-stage spans (see the telemetry package). Strictly observational:
 	// a run with telemetry attached explores the same interleavings, in
@@ -676,7 +690,9 @@ func runSequential(ctx context.Context, s Scenario, cfg Config, res *Result, exp
 				// sequence will never walk, and the subsumption table so
 				// skips are justified against the new enumeration only.
 				if exec.cache != nil {
-					tel.onSnapshot(-exec.cache.invalidate(), 0)
+					freed, stateFreed := exec.cache.invalidate()
+					tel.onSnapshot(-freed, 0)
+					tel.onPrefixDeltaBytes(-stateFreed)
 					exec.prevIL = nil
 				}
 				if sub != nil {

@@ -21,13 +21,21 @@ import (
 type lwwSetState struct {
 	set   *crdt.LWWSet
 	clock *crdt.Clock
+	ver   uint64
 }
+
+// StateVersion implements replica.Versioned so runner tests exercise the
+// incremental snapshot path the way real subjects do.
+func (s *lwwSetState) StateVersion() uint64 { return s.ver }
 
 func newLWWSetState(rep string) *lwwSetState {
 	return &lwwSetState{set: crdt.NewLWWSet(crdt.BiasAdd), clock: crdt.NewClock(rep)}
 }
 
 func (s *lwwSetState) Apply(op replica.Op) (string, error) {
+	if op.Name != "set.read" {
+		s.ver++
+	}
 	switch op.Name {
 	case "set.add":
 		s.set.Add(op.Args[0], s.clock.Now())
@@ -51,6 +59,7 @@ func (s *lwwSetState) SyncPayload() ([]byte, error) {
 }
 
 func (s *lwwSetState) ApplySync(payload []byte) error {
+	s.ver++
 	other := crdt.NewLWWSet(crdt.BiasAdd)
 	var snap map[string]map[string]crdt.Time
 	if err := json.Unmarshal(payload, &snap); err != nil {
@@ -82,6 +91,7 @@ func (s *lwwSetState) Snapshot() ([]byte, error) {
 }
 
 func (s *lwwSetState) Restore(snapshot []byte) error {
+	s.ver++
 	var snap lwwSnapshot
 	if err := json.Unmarshal(snapshot, &snap); err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/er-pi/erpi/internal/event"
 	"github.com/er-pi/erpi/internal/interleave"
@@ -20,9 +21,15 @@ import (
 // quarantining; it is never retried.
 var ErrSubsumed = errors.New("runner: interleaving subsumed by visited state")
 
+// subsumeStripes is the lock-stripe count of the shared frontier table.
+// The table is hit by every pool worker at every snapshot depth; striping
+// by a context-hash byte keeps Workers ≥ 8 off a single global mutex.
+// Power of two so the stripe index is a mask.
+const subsumeStripes = 32
+
 // subsumeTable is the bounded visited-frontier table behind DPOR-style
 // state subsumption (DESIGN.md §4.12). A key is the pair
-// (execution-context hash, remaining-event-multiset hash); the entry
+// (execution-context hash, remaining-event-multiset digest); the entry
 // remembers the lexicographically smallest ordered prefix seen reaching
 // that frontier. The executor consults it at snapshot depths: when the
 // current prefix is lexicographically GREATER than the recorded one the
@@ -34,20 +41,27 @@ var ErrSubsumed = errors.New("runner: interleaving subsumed by visited state")
 //
 // Unlike the prefix cache, one table is shared by every worker of a run —
 // a frontier visited by any worker prunes all of them — so all methods
-// are safe for concurrent use.
+// are safe for concurrent use. Entries are sharded into stripes keyed by
+// the context hash's first byte; byte accounting and the insertion tick
+// are global atomics, and eviction scans all stripes for the globally
+// oldest entry (FIFO, same order a single-map table evicted in).
 type subsumeTable struct {
-	mu     sync.Mutex
 	budget int64 // max accounted bytes (> 0)
-	bytes  int64
-	seq    uint64 // insertion tick for FIFO eviction
+	bytes  atomic.Int64
+	seq    atomic.Uint64 // insertion tick for FIFO eviction
 
+	stripes [subsumeStripes]subsumeStripe
+}
+
+type subsumeStripe struct {
+	mu      sync.Mutex
 	entries map[subsumeKey]*subsumeEntry
 }
 
 // subsumeKey identifies one exploration frontier.
 type subsumeKey struct {
 	ctx [sha256.Size]byte // canonical execution-context hash
-	rem [sha256.Size]byte // remaining-event-multiset hash (via the prefix multiset)
+	rem msetDigest        // remaining-event-multiset digest (via the prefix multiset)
 }
 
 type subsumeEntry struct {
@@ -61,7 +75,15 @@ type subsumeEntry struct {
 const subsumeEntryOverhead = 2*sha256.Size + 48
 
 func newSubsumeTable(budget int64) *subsumeTable {
-	return &subsumeTable{budget: budget, entries: make(map[subsumeKey]*subsumeEntry)}
+	t := &subsumeTable{budget: budget}
+	for i := range t.stripes {
+		t.stripes[i].entries = make(map[subsumeKey]*subsumeEntry)
+	}
+	return t
+}
+
+func (t *subsumeTable) stripeFor(key subsumeKey) *subsumeStripe {
+	return &t.stripes[key.ctx[0]&(subsumeStripes-1)]
 }
 
 // visit is the one-shot check-and-record at a snapshot depth. It returns
@@ -70,12 +92,15 @@ func newSubsumeTable(budget int64) *subsumeTable {
 // the interleaving with ErrSubsumed. Otherwise the frontier is recorded
 // (adopting the current prefix when it is the smaller reacher) and
 // execution continues. delta is the net change in accounted bytes, for
-// the subsumption_table_bytes gauge.
-func (t *subsumeTable) visit(ctx, rem [sha256.Size]byte, prefix interleave.Interleaving) (skip bool, delta int64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+// the subsumption_table_bytes gauge. Only the frontier's own stripe is
+// locked; eviction (rare — budget overflow only) walks the other stripes
+// one at a time afterwards.
+func (t *subsumeTable) visit(ctx [sha256.Size]byte, rem msetDigest, prefix interleave.Interleaving) (skip bool, delta int64) {
 	key := subsumeKey{ctx: ctx, rem: rem}
-	if e, ok := t.entries[key]; ok {
+	s := t.stripeFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		defer s.mu.Unlock()
 		switch lexCompare(e.prefix, prefix) {
 		case -1:
 			return true, 0
@@ -93,64 +118,99 @@ func (t *subsumeTable) visit(ctx, rem [sha256.Size]byte, prefix interleave.Inter
 	}
 	size := int64(subsumeEntryOverhead + 8*len(prefix))
 	if size > t.budget {
+		s.mu.Unlock()
 		return false, 0
 	}
-	t.seq++
-	t.entries[key] = &subsumeEntry{prefix: append([]event.ID(nil), prefix...), seq: t.seq}
-	t.bytes += size
+	s.entries[key] = &subsumeEntry{
+		prefix: append([]event.ID(nil), prefix...),
+		seq:    t.seq.Add(1),
+	}
+	s.mu.Unlock()
+	t.bytes.Add(size)
 	delta = size
-	for t.bytes > t.budget {
-		delta -= t.evictOldest()
+	for t.bytes.Load() > t.budget {
+		freed := t.evictOldest()
+		if freed == 0 {
+			break
+		}
+		delta -= freed
 	}
 	return false, delta
 }
 
-// evictOldest drops the entry with the smallest insertion tick and
-// returns the bytes freed. Linear scan: eviction only runs when the
-// budget overflows, and dropping entries is always sound (fewer skips).
+// evictOldest drops the entry with the smallest insertion tick across all
+// stripes and returns the bytes freed. Linear scan, one stripe locked at
+// a time: eviction only runs when the budget overflows, and dropping
+// entries is always sound (fewer skips). Under concurrent eviction the
+// chosen entry may already be gone; retry until something is freed or the
+// table is empty.
 func (t *subsumeTable) evictOldest() int64 {
-	var (
-		oldKey subsumeKey
-		oldSeq uint64
-		found  bool
-	)
-	for k, e := range t.entries {
-		if !found || e.seq < oldSeq {
-			oldKey, oldSeq, found = k, e.seq, true
+	for {
+		var (
+			oldKey    subsumeKey
+			oldSeq    uint64
+			oldStripe *subsumeStripe
+		)
+		for i := range t.stripes {
+			s := &t.stripes[i]
+			s.mu.Lock()
+			for k, e := range s.entries {
+				if oldStripe == nil || e.seq < oldSeq {
+					oldKey, oldSeq, oldStripe = k, e.seq, s
+				}
+			}
+			s.mu.Unlock()
 		}
+		if oldStripe == nil {
+			return 0
+		}
+		oldStripe.mu.Lock()
+		e, ok := oldStripe.entries[oldKey]
+		if !ok || e.seq != oldSeq {
+			oldStripe.mu.Unlock()
+			continue // raced with another evictor; rescan
+		}
+		freed := int64(subsumeEntryOverhead + 8*len(e.prefix))
+		delete(oldStripe.entries, oldKey)
+		oldStripe.mu.Unlock()
+		t.bytes.Add(-freed)
+		return freed
 	}
-	if !found {
-		return 0
-	}
-	freed := int64(subsumeEntryOverhead + 8*len(t.entries[oldKey].prefix))
-	delete(t.entries, oldKey)
-	t.bytes -= freed
-	return freed
 }
 
 // invalidate discards every entry (the re-pruning boundary, mirroring the
-// prefix cache) and returns the bytes freed.
+// prefix cache) and returns the bytes freed. Called at quiesce barriers
+// only, so the stripe-at-a-time sweep is not racing inserts that matter.
 func (t *subsumeTable) invalidate() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	freed := t.bytes
-	t.entries = make(map[subsumeKey]*subsumeEntry)
-	t.bytes = 0
+	var freed int64
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		for _, e := range s.entries {
+			freed += int64(subsumeEntryOverhead + 8*len(e.prefix))
+		}
+		s.entries = make(map[subsumeKey]*subsumeEntry)
+		s.mu.Unlock()
+	}
+	t.bytes.Add(-freed)
 	return freed
 }
 
 // bytesHeld reports the accounted table size.
 func (t *subsumeTable) bytesHeld() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.bytes
+	return t.bytes.Load()
 }
 
 // len reports the entry count (tests only).
 func (t *subsumeTable) len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.entries)
+	n := 0
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // lexCompare orders two equal-length event-ID sequences
@@ -167,77 +227,117 @@ func lexCompare(a []event.ID, b interleave.Interleaving) int {
 	return 0
 }
 
-// multisetHash digests the unordered multiset of event IDs in prefix.
-// All interleavings of one run permute the same event set, so the prefix
-// multiset determines the remaining-event multiset.
-func multisetHash(prefix interleave.Interleaving) [sha256.Size]byte {
-	ids := make([]int, len(prefix))
-	for i, id := range prefix {
-		ids[i] = int(id)
-	}
-	sort.Ints(ids)
-	h := sha256.New()
-	var tmp [binary.MaxVarintLen64]byte
-	for _, id := range ids {
-		n := binary.PutUvarint(tmp[:], uint64(id))
-		h.Write(tmp[:n])
-	}
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
+// msetDigest is an additive (homomorphic) multiset hash: each event ID
+// contributes sha256(uvarint(id)) read as four little-endian uint64
+// words, and a multiset's digest is the component-wise sum mod 2^64 of
+// its members' contributions. Addition commutes, so the executor keeps a
+// rolling digest updated O(1) per executed event instead of re-sorting
+// and re-hashing the prefix at every snapshot depth; collision resistance
+// is the standard MSet-Add-Hash argument (finding a colliding multiset
+// means solving a random subset-sum over 256 bits).
+type msetDigest [4]uint64
+
+// add folds one contribution into the digest in place.
+func (m *msetDigest) add(c msetDigest) {
+	m[0] += c[0]
+	m[1] += c[1]
+	m[2] += c[2]
+	m[3] += c[3]
 }
+
+// msetContribution returns one event ID's fixed contribution.
+func msetContribution(id event.ID) msetDigest {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(id))
+	sum := sha256.Sum256(tmp[:n])
+	return msetDigest{
+		binary.LittleEndian.Uint64(sum[0:8]),
+		binary.LittleEndian.Uint64(sum[8:16]),
+		binary.LittleEndian.Uint64(sum[16:24]),
+		binary.LittleEndian.Uint64(sum[24:32]),
+	}
+}
+
+// multisetHash digests the unordered multiset of event IDs in prefix from
+// scratch — the reference the executor's rolling digest must always agree
+// with (property-tested per subject). All interleavings of one run
+// permute the same event set, so the prefix multiset determines the
+// remaining-event multiset.
+func multisetHash(prefix interleave.Interleaving) msetDigest {
+	var m msetDigest
+	for _, id := range prefix {
+		m.add(msetContribution(id))
+	}
+	return m
+}
+
+// ctxScratch is the reusable working memory of one contextHash call: the
+// digest preimage buffer and the event-ID sort area. Pooled so the hot
+// path's per-depth hashing allocates nothing in steady state.
+type ctxScratch struct {
+	buf []byte
+	ids []event.ID
+}
+
+var ctxScratchPool = sync.Pool{New: func() any { return new(ctxScratch) }}
 
 // contextHash digests the full execution context after a prefix: the
 // canonical cluster snapshot plus everything else the remaining suffix
 // can observe — captured sync payloads, recorded observations, and failed
 // ops (exactly the prefixSnapshot capture set; DroppedSyncs are absent
-// because fault-armed interleavings bypass subsumption). Each section is
-// length-prefixed and sorted so the digest is injective over contexts.
+// because fault-armed interleavings bypass subsumption). The cluster
+// enters via its hash-of-hashes encoding (32 bytes per replica, served
+// from the per-replica caches) rather than its full serialization; each
+// section is length-prefixed and sorted so the digest is injective over
+// contexts.
 func contextHash(states *replica.ClusterSnapshot, pending map[event.ID][]byte, obs map[event.ID]string, failed []event.ID) [sha256.Size]byte {
-	h := sha256.New()
+	sc := ctxScratchPool.Get().(*ctxScratch)
+	b := sc.buf[:0]
 	var tmp [binary.MaxVarintLen64]byte
-	writeUvarint := func(v uint64) {
+	appendUvarint := func(v uint64) {
 		n := binary.PutUvarint(tmp[:], v)
-		h.Write(tmp[:n])
+		b = append(b, tmp[:n]...)
 	}
-	h.Write(states.AppendCanonical(nil))
 
-	pendIDs := make([]event.ID, 0, len(pending))
+	b = states.AppendHashEncoding(b)
+
+	ids := sc.ids[:0]
 	for id := range pending {
-		pendIDs = append(pendIDs, id)
+		ids = append(ids, id)
 	}
-	sortEventIDs(pendIDs)
-	h.Write([]byte{'P'})
-	writeUvarint(uint64(len(pendIDs)))
-	for _, id := range pendIDs {
-		writeUvarint(uint64(id))
-		writeUvarint(uint64(len(pending[id])))
-		h.Write(pending[id])
+	sortEventIDs(ids)
+	b = append(b, 'P')
+	appendUvarint(uint64(len(ids)))
+	for _, id := range ids {
+		appendUvarint(uint64(id))
+		appendUvarint(uint64(len(pending[id])))
+		b = append(b, pending[id]...)
 	}
 
-	obsIDs := make([]event.ID, 0, len(obs))
+	ids = ids[:0]
 	for id := range obs {
-		obsIDs = append(obsIDs, id)
+		ids = append(ids, id)
 	}
-	sortEventIDs(obsIDs)
-	h.Write([]byte{'O'})
-	writeUvarint(uint64(len(obsIDs)))
-	for _, id := range obsIDs {
-		writeUvarint(uint64(id))
-		writeUvarint(uint64(len(obs[id])))
-		h.Write([]byte(obs[id]))
-	}
-
-	failedIDs := append([]event.ID(nil), failed...)
-	sortEventIDs(failedIDs)
-	h.Write([]byte{'F'})
-	writeUvarint(uint64(len(failedIDs)))
-	for _, id := range failedIDs {
-		writeUvarint(uint64(id))
+	sortEventIDs(ids)
+	b = append(b, 'O')
+	appendUvarint(uint64(len(ids)))
+	for _, id := range ids {
+		appendUvarint(uint64(id))
+		appendUvarint(uint64(len(obs[id])))
+		b = append(b, obs[id]...)
 	}
 
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
+	ids = append(ids[:0], failed...)
+	sortEventIDs(ids)
+	b = append(b, 'F')
+	appendUvarint(uint64(len(ids)))
+	for _, id := range ids {
+		appendUvarint(uint64(id))
+	}
+
+	out := sha256.Sum256(b)
+	sc.buf, sc.ids = b, ids
+	ctxScratchPool.Put(sc)
 	return out
 }
 

@@ -42,13 +42,18 @@ func hashOf(b byte) [sha256.Size]byte {
 	return h
 }
 
+// msetOf builds a distinct remaining-multiset digest for table tests.
+func msetOf(b byte) msetDigest {
+	return msetContribution(event.ID(b))
+}
+
 // TestSubsumeTableLexRule pins the table's core soundness rule: a frontier
 // skips only arrivals via a lexicographically STRICTLY GREATER prefix, the
 // same literal prefix never self-subsumes, and a smaller arrival is
 // adopted as the entry's new witness.
 func TestSubsumeTableLexRule(t *testing.T) {
 	tbl := newSubsumeTable(testSubTable)
-	ctx, rem := hashOf(1), hashOf(2)
+	ctx, rem := hashOf(1), msetOf(2)
 
 	if skip, delta := tbl.visit(ctx, rem, interleave.Interleaving{2, 1}); skip || delta <= 0 {
 		t.Fatalf("first visit: skip=%v delta=%d, want record", skip, delta)
@@ -70,7 +75,7 @@ func TestSubsumeTableLexRule(t *testing.T) {
 		t.Fatal("old witness must be subsumed after adoption")
 	}
 	// Different frontier (other remaining multiset): independent entry.
-	if skip, _ := tbl.visit(ctx, hashOf(3), interleave.Interleaving{3, 0}); skip {
+	if skip, _ := tbl.visit(ctx, msetOf(3), interleave.Interleaving{3, 0}); skip {
 		t.Fatal("distinct frontier must not be subsumed")
 	}
 	if tbl.len() != 2 {
@@ -93,7 +98,7 @@ func TestSubsumeTableEviction(t *testing.T) {
 	budget := int64(3 * (subsumeEntryOverhead + 8*2))
 	tbl := newSubsumeTable(budget)
 	for i := byte(0); i < 5; i++ {
-		tbl.visit(hashOf(i), hashOf(i), interleave.Interleaving{1, 2})
+		tbl.visit(hashOf(i), msetOf(i), interleave.Interleaving{1, 2})
 	}
 	if tbl.len() != 3 {
 		t.Fatalf("table holds %d entries over a 3-entry budget", tbl.len())
@@ -103,12 +108,12 @@ func TestSubsumeTableEviction(t *testing.T) {
 	}
 	// The oldest entries were evicted: frontier 0 records afresh (no skip
 	// even on a greater arrival).
-	if skip, _ := tbl.visit(hashOf(0), hashOf(0), interleave.Interleaving{2, 1}); skip {
+	if skip, _ := tbl.visit(hashOf(0), msetOf(0), interleave.Interleaving{2, 1}); skip {
 		t.Fatal("evicted frontier must not subsume")
 	}
 
 	huge := newSubsumeTable(8)
-	if skip, delta := huge.visit(hashOf(9), hashOf(9), interleave.Interleaving{1}); skip || delta != 0 || huge.len() != 0 {
+	if skip, delta := huge.visit(hashOf(9), msetOf(9), interleave.Interleaving{1}); skip || delta != 0 || huge.len() != 0 {
 		t.Fatalf("over-budget entry: skip=%v delta=%d len=%d, want rejection", skip, delta, huge.len())
 	}
 }

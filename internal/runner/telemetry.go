@@ -28,6 +28,9 @@ import (
 //	runner.events_executed     events actually replayed
 //	runner.events_skipped      events skipped via prefix restore
 //	runner.snapshot_bytes      bytes currently held by prefix caches (gauge)
+//	runner.prefix_delta_bytes  deduplicated state bytes charged by prefix caches (gauge)
+//	snapshot.dirty_replicas    replicas re-serialized by canonical snapshots
+//	snapshot.bytes_reused      snapshot bytes served from per-replica caches
 //	runner.prefix_hit_depth    restored prefix depths (histogram, in events)
 //	fuzz.generations           completed ModeFuzz corpus generations
 //	fuzz.corpus_size           behaviour-novel interleavings in the corpus (gauge)
@@ -54,6 +57,9 @@ type runTelemetry struct {
 	eventsExecuted *telemetry.Counter
 	eventsSkipped  *telemetry.Counter
 	snapshotBytes  *telemetry.Gauge
+	prefixDelta    *telemetry.Gauge
+	dirtyReplicas  *telemetry.Counter
+	bytesReused    *telemetry.Counter
 	subsumed       *telemetry.Counter
 	subsumeBytes   *telemetry.Gauge
 	hitDepth       *telemetry.Histogram
@@ -86,6 +92,9 @@ func newRunTelemetry(reg *telemetry.Registry) *runTelemetry {
 		eventsExecuted: reg.Counter("runner.events_executed"),
 		eventsSkipped:  reg.Counter("runner.events_skipped"),
 		snapshotBytes:  reg.Gauge("runner.snapshot_bytes"),
+		prefixDelta:    reg.Gauge("runner.prefix_delta_bytes"),
+		dirtyReplicas:  reg.Counter("snapshot.dirty_replicas"),
+		bytesReused:    reg.Counter("snapshot.bytes_reused"),
 		subsumed:       reg.Counter("runner.subsumed_interleavings"),
 		subsumeBytes:   reg.Gauge("runner.subsumption_table_bytes"),
 		hitDepth:       reg.HistogramWithBounds("runner.prefix_hit_depth", prefixDepthBounds),
@@ -255,6 +264,26 @@ func (t *runTelemetry) onSnapshot(deltaBytes int64, evicted int) {
 	}
 	t.snapshotBytes.Add(deltaBytes)
 	t.prefixEvicted.Add(int64(evicted))
+}
+
+// onPrefixDeltaBytes applies one cache operation's change in charged
+// deduplicated state bytes (the delta-snapshot footprint).
+func (t *runTelemetry) onPrefixDeltaBytes(delta int64) {
+	if t == nil || delta == 0 {
+		return
+	}
+	t.prefixDelta.Add(delta)
+}
+
+// onSnapshotWork accounts one CanonicalSnapshot call: how many replicas
+// were re-serialized and how many payload bytes came from the
+// per-replica caches instead.
+func (t *runTelemetry) onSnapshotWork(dirty int, reused int64) {
+	if t == nil {
+		return
+	}
+	t.dirtyReplicas.Add(int64(dirty))
+	t.bytesReused.Add(reused)
 }
 
 // setWorker publishes what worker w is executing (0 = idle).

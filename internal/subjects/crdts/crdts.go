@@ -48,9 +48,20 @@ type Workspace struct {
 	// seq tracks the highest to-do ID this replica has seen (the
 	// sequential-ID strategy's source of clashes).
 	seq int
+	// ver counts mutations for snapshot-cache invalidation
+	// (replica.Versioned). The four read ops never advance the clock, so
+	// they leave it untouched; every other op bumps it, even on failure —
+	// some failing ops (todo.done) still advance the clock.
+	ver uint64
 }
 
-var _ replica.State = (*Workspace)(nil)
+var (
+	_ replica.State     = (*Workspace)(nil)
+	_ replica.Versioned = (*Workspace)(nil)
+)
+
+// StateVersion implements replica.Versioned.
+func (w *Workspace) StateVersion() uint64 { return w.ver }
 
 // New returns an empty workspace for a replica identity.
 func New(identity string, flags Flags) *Workspace {
@@ -91,6 +102,11 @@ func (w *Workspace) CreateTodo(title string) string {
 //	counter.inc(n) / counter.dec(n) / counter.read()
 //	list.insert(idx, v) / list.move(from, to) / list.read()
 func (w *Workspace) Apply(op replica.Op) (string, error) {
+	switch op.Name {
+	case "todo.read", "tag.read", "counter.read", "list.read":
+	default:
+		w.ver++
+	}
 	switch op.Name {
 	case "todo.create":
 		return w.CreateTodo(op.Args[0]), nil
@@ -215,6 +231,7 @@ func (w *Workspace) SyncPayload() ([]byte, error) { return w.Snapshot() }
 // ApplySync implements replica.State: merge the remote workspace (or,
 // with LastSyncWins, overwrite it wholesale).
 func (w *Workspace) ApplySync(payload []byte) error {
+	w.ver++
 	if w.flags.LastSyncWins {
 		return w.decodeInto(payload)
 	}
@@ -269,7 +286,9 @@ func (w *Workspace) Restore(snapshot []byte) error {
 	if err := fresh.decodeInto(snapshot); err != nil {
 		return err
 	}
+	ver := w.ver + 1
 	*w = *fresh
+	w.ver = ver
 	return nil
 }
 

@@ -62,9 +62,20 @@ type DB struct {
 	// interleaves between the append and its seal.
 	lastHash string
 	sealed   bool
+	// ver counts mutations for snapshot-cache invalidation
+	// (replica.Versioned). read/verify/clockBelow are pure; every other
+	// op bumps it — including SyncPayload when the issue-#583 defect
+	// annotates an unsealed entry in place.
+	ver uint64
 }
 
-var _ replica.State = (*DB)(nil)
+var (
+	_ replica.State     = (*DB)(nil)
+	_ replica.Versioned = (*DB)(nil)
+)
+
+// StateVersion implements replica.Versioned.
+func (d *DB) StateVersion() uint64 { return d.ver }
 
 // New returns an empty, open database for the identity.
 func New(identity string, flags Flags) *DB {
@@ -191,6 +202,11 @@ func (d *DB) AppendWithClock(payload string, clock uint64) *merkle.Entry {
 //	clockBelow(limit)       -> "ok" if the clock is under limit
 func (d *DB) Apply(op replica.Op) (string, error) {
 	switch op.Name {
+	case "read", "verify", "clockBelow":
+	default:
+		d.ver++
+	}
+	switch op.Name {
 	case "append":
 		if err := d.Append(op.Args[0]); err != nil {
 			return "", err
@@ -256,6 +272,7 @@ func (d *DB) verifyAll() string {
 func (d *DB) SyncPayload() ([]byte, error) {
 	entries := d.log.Entries()
 	if d.flags.BugMutateAfterHash && d.lastHash != "" && !d.sealed {
+		d.ver++ // the annotation below mutates entries in place
 		for _, e := range entries {
 			if e.Hash == d.lastHash && !strings.HasSuffix(e.Payload, "#synced") {
 				e.Payload += "#synced" // mutated after hashing: hash now stale
@@ -270,6 +287,7 @@ func (d *DB) SyncPayload() ([]byte, error) {
 // replay records it); far-future clocks are rejected unless BugFutureClock
 // disabled the guard.
 func (d *DB) ApplySync(payload []byte) error {
+	d.ver++
 	var entries []*merkle.Entry
 	if err := json.Unmarshal(payload, &entries); err != nil {
 		return fmt.Errorf("orbit: sync payload: %w", err)
@@ -341,7 +359,9 @@ func (d *DB) Restore(data []byte) error {
 	fresh.open = snap.Open
 	fresh.lastHash = snap.LastHash
 	fresh.sealed = snap.Sealed
+	ver := d.ver + 1
 	*d = *fresh
+	d.ver = ver
 	return nil
 }
 

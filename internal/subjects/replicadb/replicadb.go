@@ -67,9 +67,20 @@ type Node struct {
 	// snapshotCut is the Seq bound of the last snapshot-based incremental
 	// transfer.
 	snapshotCut uint64
+	// stateVer counts mutations for snapshot-cache invalidation
+	// (replica.Versioned) — distinct from version, which orders LWW row
+	// conflicts. readSink/readSource/peakBuffer are pure and leave it
+	// untouched.
+	stateVer uint64
 }
 
-var _ replica.State = (*Node)(nil)
+var (
+	_ replica.State     = (*Node)(nil)
+	_ replica.Versioned = (*Node)(nil)
+)
+
+// StateVersion implements replica.Versioned.
+func (n *Node) StateVersion() uint64 { return n.stateVer }
 
 // New returns an empty node.
 func New(flags Flags) *Node {
@@ -211,6 +222,11 @@ func renderRows(table map[string]*row) string {
 //	peakBuffer()             -> high-water mark of the fetch buffer
 func (n *Node) Apply(op replica.Op) (string, error) {
 	switch op.Name {
+	case "readSink", "readSource", "peakBuffer":
+	default:
+		n.stateVer++
+	}
+	switch op.Name {
 	case "insert":
 		n.Insert(op.Args[0], op.Args[1])
 		return "", nil
@@ -262,6 +278,7 @@ func (n *Node) SyncPayload() ([]byte, error) {
 
 // ApplySync implements replica.State: LWW-merge remote source rows.
 func (n *Node) ApplySync(payload []byte) error {
+	n.stateVer++
 	var p syncPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
 		return fmt.Errorf("replicadb: sync payload: %w", err)
@@ -335,7 +352,9 @@ func (n *Node) Restore(data []byte) error {
 		cp := snap.Buffer[i]
 		fresh.buffer = append(fresh.buffer, &cp)
 	}
+	ver := n.stateVer + 1
 	*n = *fresh
+	n.stateVer = ver
 	return nil
 }
 

@@ -57,9 +57,18 @@ type Store struct {
 	flags   Flags
 	keys    map[string]map[string]*record
 	arrival int
+	// ver counts mutations for snapshot-cache invalidation
+	// (replica.Versioned); selects are pure and leave it untouched.
+	ver uint64
 }
 
-var _ replica.State = (*Store)(nil)
+var (
+	_ replica.State     = (*Store)(nil)
+	_ replica.Versioned = (*Store)(nil)
+)
+
+// StateVersion implements replica.Versioned.
+func (s *Store) StateVersion() uint64 { return s.ver }
 
 // New returns an empty store with the given defect flags.
 func New(flags Flags) *Store {
@@ -77,6 +86,7 @@ func (s *Store) Delete(key, member string, score uint64) {
 }
 
 func (s *Store) apply(key, member string, score uint64, deleted bool) {
+	s.ver++
 	recs, ok := s.keys[key]
 	if !ok {
 		recs = make(map[string]*record)
@@ -294,6 +304,7 @@ func (s *Store) Restore(snapshot []byte) error {
 	if err := json.Unmarshal(snapshot, &snap); err != nil {
 		return fmt.Errorf("roshi: snapshot: %w", err)
 	}
+	s.ver++
 	s.keys = snap.Keys
 	if s.keys == nil {
 		s.keys = make(map[string]map[string]*record)

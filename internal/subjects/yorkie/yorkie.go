@@ -64,9 +64,19 @@ type Doc struct {
 	opLog []docOp
 	// applied dedups ops by stamp.
 	applied map[crdt.Time]bool
+	// ver counts mutations for snapshot-cache invalidation
+	// (replica.Versioned). Every Apply advances the Lamport clock — even
+	// reads stamp — so every op bumps it.
+	ver uint64
 }
 
-var _ replica.State = (*Doc)(nil)
+var (
+	_ replica.State     = (*Doc)(nil)
+	_ replica.Versioned = (*Doc)(nil)
+)
+
+// StateVersion implements replica.Versioned.
+func (d *Doc) StateVersion() uint64 { return d.ver }
 
 // New returns an empty document for a replica identity.
 func New(identity string, flags Flags) *Doc {
@@ -173,6 +183,7 @@ func (d *Doc) record(op docOp) error {
 //	read()                  -> document snapshot
 //	readArr()               -> array contents
 func (d *Doc) Apply(op replica.Op) (string, error) {
+	d.ver++
 	stamp := d.clock.Now()
 	switch op.Name {
 	case "set":
@@ -260,6 +271,7 @@ func (d *Doc) SyncPayload() ([]byte, error) {
 // ApplySync implements replica.State: apply the remote ops (idempotently)
 // and adopt them into the local op log for further propagation.
 func (d *Doc) ApplySync(payload []byte) error {
+	d.ver++
 	var ops []docOp
 	if err := json.Unmarshal(payload, &ops); err != nil {
 		return fmt.Errorf("yorkie: sync payload: %w", err)
@@ -315,7 +327,9 @@ func (d *Doc) Restore(data []byte) error {
 		fresh.opLog = append(fresh.opLog, op)
 	}
 	fresh.clock.SetCounter(snap.Clock)
+	ver := d.ver + 1
 	*d = *fresh
+	d.ver = ver
 	return nil
 }
 
